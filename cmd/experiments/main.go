@@ -1,0 +1,77 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -exp fig3 -scale small     # Fig. 3 (convex comparison)
+//	experiments -exp fig4 -scale small     # Fig. 4 (non-convex comparison)
+//	experiments -exp table2 -scale small   # Table 2 (fairness across datasets)
+//	experiments -exp table1 -scale small   # Table 1 companion (alpha sweep)
+//	experiments -exp ablations -scale smoke
+//	experiments -exp all -scale smoke
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig3|fig4|table2|table1|rates|stationarity|ablations|all")
+	scaleName := flag.String("scale", "smoke", "scale: smoke|small|full")
+	seed := flag.Uint64("seed", 42, "random seed")
+	out := flag.String("out", "", "directory for CSV/JSON artifacts (empty = none)")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "smoke":
+		scale = experiments.Smoke
+	case "small":
+		scale = experiments.Small
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scaleName)
+		os.Exit(1)
+	}
+
+	run := func(name string, fn func() (experiments.Artifact, error)) {
+		t0 := time.Now()
+		res, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if err := experiments.Export(res, os.Stdout, *out, name+"-"+scale.String()); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: export %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v at scale %s]\n\n", name, time.Since(t0).Round(time.Millisecond), scale)
+	}
+
+	all := *exp == "all"
+	if all || *exp == "fig3" {
+		run("fig3", func() (experiments.Artifact, error) { return experiments.Fig3(scale, *seed) })
+	}
+	if all || *exp == "fig4" {
+		run("fig4", func() (experiments.Artifact, error) { return experiments.Fig4(scale, *seed) })
+	}
+	if all || *exp == "table2" {
+		run("table2", func() (experiments.Artifact, error) { return experiments.Table2(scale, *seed) })
+	}
+	if all || *exp == "table1" {
+		run("table1", func() (experiments.Artifact, error) { return experiments.Tradeoff(scale, *seed) })
+	}
+	if all || *exp == "rates" {
+		run("rates-alpha0", func() (experiments.Artifact, error) { return experiments.ConvergenceRate(scale, 0, *seed) })
+		run("rates-alpha05", func() (experiments.Artifact, error) { return experiments.ConvergenceRate(scale, 0.5, *seed) })
+	}
+	if all || *exp == "stationarity" {
+		run("stationarity", func() (experiments.Artifact, error) { return experiments.Stationarity(scale, *seed) })
+	}
+	if all || *exp == "ablations" {
+		run("ablations", func() (experiments.Artifact, error) { return experiments.Ablations(scale, *seed) })
+	}
+}

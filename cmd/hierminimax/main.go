@@ -1,0 +1,96 @@
+// Command hierminimax trains one algorithm on one workload and prints
+// per-snapshot metrics plus the final fairness summary and communication
+// totals.
+//
+// Examples:
+//
+//	hierminimax -alg hierminimax -dataset emnist -rounds 2000
+//	hierminimax -alg drfa -dataset fashion -partition similarity -model mlp
+//	hierminimax -alg hierminimax -engine simnet -rounds 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var spec hierfair.Spec
+	var alg, dataset, partition, mdl, engine string
+
+	flag.StringVar(&alg, "alg", "hierminimax", "algorithm: hierminimax|hierfavg|fedavg|afl|drfa")
+	flag.StringVar(&dataset, "dataset", "emnist", "dataset: emnist|mnist|fashion|adult|synthetic")
+	flag.StringVar(&partition, "partition", "one-class", "partition: one-class|similarity|dirichlet")
+	flag.StringVar(&mdl, "model", "logreg", "model: logreg|mlp")
+	flag.StringVar(&engine, "engine", "inprocess", "engine: inprocess|simnet")
+	flag.Float64Var(&spec.Similarity, "s", 0.5, "similarity fraction for -partition similarity")
+	flag.IntVar(&spec.NumEdges, "edges", 10, "number of edge areas N_E")
+	flag.IntVar(&spec.ClientsPerEdge, "clients", 3, "clients per edge area N0")
+	flag.IntVar(&spec.InputDim, "dim", 784, "feature dimension for image datasets")
+	flag.IntVar(&spec.TrainPerClass, "train", 2000, "training examples per class")
+	flag.IntVar(&spec.TestPerClass, "test", 150, "test examples per class")
+	flag.IntVar(&spec.Rounds, "rounds", 3000, "training rounds K")
+	flag.IntVar(&spec.Tau1, "tau1", 2, "local SGD steps per aggregation")
+	flag.IntVar(&spec.Tau2, "tau2", 2, "client-edge aggregations per round (hierarchical only)")
+	flag.Float64Var(&spec.EtaW, "etaw", 0.002, "model learning rate")
+	flag.Float64Var(&spec.EtaP, "etap", 0.0003, "weight learning rate")
+	flag.IntVar(&spec.BatchSize, "batch", 4, "local mini-batch size")
+	flag.IntVar(&spec.SampledEdges, "me", 5, "sampled edges per round m_E")
+	flag.UintVar(&spec.QuantBits, "quant", 0, "uplink quantization bits (0 = exact)")
+	flag.Float64Var(&spec.DropoutProb, "dropout", 0, "per-slot dropout probability")
+	flag.Float64Var(&spec.PCap, "pcap", 0, "cap for the weight simplex (0 = none)")
+	flag.Uint64Var(&spec.Seed, "seed", 1, "random seed")
+	flag.IntVar(&spec.EvalEvery, "eval", 100, "evaluate every this many rounds")
+	saveModel := flag.String("savemodel", "", "write the trained model (gob) to this path")
+	flag.Parse()
+
+	spec.Algorithm = hierfair.Algorithm(alg)
+	spec.Dataset = hierfair.Dataset(dataset)
+	spec.Partition = hierfair.Partition(partition)
+	spec.Model = hierfair.ModelKind(mdl)
+	spec.Engine = hierfair.Engine(engine)
+
+	rep, err := hierfair.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hierminimax:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%8s %12s %9s %9s %10s\n", "round", "cloudRounds", "average", "worst", "variance")
+	for _, p := range rep.History {
+		fmt.Printf("%8d %12d %9.4f %9.4f %10.4f\n", p.Round, p.CloudRounds, p.Average, p.Worst, p.Variance)
+	}
+	fmt.Println()
+	fmt.Println(rep.Summary())
+	fmt.Printf("edge weights p: %v\n", fmtWeights(rep.EdgeWeights))
+	fmt.Printf("traffic: cloud %.2f MB, total %.2f MB\n", float64(rep.CloudBytes)/1e6, float64(rep.TotalBytes)/1e6)
+	if spec.Engine == hierfair.EngineSimNet {
+		fmt.Printf("simnet: %d messages, simulated %.1f s\n", rep.MessagesSent, rep.SimulatedMs/1000)
+	}
+	if *saveModel != "" {
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hierminimax:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rep.SaveModel(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hierminimax:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("model written to %s\n", *saveModel)
+	}
+}
+
+func fmtWeights(p []float64) string {
+	out := "["
+	for i, v := range p {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.3f", v)
+	}
+	return out + "]"
+}

@@ -1,0 +1,38 @@
+// Command tradeoff sweeps the communication/convergence knob alpha of §5
+// (tau1*tau2 ~ T^alpha) on a convex workload and prints, for each alpha,
+// the spent edge-cloud communication and the realized duality gap — the
+// empirical companion to Table 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "smoke", "scale: smoke|small|full")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "smoke":
+		scale = experiments.Smoke
+	case "small":
+		scale = experiments.Small
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "tradeoff: unknown scale %q\n", *scaleName)
+		os.Exit(1)
+	}
+	res, err := experiments.Tradeoff(scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tradeoff:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Render())
+}

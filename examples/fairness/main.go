@@ -1,0 +1,63 @@
+// Fairness study: the Fig. 3 experiment in miniature. Trains all five
+// algorithms of the paper's evaluation on the same heterogeneous convex
+// workload and compares average accuracy, worst-area accuracy and
+// accuracy variance — showing that the minimax methods (Stochastic-AFL,
+// DRFA, HierMinimax) protect the worst edge area at a small cost in
+// average accuracy, and that HierMinimax needs the fewest communication
+// rounds to get there.
+//
+//	go run ./examples/fairness
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	algorithms := []hierfair.Algorithm{
+		hierfair.AlgFedAvg,
+		hierfair.AlgAFL,
+		hierfair.AlgDRFA,
+		hierfair.AlgHierFAvg,
+		hierfair.AlgHierMinimax,
+	}
+
+	const targetWorst = 0.70
+	fmt.Println("Five-way comparison on the EMNIST substitute (convex, one class per area)")
+	fmt.Printf("%-14s %9s %9s %10s %14s %14s\n",
+		"algorithm", "average", "worst", "variance", "cloud rounds", "rounds to 70%")
+
+	for _, alg := range algorithms {
+		spec := hierfair.DefaultSpec(alg)
+		spec.InputDim = 96
+		spec.TrainPerClass = 400
+		spec.TestPerClass = 100
+		spec.Rounds = 600
+		spec.EtaW = 0.01
+		spec.EtaP = 0.001
+		spec.EvalEvery = 25
+		spec.Seed = 8
+
+		rep, err := hierfair.Run(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		toTarget := "never"
+		for _, p := range rep.History {
+			if p.Round > 0 && p.Worst >= targetWorst {
+				toTarget = fmt.Sprintf("%d", p.Round)
+				break
+			}
+		}
+		fmt.Printf("%-14s %9.4f %9.4f %10.4f %14d %14s\n",
+			rep.Algorithm, rep.FinalAverage, rep.FinalWorst, rep.FinalVariance,
+			rep.CloudRounds, toTarget)
+	}
+
+	fmt.Println("\nReading the table: the three minimax methods lift the worst area and")
+	fmt.Println("shrink the variance; the hierarchical ones do it in fewer training")
+	fmt.Println("rounds because each round packs tau1*tau2 local steps (Fig. 3 of the paper).")
+}

@@ -1,0 +1,138 @@
+package hierfair
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/fl"
+	"repro/internal/model"
+	"repro/internal/multilayer"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// Point is one evaluation snapshot of a training run.
+type Point struct {
+	// Round is the number of completed training rounds; CloudRounds the
+	// cumulative cloud-link synchronization passes at that moment.
+	Round       int
+	CloudRounds int64
+	// Average, Worst and Variance summarize per-edge-area test accuracy
+	// (variance in Table-2 units, i.e. Var[accuracy]*1e4).
+	Average, Worst, Variance float64
+	// AreaAccuracy is the per-edge-area test accuracy.
+	AreaAccuracy []float64
+	// EdgeWeights is the weight vector p at the snapshot.
+	EdgeWeights []float64
+}
+
+// Report is the outcome of one Run.
+type Report struct {
+	Algorithm string
+	// Final metrics (the last History point's summary).
+	FinalAverage, FinalWorst, FinalVariance float64
+	// History holds every evaluation snapshot in round order.
+	History []Point
+	// EdgeWeights is the final minimax weight vector p (uniform and
+	// constant for the minimization algorithms).
+	EdgeWeights []float64
+	// Communication totals.
+	CloudRounds, CloudBytes, TotalBytes int64
+	// SimulatedMs is the modeled wall-clock time (simnet engine only).
+	SimulatedMs float64
+	// MessagesSent counts protocol messages (simnet engine only).
+	MessagesSent int64
+
+	mdl model.Model
+	w   []float64
+}
+
+// Predict classifies a feature vector with the trained global model.
+func (r *Report) Predict(x []float64) int {
+	return r.mdl.Predict(r.w, x)
+}
+
+// Parameters returns a copy of the trained global model parameters w.
+func (r *Report) Parameters() []float64 {
+	return append([]float64(nil), r.w...)
+}
+
+// Run trains one Spec and reports the result.
+func Run(spec Spec) (*Report, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	prob, cfg, err := spec.buildProblem()
+	if err != nil {
+		return nil, err
+	}
+
+	var res *fl.Result
+	var stats simnet.RunStats
+	switch {
+	case len(spec.Branching) > 0:
+		if spec.Algorithm != AlgHierMinimax {
+			return nil, fmt.Errorf("hierfair: multi-layer trees only run %s", AlgHierMinimax)
+		}
+		if spec.Engine == EngineSimNet {
+			return nil, fmt.Errorf("hierfair: the simnet engine does not support multi-layer trees")
+		}
+		res, err = multilayer.HierMinimax(prob, multilayer.Config{
+			Base: cfg, Branching: spec.Branching, Taus: spec.Taus,
+		})
+	case spec.Engine == EngineSimNet:
+		res, stats, err = simnet.HierMinimax(prob, cfg)
+	default:
+		switch spec.Algorithm {
+		case AlgHierMinimax:
+			res, err = core.HierMinimax(prob, cfg)
+		case AlgHierFAvg:
+			res, err = baselines.HierFAvg(prob, cfg)
+		case AlgFedAvg:
+			res, err = baselines.FedAvg(prob, cfg)
+		case AlgAFL:
+			res, err = baselines.StochasticAFL(prob, cfg)
+		case AlgDRFA:
+			res, err = baselines.DRFA(prob, cfg)
+		default:
+			return nil, fmt.Errorf("hierfair: unknown algorithm %q", spec.Algorithm)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Algorithm:    res.Algorithm,
+		EdgeWeights:  append([]float64(nil), res.PWeights...),
+		CloudRounds:  res.Ledger.CloudRounds(),
+		CloudBytes:   res.Ledger.Bytes[topology.EdgeCloud] + res.Ledger.Bytes[topology.ClientCloud],
+		TotalBytes:   res.Ledger.Bytes[topology.ClientEdge] + res.Ledger.Bytes[topology.EdgeCloud] + res.Ledger.Bytes[topology.ClientCloud],
+		SimulatedMs:  stats.SimulatedMs,
+		MessagesSent: stats.MessagesSent,
+		mdl:          prob.Model,
+		w:            res.W,
+	}
+	for _, s := range res.History.Snapshots {
+		rep.History = append(rep.History, Point{
+			Round:        s.Round,
+			CloudRounds:  s.CloudRounds(),
+			Average:      s.Fair.Average,
+			Worst:        s.Fair.Worst,
+			Variance:     s.Fair.Variance,
+			AreaAccuracy: append([]float64(nil), s.Areas.Accuracy...),
+			EdgeWeights:  s.P,
+		})
+	}
+	final := rep.History[len(rep.History)-1]
+	rep.FinalAverage, rep.FinalWorst, rep.FinalVariance = final.Average, final.Worst, final.Variance
+	return rep, nil
+}
+
+// Summary renders a one-line result.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("%s: avg=%.4f worst=%.4f var=%.4f cloudRounds=%d cloudMB=%.2f",
+		r.Algorithm, r.FinalAverage, r.FinalWorst, r.FinalVariance,
+		r.CloudRounds, float64(r.CloudBytes)/1e6)
+}

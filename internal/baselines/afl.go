@@ -1,0 +1,107 @@
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/fl"
+	"repro/internal/tensor"
+	"repro/internal/topology"
+)
+
+// StochasticAFL is the Stochastic Agnostic Federated Learning algorithm
+// of Mohri, Sivek and Suresh [25]: two-layer minimax with a single local
+// SGD step per round. Every round the server samples edge slots by
+// p^(k), each slot's clients take one projected SGD step from w^(k), the
+// server averages the returned models into w^(k+1), then updates p by
+// projected gradient ascent on uniformly-sampled loss estimates of
+// w^(k+1). Config.Tau1 and Config.Tau2 must both be 1.
+func StochasticAFL(prob *fl.Problem, cfg fl.Config) (*fl.Result, error) {
+	if err := requireTwoLayer("Stochastic-AFL", cfg); err != nil {
+		return nil, err
+	}
+	if cfg.Tau1 > 1 {
+		return nil, fmt.Errorf("baselines: Stochastic-AFL uses single-step updates; Tau1 must be 1, got %d", cfg.Tau1)
+	}
+	pool := fl.NewModelPool(prob.Model)
+	return fl.Run("Stochastic-AFL", prob, cfg, func(k int, st *fl.State) {
+		minimaxTwoLayerRound(k, st, pool, 1)
+	})
+}
+
+// DRFA is Distributionally Robust Federated Averaging (Deng, Kamani,
+// Mahdavi [10]): two-layer minimax with Tau1 local SGD steps per round
+// and a uniformly-random per-round checkpoint index c1 in [Tau1] at which
+// the p-gradient is estimated — the two-layer special case (tau2 = 1) of
+// the checkpoint mechanism. Config.Tau2 must be 1.
+func DRFA(prob *fl.Problem, cfg fl.Config) (*fl.Result, error) {
+	if err := requireTwoLayer("DRFA", cfg); err != nil {
+		return nil, err
+	}
+	pool := fl.NewModelPool(prob.Model)
+	return fl.Run("DRFA", prob, cfg, func(k int, st *fl.State) {
+		minimaxTwoLayerRound(k, st, pool, cfg.WithDefaults().Tau1)
+	})
+}
+
+// minimaxTwoLayerRound advances one round of a two-layer minimax method
+// with tau1 local steps. With tau1 = 1 it is Stochastic-AFL (the
+// checkpoint after 1 step is exactly the aggregated next iterate); with
+// tau1 > 1 it is DRFA.
+func minimaxTwoLayerRound(k int, st *fl.State, pool *fl.ModelPool, tau1 int) {
+	cfg := &st.Cfg
+	prob := st.Prob
+	top := prob.Topology()
+	n0 := top.ClientsPerEdge
+	dBytes := topology.ModelBytes(len(st.W))
+	kr := st.Root.ChildN('k', uint64(k))
+
+	// Sample edge slots by p^(k); every client of a sampled slot
+	// participates, so m = m_E * N0 clients are touched.
+	slots := sampleEdgeSlotsByP(kr.Child(1), cfg.SampledEdges, st.P)
+	c1 := 1 + kr.Child(2).Intn(tau1) // checkpoint step (DRFA); trivial for tau1=1
+
+	st.Ledger.RecordRound(topology.ClientCloud, len(slots)*n0, dBytes)
+	type slotOut struct {
+		finals, chks [][]float64
+		iterSum      []float64
+	}
+	outs := make([]slotOut, len(slots))
+	cfg.ForEach(len(slots), func(i int) {
+		m := pool.Get()
+		defer pool.Put(m)
+		e := slots[i]
+		area := prob.Fed.Areas[e]
+		var iterSum []float64
+		if cfg.TrackAverages {
+			iterSum = make([]float64, len(st.W))
+		}
+		finals := make([][]float64, n0)
+		chks := make([][]float64, n0)
+		for c := 0; c < n0; c++ {
+			r := kr.ChildN(3, uint64(i), uint64(c))
+			wf, wc := fl.LocalSGD(m, st.W, area.Clients[c], tau1, cfg.BatchSize, cfg.EtaW, prob.W, r, c1, iterSum)
+			finals[c] = wf
+			chks[c] = wc
+		}
+		outs[i] = slotOut{finals: finals, chks: chks, iterSum: iterSum}
+	})
+	st.Ledger.RecordRound(topology.ClientCloud, len(slots)*n0, 2*dBytes)
+
+	var finals, chks [][]float64
+	for _, o := range outs {
+		finals = append(finals, o.finals...)
+		chks = append(chks, o.chks...)
+		if st.WSum != nil {
+			tensor.Axpy(1, o.iterSum, st.WSum)
+			st.WCount += float64(tau1 * n0)
+		}
+	}
+	tensor.AverageInto(st.W, finals...)
+	prob.W.Project(st.W)
+	wChk := make([]float64, len(st.W))
+	tensor.AverageInto(wChk, chks...)
+
+	// Weight update at the checkpoint model, step eta_p * tau1.
+	v := uniformLossEstimates(st, pool, wChk, kr.Child(4), topology.ClientCloud)
+	ascendP(st, v, cfg.EtaP*float64(tau1))
+}

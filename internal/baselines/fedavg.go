@@ -1,0 +1,119 @@
+// Package baselines implements the four comparison methods of §6 —
+// FedAvg [23], Stochastic-AFL [25], DRFA [10] and HierFAvg [21] — over
+// the same substrates (models, data, topology ledger) as HierMinimax, so
+// the communication and fairness comparisons are apples-to-apples. Each
+// baseline is implemented from its own paper's description rather than by
+// reconfiguring HierMinimax.
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/fl"
+	"repro/internal/optim"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/topology"
+)
+
+// FedAvg is standard Federated Averaging (McMahan et al. [23]) on the
+// two-layer client-server architecture: every round the server samples
+// m = SampledEdges*N0 clients uniformly, each runs Tau1 local SGD steps,
+// and the server averages the returned models. It solves the
+// minimization problem (1) with fixed uniform weights; p is never
+// updated. Config.Tau2 must be 1 (two-layer methods have no client-edge
+// aggregation).
+func FedAvg(prob *fl.Problem, cfg fl.Config) (*fl.Result, error) {
+	if err := requireTwoLayer("FedAvg", cfg); err != nil {
+		return nil, err
+	}
+	pool := fl.NewModelPool(prob.Model)
+	top := prob.Topology()
+	return fl.Run("FedAvg", prob, cfg, func(k int, st *fl.State) {
+		cfg := &st.Cfg
+		dBytes := topology.ModelBytes(len(st.W))
+		kr := st.Root.ChildN('k', uint64(k))
+		m := cfg.SampledEdges * top.ClientsPerEdge
+		clients := kr.Child(1).SampleUniform(m, top.NumClients())
+
+		st.Ledger.RecordRound(topology.ClientCloud, len(clients), dBytes)
+		finals := make([][]float64, len(clients))
+		sums := make([][]float64, len(clients))
+		cfg.ForEach(len(clients), func(i int) {
+			mod := pool.Get()
+			defer pool.Put(mod)
+			var iterSum []float64
+			if cfg.TrackAverages {
+				iterSum = make([]float64, len(st.W))
+			}
+			e := top.EdgeOf(clients[i])
+			shard := prob.Fed.Areas[e].Clients[clients[i]%top.ClientsPerEdge]
+			wf, _ := fl.LocalSGD(mod, st.W, shard, cfg.Tau1, cfg.BatchSize, cfg.EtaW, prob.W, kr.ChildN(2, uint64(i)), 0, iterSum)
+			finals[i] = wf
+			sums[i] = iterSum
+		})
+		st.Ledger.RecordRound(topology.ClientCloud, len(clients), dBytes)
+		if cfg.TrackAverages {
+			for _, s := range sums {
+				tensor.Axpy(1, s, st.WSum)
+				st.WCount += float64(cfg.Tau1)
+			}
+		}
+		tensor.AverageInto(st.W, finals...)
+		prob.W.Project(st.W)
+	})
+}
+
+// requireTwoLayer rejects configurations with client-edge aggregation,
+// which two-layer methods cannot perform.
+func requireTwoLayer(name string, cfg fl.Config) error {
+	if cfg.Tau2 > 1 {
+		return fmt.Errorf("baselines: %s is a two-layer method; Tau2 must be 1, got %d", name, cfg.Tau2)
+	}
+	return nil
+}
+
+// sampleEdgeSlotsByP draws m_E edge slots i.i.d. from the categorical
+// distribution p (with replacement), as the minimax methods' Phase-1
+// sampling requires for unbiasedness.
+func sampleEdgeSlotsByP(r *rng.Stream, mE int, p []float64) []int {
+	return r.SampleWeighted(mE, p)
+}
+
+// uniformLossEstimates samples m_E edges uniformly, estimates each
+// sampled edge's loss at w via client mini-batches, and returns the
+// unbiased gradient estimate v (v_e = (N_E/m_E) f_e(w) on sampled edges,
+// 0 elsewhere). Communication is recorded on the given cloud link class.
+func uniformLossEstimates(st *fl.State, pool *fl.ModelPool, w []float64, r *rng.Stream, cloudLink topology.Link) []float64 {
+	cfg := &st.Cfg
+	prob := st.Prob
+	nE := prob.Fed.NumAreas()
+	dBytes := topology.ModelBytes(len(w))
+	sampled := r.SampleUniform(cfg.SampledEdges, nE)
+	st.Ledger.RecordRound(cloudLink, len(sampled), dBytes)
+	losses := make([]float64, len(sampled))
+	cfg.ForEach(len(sampled), func(i int) {
+		m := pool.Get()
+		defer pool.Put(m)
+		er := r.ChildN(5, uint64(i))
+		area := prob.Fed.Areas[sampled[i]]
+		if cloudLink == topology.EdgeCloud {
+			// Three-layer: the edge relays to clients.
+			st.Ledger.RecordRound(topology.ClientEdge, len(area.Clients), dBytes)
+			defer st.Ledger.RecordRound(topology.ClientEdge, len(area.Clients), 8)
+		}
+		losses[i] = fl.AreaLossEstimate(m, w, area, cfg.LossBatch, er)
+	})
+	st.Ledger.RecordRound(cloudLink, len(sampled), 8)
+	v := make([]float64, nE)
+	scale := float64(nE) / float64(cfg.SampledEdges)
+	for i, e := range sampled {
+		v[e] += scale * losses[i]
+	}
+	return v
+}
+
+// ascendP applies p <- Proj_P(p + step*v).
+func ascendP(st *fl.State, v []float64, step float64) {
+	optim.AscentStep(st.P, v, step, st.Prob.P)
+}

@@ -1,0 +1,74 @@
+package baselines
+
+import (
+	"repro/internal/fl"
+	"repro/internal/tensor"
+	"repro/internal/topology"
+)
+
+// HierFAvg is hierarchical Federated Averaging (Liu et al. [21]): the
+// same three-layer client-edge-cloud architecture and (tau1, tau2)
+// schedule as HierMinimax, but solving the minimization problem (1) —
+// edges are sampled uniformly and the weights p stay uniform forever.
+// The gap between HierFAvg and HierMinimax therefore isolates exactly
+// the minimax fairness mechanism (Table 2's comparison).
+func HierFAvg(prob *fl.Problem, cfg fl.Config) (*fl.Result, error) {
+	pool := fl.NewModelPool(prob.Model)
+	return fl.Run("HierFAvg", prob, cfg, func(k int, st *fl.State) {
+		hierFAvgRound(k, st, pool)
+	})
+}
+
+func hierFAvgRound(k int, st *fl.State, pool *fl.ModelPool) {
+	cfg := &st.Cfg
+	prob := st.Prob
+	top := prob.Topology()
+	n0 := top.ClientsPerEdge
+	dBytes := topology.ModelBytes(len(st.W))
+	kr := st.Root.ChildN('k', uint64(k))
+
+	// Uniform edge sampling (no p).
+	edges := kr.Child(1).SampleUniform(cfg.SampledEdges, prob.Fed.NumAreas())
+	st.Ledger.RecordRound(topology.EdgeCloud, len(edges), dBytes)
+
+	type out struct {
+		wEdge   []float64
+		iterSum []float64
+	}
+	outs := make([]out, len(edges))
+	cfg.ForEach(len(edges), func(i int) {
+		m := pool.Get()
+		defer pool.Put(m)
+		area := prob.Fed.Areas[edges[i]]
+		var iterSum []float64
+		if cfg.TrackAverages {
+			iterSum = make([]float64, len(st.W))
+		}
+		we := append([]float64(nil), st.W...)
+		finals := make([][]float64, n0)
+		for t2 := 0; t2 < cfg.Tau2; t2++ {
+			st.Ledger.RecordRound(topology.ClientEdge, n0, dBytes)
+			for c := 0; c < n0; c++ {
+				r := kr.ChildN(2, uint64(i), uint64(t2), uint64(c))
+				wf, _ := fl.LocalSGD(m, we, area.Clients[c], cfg.Tau1, cfg.BatchSize, cfg.EtaW, prob.W, r, 0, iterSum)
+				finals[c] = wf
+			}
+			st.Ledger.RecordRound(topology.ClientEdge, n0, dBytes)
+			tensor.AverageInto(we, finals...)
+			prob.W.Project(we)
+		}
+		outs[i] = out{wEdge: we, iterSum: iterSum}
+	})
+	st.Ledger.RecordRound(topology.EdgeCloud, len(edges), dBytes)
+
+	wVecs := make([][]float64, len(outs))
+	for i, o := range outs {
+		wVecs[i] = o.wEdge
+		if st.WSum != nil {
+			tensor.Axpy(1, o.iterSum, st.WSum)
+			st.WCount += float64(cfg.Tau1 * cfg.Tau2 * n0)
+		}
+	}
+	tensor.AverageInto(st.W, wVecs...)
+	prob.W.Project(st.W)
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// The unbiasedness of the Phase-2 weight gradient (Appendix A) rests on
+// the checkpoint slot c2*tau1 + c1 being uniform over [1, tau1*tau2].
+// This test replicates the engine's exact stream derivation (the same
+// key path Round uses) and verifies the uniformity statistically, so a
+// change to the sampling silently breaking the contract fails here.
+func TestCheckpointIndexUniform(t *testing.T) {
+	const tau1, tau2 = 3, 4
+	const rounds = 48000
+	root := rng.New(12345)
+	counts := make([]int, tau1*tau2+1) // slots 1..tau1*tau2
+	for k := 0; k < rounds; k++ {
+		kr := root.ChildN('k', uint64(k))
+		cr := kr.Child(2)
+		c2 := cr.Intn(tau2)
+		c1 := 1 + cr.Intn(tau1)
+		slot := c2*tau1 + c1
+		if slot < 1 || slot > tau1*tau2 {
+			t.Fatalf("slot %d outside [1, %d]", slot, tau1*tau2)
+		}
+		counts[slot]++
+	}
+	want := float64(rounds) / float64(tau1*tau2)
+	for slot := 1; slot <= tau1*tau2; slot++ {
+		if dev := math.Abs(float64(counts[slot]) - want); dev > 5*math.Sqrt(want) {
+			t.Fatalf("slot %d count %d deviates from uniform %v", slot, counts[slot], want)
+		}
+	}
+}
+
+// The Phase-1 edge sampling must follow p: over many rounds, the
+// empirical sampling frequency of each edge converges to its weight.
+func TestPhase1SamplingFollowsP(t *testing.T) {
+	p := []float64{0.4, 0.3, 0.2, 0.1}
+	root := rng.New(777)
+	const rounds = 20000
+	const mE = 2
+	counts := make([]float64, len(p))
+	for k := 0; k < rounds; k++ {
+		kr := root.ChildN('k', uint64(k))
+		for _, e := range kr.Child(1).SampleWeighted(mE, p) {
+			counts[e]++
+		}
+	}
+	for e := range p {
+		got := counts[e] / (rounds * mE)
+		if math.Abs(got-p[e]) > 0.01 {
+			t.Fatalf("edge %d sampled with frequency %v, want %v", e, got, p[e])
+		}
+	}
+}

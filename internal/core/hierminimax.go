@@ -1,0 +1,256 @@
+// Package core implements HierMinimax (Algorithm 1 of the paper):
+// hierarchical distributed minimax optimization over the
+// client-edge-cloud architecture, with multi-step local SGD (tau1),
+// multi-step client-edge aggregation (tau2), partial edge participation,
+// and the random-checkpoint mechanism that keeps the Phase-2 weight
+// gradient unbiased.
+package core
+
+import (
+	"repro/internal/data"
+	"repro/internal/fl"
+	"repro/internal/model"
+	"repro/internal/optim"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/topology"
+)
+
+// Algorithm is the canonical name used in results and manifests.
+const Algorithm = "HierMinimax"
+
+// HierMinimax runs Algorithm 1 on the problem and returns the trained
+// result. Each round:
+//
+//	Phase 1: sample m_E edge slots ~ Multinomial(p^(k)) and a checkpoint
+//	index (c1, c2) ~ U([tau1] x [tau2]); every sampled edge runs
+//	ModelUpdate (tau2 client-edge aggregations of tau1 local SGD steps,
+//	recording the (c2, c1) checkpoint); the cloud averages the edge
+//	models (Eq. 5) and edge checkpoints (Eq. 6).
+//
+//	Phase 2: sample m_E edges uniformly; each estimates its loss on the
+//	checkpoint model; the cloud builds the unbiased gradient estimate v
+//	and ascends p^(k+1) = Proj_P(p^(k) + eta_p*tau1*tau2*v) (Eq. 7).
+func HierMinimax(prob *fl.Problem, cfg fl.Config) (*fl.Result, error) {
+	return HierMinimaxWithOptions(prob, cfg, fl.RunOptions{})
+}
+
+// HierMinimaxWithOptions is HierMinimax with checkpoint/resume support:
+// the run can periodically emit fl.Checkpoints and continue from one,
+// reproducing the uninterrupted trajectory exactly (every round's
+// randomness is a function of (Seed, round) only).
+func HierMinimaxWithOptions(prob *fl.Problem, cfg fl.Config, opts fl.RunOptions) (*fl.Result, error) {
+	pool := fl.NewModelPool(prob.Model)
+	return fl.RunWithOptions(Algorithm, prob, cfg, func(k int, st *fl.State) {
+		Round(k, st, pool)
+	}, opts)
+}
+
+// slotResult is the outcome of one sampled edge slot's ModelUpdate.
+type slotResult struct {
+	wEdge, wChk []float64
+	iterSum     []float64
+	iterCount   float64
+	dropped     bool
+}
+
+// Round advances one HierMinimax training round. Exported so the simnet
+// engine and the ablations can reuse the exact phase logic.
+func Round(k int, st *fl.State, pool *fl.ModelPool) {
+	cfg := &st.Cfg
+	prob := st.Prob
+	nE := prob.Fed.NumAreas()
+	dBytes := topology.ModelBytes(len(st.W))
+	kr := st.Root.ChildN('k', uint64(k))
+
+	// ---- Phase 1 ----
+	// Sample edge slots by p^(k) with replacement (the unbiasedness
+	// argument of Appendix A needs i.i.d. draws), and the checkpoint
+	// index (c1, c2).
+	slots := kr.Child(1).SampleWeighted(cfg.SampledEdges, st.P)
+	cr := kr.Child(2)
+	c2 := cr.Intn(cfg.Tau2)     // checkpoint aggregation block, 0-based
+	c1 := 1 + cr.Intn(cfg.Tau1) // checkpoint local step within the block
+
+	// Cloud broadcasts w^(k) and (c1, c2) to the sampled edges.
+	st.Ledger.RecordRound(topology.EdgeCloud, len(slots), dBytes)
+
+	results := make([]slotResult, len(slots))
+	cfg.ForEach(len(slots), func(i int) {
+		sr := kr.ChildN(3, uint64(i))
+		if cfg.DropoutProb > 0 && sr.Child('d').Bernoulli(cfg.DropoutProb) {
+			results[i] = slotResult{dropped: true}
+			return
+		}
+		m := pool.Get()
+		defer pool.Put(m)
+		results[i] = ModelUpdate(modelUpdateArgs{
+			model: m, prob: prob, cfg: cfg,
+			wStart: st.W, area: prob.Fed.Areas[slots[i]],
+			c1: c1, c2: c2, stream: sr, ledger: st.Ledger,
+		})
+	})
+
+	// Edge-cloud aggregation (Eqs. 5 and 6): average over surviving
+	// slots, in slot order for determinism.
+	var wVecs, chkVecs [][]float64
+	for _, r := range results {
+		if r.dropped {
+			continue
+		}
+		wVecs = append(wVecs, r.wEdge)
+		chkVecs = append(chkVecs, r.wChk)
+		if st.WSum != nil {
+			tensor.Axpy(1, r.iterSum, st.WSum)
+			st.WCount += r.iterCount
+		}
+	}
+	if len(wVecs) == 0 {
+		return // every sampled edge failed this round; w and p carry over
+	}
+	st.Ledger.RecordRound(topology.EdgeCloud, len(wVecs), 2*dBytes)
+	tensor.AverageInto(st.W, wVecs...)
+	prob.W.Project(st.W)
+	wChk := make([]float64, len(st.W))
+	tensor.AverageInto(wChk, chkVecs...)
+	if cfg.CheckpointOff {
+		// A1 ablation: estimate the p-gradient at the end-of-round model
+		// instead of the unbiased random checkpoint.
+		copy(wChk, st.W)
+	}
+
+	// ---- Phase 2 ----
+	phase2(k, st, pool, wChk, nE, dBytes, kr.Child(4))
+}
+
+// phase2 performs the edge-weight update (Algorithm 1 lines 10-14). It
+// is shared with DRFA-style baselines via the fl.State plumbing.
+func phase2(k int, st *fl.State, pool *fl.ModelPool, wChk []float64, nE int, dBytes int64, ur *rng.Stream) {
+	cfg := &st.Cfg
+	prob := st.Prob
+	sampled := ur.SampleUniform(cfg.SampledEdges, nE)
+
+	// Cloud broadcasts the checkpoint model to the uniformly sampled
+	// edges; they reply with scalar loss estimates.
+	st.Ledger.RecordRound(topology.EdgeCloud, len(sampled), dBytes)
+	losses := make([]float64, len(sampled))
+	alive := make([]bool, len(sampled))
+	cfg.ForEach(len(sampled), func(i int) {
+		er := ur.ChildN(5, uint64(i))
+		if cfg.DropoutProb > 0 && er.Child('d').Bernoulli(cfg.DropoutProb) {
+			return
+		}
+		alive[i] = true
+		area := prob.Fed.Areas[sampled[i]]
+		// Edge broadcasts the checkpoint to its clients; clients return
+		// mini-batch losses (client-edge traffic).
+		st.Ledger.RecordRound(topology.ClientEdge, len(area.Clients), dBytes)
+		m := pool.Get()
+		losses[i] = fl.AreaLossEstimate(m, wChk, area, cfg.LossBatch, er)
+		pool.Put(m)
+		st.Ledger.RecordRound(topology.ClientEdge, len(area.Clients), 8)
+	})
+	st.Ledger.RecordRound(topology.EdgeCloud, len(sampled), 8)
+
+	// Unbiased estimator: v_e = (N_E/m_E) f_e(w_chk) for sampled e.
+	v := make([]float64, nE)
+	scale := float64(nE) / float64(cfg.SampledEdges)
+	for i, e := range sampled {
+		if alive[i] {
+			v[e] += scale * losses[i]
+		}
+	}
+	// Projected gradient ascent with effective step eta_p*tau1*tau2 (Eq. 7).
+	optim.AscentStep(st.P, v, cfg.EtaP*float64(cfg.SlotsPerRound()), prob.P)
+	_ = k
+}
+
+// modelUpdateArgs bundles the inputs of one edge slot's ModelUpdate.
+type modelUpdateArgs struct {
+	model  model.Model
+	prob   *fl.Problem
+	cfg    *fl.Config
+	wStart []float64
+	area   data.AreaData
+	c1, c2 int
+	stream *rng.Stream
+	ledger *topology.Ledger
+}
+
+// ModelUpdate runs the ModelUpdate procedure of Algorithm 1 for one
+// sampled edge slot: tau2 client-edge aggregation blocks, each consisting
+// of tau1 local SGD steps per client, with the (c2, c1) checkpoint
+// recorded in block c2 after c1 steps.
+func ModelUpdate(a modelUpdateArgs) slotResult {
+	cfg := a.cfg
+	prob := a.prob
+	mdl := a.model
+	n0 := len(a.area.Clients)
+	dBytes := topology.ModelBytes(len(a.wStart))
+
+	we := append([]float64(nil), a.wStart...)
+	var chkEdge []float64
+	var iterSum []float64
+	var iterCount float64
+	if cfg.TrackAverages {
+		iterSum = make([]float64, len(we))
+	}
+
+	finals := make([][]float64, n0)
+	chks := make([][]float64, n0)
+	for t2 := 0; t2 < cfg.Tau2; t2++ {
+		// Edge broadcasts w_e^(k,t2) to its clients.
+		a.ledger.RecordRound(topology.ClientEdge, n0, dBytes)
+		chkAt := 0
+		if t2 == a.c2 {
+			chkAt = a.c1
+		}
+		uplinkBytes := dBytes
+		for c := 0; c < n0; c++ {
+			r := a.stream.ChildN(uint64(t2), uint64(c))
+			// Per-client iterate sums reduced in client order, the same
+			// floating-point grouping the simnet engine uses, so both
+			// engines produce identical wHat accumulators.
+			var clientSum []float64
+			if cfg.TrackAverages {
+				clientSum = make([]float64, len(we))
+			}
+			wf, wc := fl.LocalSGD(mdl, we, a.area.Clients[c], cfg.Tau1, cfg.BatchSize, cfg.EtaW, prob.W, r, chkAt, clientSum)
+			if cfg.TrackAverages {
+				tensor.Axpy(1, clientSum, iterSum)
+				iterCount += float64(cfg.Tau1)
+			}
+			// Uplink quantization (A3 extension): clients upload
+			// compressed models; the edge reconstructs the dequantized
+			// values.
+			if cfg.Quantizer != nil {
+				bits := cfg.Quantizer.Quantize(wf, r.Child('q'))
+				uplinkBytes = (bits + 7) / 8
+				if wc != nil {
+					cfg.Quantizer.Quantize(wc, r.ChildN('q', 2))
+				}
+			}
+			finals[c] = wf
+			chks[c] = wc
+		}
+		// Clients upload their models (plus the checkpoint in block c2).
+		up := uplinkBytes
+		if t2 == a.c2 {
+			up *= 2
+		}
+		a.ledger.RecordRound(topology.ClientEdge, n0, up)
+		// Client-edge aggregation.
+		tensor.AverageInto(we, finals...)
+		prob.W.Project(we)
+		if t2 == a.c2 {
+			chkEdge = make([]float64, len(we))
+			tensor.AverageInto(chkEdge, chks...)
+		}
+	}
+	// Edge uploads (w_e, chk_e) to the cloud; quantize if configured.
+	if cfg.Quantizer != nil {
+		cfg.Quantizer.Quantize(we, a.stream.ChildN('Q', 1))
+		cfg.Quantizer.Quantize(chkEdge, a.stream.ChildN('Q', 2))
+	}
+	return slotResult{wEdge: we, wChk: chkEdge, iterSum: iterSum, iterCount: iterCount}
+}

@@ -1,0 +1,138 @@
+package data
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// AdultConfig parameterizes the census-like substitute for the UCI Adult
+// salary-prediction dataset [2]. The paper's §6.3 split puts the
+// Doctorate group in one edge area and the non-Doctorate group in the
+// other; the groups differ both in size and in the relationship between
+// features and label, so a uniformly trained model fits the majority and
+// underserves the minority — the fairness gap HierMinimax closes.
+type AdultConfig struct {
+	// NumCategorical categorical fields, each with Cardinality levels,
+	// one-hot encoded ("we train a logistic regression model on
+	// categorical features").
+	NumCategorical int
+	Cardinality    int
+	// MinorityFrac is the fraction of examples in the Doctorate group.
+	MinorityFrac float64
+	// GroupShift scales how far the minority group's label model deviates
+	// from the majority's.
+	GroupShift float64
+	// Noise is the logit noise temperature (higher = less separable).
+	Noise float64
+	TrainPerArea,
+	TestPerArea int
+}
+
+// DefaultAdult mirrors the scale of the real Adult dataset: 8 categorical
+// fields (~100 one-hot features), a small Doctorate minority and a
+// pronounced group shift.
+func DefaultAdult() AdultConfig {
+	return AdultConfig{
+		NumCategorical: 8,
+		Cardinality:    12,
+		MinorityFrac:   0.08,
+		GroupShift:     2.2,
+		Noise:          0.9,
+		TrainPerArea:   2400,
+		TestPerArea:    800,
+	}
+}
+
+// InputDim returns the one-hot feature dimension.
+func (c AdultConfig) InputDim() int { return c.NumCategorical * c.Cardinality }
+
+// GenerateAdult builds a two-area federation: area 0 = non-Doctorate
+// (majority), area 1 = Doctorate (minority). Each area gets
+// clientsPerArea clients. Labels are drawn from per-group logistic models
+// over the one-hot features; the minority group's coefficients are the
+// majority's plus a GroupShift-scaled perturbation, and its categorical
+// marginals are skewed, so the two areas disagree on the optimal
+// classifier.
+func GenerateAdult(cfg AdultConfig, clientsPerArea int, seed uint64) *Federation {
+	root := rng.New(seed)
+	dim := cfg.InputDim()
+
+	// Group 0 (majority) coefficients; group 1 = group 0 + shift.
+	beta := make([][]float64, 2)
+	beta[0] = make([]float64, dim)
+	root.Child(0).Fill(beta[0], 1.0)
+	beta[1] = make([]float64, dim)
+	shift := make([]float64, dim)
+	root.Child(1).Fill(shift, cfg.GroupShift)
+	for i := range beta[1] {
+		beta[1][i] = beta[0][i] + shift[i]
+	}
+
+	// Per-group categorical marginals: majority near-uniform, minority
+	// skewed toward the low levels of each field (education/occupation
+	// style skew).
+	marginals := func(group int, field int) []float64 {
+		w := make([]float64, cfg.Cardinality)
+		for l := range w {
+			if group == 0 {
+				w[l] = 1
+			} else {
+				w[l] = math.Exp(-0.35 * float64(l))
+			}
+		}
+		return w
+	}
+
+	sample := func(group int, r *rng.Stream) ([]float64, int) {
+		x := make([]float64, dim)
+		for fld := 0; fld < cfg.NumCategorical; fld++ {
+			level := r.Categorical(marginals(group, fld))
+			x[fld*cfg.Cardinality+level] = 1
+		}
+		logit := 0.0
+		for i, xi := range x {
+			logit += beta[group][i] * xi
+		}
+		logit /= cfg.Noise * math.Sqrt(float64(cfg.NumCategorical))
+		p := 1 / (1 + math.Exp(-logit))
+		y := 0
+		if r.Bernoulli(p) {
+			y = 1
+		}
+		return x, y
+	}
+
+	f := &Federation{Name: "adult-like", NumClasses: 2, InputDim: dim, Areas: make([]AreaData, 2)}
+	for group := 0; group < 2; group++ {
+		r := root.ChildN(2, uint64(group))
+		var train, test Subset
+		for i := 0; i < cfg.TrainPerArea; i++ {
+			x, y := sample(group, r)
+			train.Append(x, y)
+		}
+		for i := 0; i < cfg.TestPerArea; i++ {
+			x, y := sample(group, r)
+			test.Append(x, y)
+		}
+		f.Areas[group] = AreaData{
+			Clients: splitAmongClients(train, clientsPerArea),
+			Train:   train,
+			Test:    test,
+		}
+	}
+	// Reflect the population imbalance in training volume: scale the
+	// minority area's shards down to MinorityFrac of the majority's.
+	if cfg.MinorityFrac > 0 && cfg.MinorityFrac < 1 {
+		keep := int(float64(cfg.TrainPerArea) * cfg.MinorityFrac / (1 - cfg.MinorityFrac))
+		if keep < clientsPerArea {
+			keep = clientsPerArea
+		}
+		if keep < cfg.TrainPerArea {
+			minTrain := Subset{Xs: f.Areas[1].Train.Xs[:keep], Ys: f.Areas[1].Train.Ys[:keep]}
+			f.Areas[1].Train = minTrain
+			f.Areas[1].Clients = splitAmongClients(minTrain, clientsPerArea)
+		}
+	}
+	return f
+}

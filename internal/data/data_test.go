@@ -1,0 +1,413 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestSubsetSample(t *testing.T) {
+	var s Subset
+	s.Append([]float64{1}, 0)
+	s.Append([]float64{2}, 1)
+	r := rng.New(1)
+	xs, ys := s.Sample(r, 10)
+	if len(xs) != 10 || len(ys) != 10 {
+		t.Fatal("wrong batch size")
+	}
+	for i := range xs {
+		if (xs[i][0] == 1 && ys[i] != 0) || (xs[i][0] == 2 && ys[i] != 1) {
+			t.Fatal("sample broke feature/label pairing")
+		}
+	}
+}
+
+func TestSubsetSampleEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty sample")
+		}
+	}()
+	Subset{}.Sample(rng.New(1), 1)
+}
+
+func TestLabelHistogram(t *testing.T) {
+	var s Subset
+	for _, y := range []int{0, 1, 1, 2, 2, 2} {
+		s.Append([]float64{0}, y)
+	}
+	h := s.LabelHistogram(3)
+	if h[0] != 1 || h[1] != 2 || h[2] != 3 {
+		t.Fatalf("histogram %v", h)
+	}
+}
+
+func TestSplitAmongClients(t *testing.T) {
+	var s Subset
+	for i := 0; i < 10; i++ {
+		s.Append([]float64{float64(i)}, i%3)
+	}
+	shards := splitAmongClients(s, 3)
+	total := 0
+	for _, sh := range shards {
+		total += sh.Len()
+	}
+	if total != 10 {
+		t.Fatalf("shards lose examples: %d", total)
+	}
+	if shards[0].Len() != 4 || shards[1].Len() != 3 || shards[2].Len() != 3 {
+		t.Fatalf("shard sizes %d %d %d", shards[0].Len(), shards[1].Len(), shards[2].Len())
+	}
+}
+
+func TestImageGenerateDeterministic(t *testing.T) {
+	p := MNISTLike()
+	a, _ := p.Generate(5, 2, 42)
+	b, _ := p.Generate(5, 2, 42)
+	if a.Len() != b.Len() {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a.Xs {
+		if a.Ys[i] != b.Ys[i] || !equalSlice(a.Xs[i], b.Xs[i]) {
+			t.Fatalf("nondeterministic generation at %d", i)
+		}
+	}
+	c, _ := p.Generate(5, 2, 43)
+	if equalSlice(a.Xs[0], c.Xs[0]) {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+func TestImageGenerateShape(t *testing.T) {
+	p := FashionMNISTLike()
+	train, test := p.Generate(7, 3, 1)
+	if train.Len() != 70 || test.Len() != 30 {
+		t.Fatalf("sizes %d/%d", train.Len(), test.Len())
+	}
+	if train.InputDim != 784 || train.NumClasses != 10 {
+		t.Fatal("schema wrong")
+	}
+	h := train.LabelHistogram(10)
+	for c, n := range h {
+		if n != 7 {
+			t.Fatalf("class %d has %d train examples, want 7", c, n)
+		}
+	}
+}
+
+func TestConfusablePrototypesAreClose(t *testing.T) {
+	p := MNISTLike() // confusable pair {4, 9}
+	root := rng.New(42)
+	protos := p.prototypes(root.Child(0))
+	d49 := math.Sqrt(tensor.SquaredDistance(protos[4], protos[9]))
+	d40 := math.Sqrt(tensor.SquaredDistance(protos[4], protos[0]))
+	if d49 >= d40 {
+		t.Fatalf("confusable pair distance %v not smaller than unrelated pair %v", d49, d40)
+	}
+}
+
+func TestNoisyClassHasHigherSpread(t *testing.T) {
+	p := MNISTLike() // class 9 noise-boosted
+	train, _ := p.Generate(200, 1, 7)
+	spread := func(class int) float64 {
+		byC := groupByClass(train.Subset, 10)[class]
+		mean := make([]float64, p.Dim)
+		for _, x := range byC.Xs {
+			tensor.Axpy(1/float64(byC.Len()), x, mean)
+		}
+		s := 0.0
+		for _, x := range byC.Xs {
+			s += tensor.SquaredDistance(x, mean)
+		}
+		return s / float64(byC.Len())
+	}
+	if spread(9) <= spread(0)*1.2 {
+		t.Fatalf("noise boost not visible: spread(9)=%v spread(0)=%v", spread(9), spread(0))
+	}
+}
+
+func TestOneClassPerArea(t *testing.T) {
+	p := MNISTLike()
+	train, test := p.Generate(30, 10, 5)
+	f := OneClassPerArea(train, test, 3, 99)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumAreas() != 10 || f.ClientsPerArea() != 3 {
+		t.Fatalf("areas=%d clients=%d", f.NumAreas(), f.ClientsPerArea())
+	}
+	for e, a := range f.Areas {
+		for _, y := range a.Train.Ys {
+			if y != e {
+				t.Fatalf("area %d contains class %d", e, y)
+			}
+		}
+		for _, y := range a.Test.Ys {
+			if y != e {
+				t.Fatalf("area %d test contains class %d", e, y)
+			}
+		}
+		if a.Train.Len() != 30 || a.Test.Len() != 10 {
+			t.Fatalf("area %d sizes %d/%d", e, a.Train.Len(), a.Test.Len())
+		}
+	}
+}
+
+func TestSimilarityPartition(t *testing.T) {
+	p := MNISTLike()
+	train, test := p.Generate(60, 20, 5)
+	f := Similarity(train, test, 10, 3, 0.5, 100, 7)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumAreas() != 10 {
+		t.Fatalf("areas=%d", f.NumAreas())
+	}
+	// With s=0.5 areas must be heterogeneous: the max class share should
+	// exceed the uniform 10% substantially in most areas.
+	skewed := 0
+	for _, a := range f.Areas {
+		h := a.Train.LabelHistogram(10)
+		maxShare := 0.0
+		for _, n := range h {
+			if share := float64(n) / float64(a.Train.Len()); share > maxShare {
+				maxShare = share
+			}
+		}
+		if maxShare > 0.3 {
+			skewed++
+		}
+	}
+	if skewed < 7 {
+		t.Fatalf("only %d/10 areas are skewed under s=0.5", skewed)
+	}
+}
+
+func TestSimilarityExtremes(t *testing.T) {
+	p := MNISTLike()
+	train, test := p.Generate(60, 20, 5)
+	// s=1: fully i.i.d. — every area should see most classes.
+	f := Similarity(train, test, 10, 3, 1.0, 100, 7)
+	for e, a := range f.Areas {
+		h := a.Train.LabelHistogram(10)
+		present := 0
+		for _, n := range h {
+			if n > 0 {
+				present++
+			}
+		}
+		if present < 7 {
+			t.Fatalf("s=1 area %d sees only %d classes", e, present)
+		}
+	}
+	// s=0: fully sorted — each area should be dominated by few classes.
+	f0 := Similarity(train, test, 10, 3, 0.0, 100, 7)
+	for e, a := range f0.Areas {
+		h := a.Train.LabelHistogram(10)
+		present := 0
+		for _, n := range h {
+			if n > 0 {
+				present++
+			}
+		}
+		if present > 3 {
+			t.Fatalf("s=0 area %d sees %d classes, want <= 3", e, present)
+		}
+	}
+}
+
+func TestSimilarityTestSetsMirrorTrainMixture(t *testing.T) {
+	p := MNISTLike()
+	train, test := p.Generate(60, 30, 5)
+	f := Similarity(train, test, 10, 3, 0.0, 200, 7)
+	for e, a := range f.Areas {
+		trainH := a.Train.LabelHistogram(10)
+		testH := a.Test.LabelHistogram(10)
+		for c := range trainH {
+			trainShare := float64(trainH[c]) / float64(a.Train.Len())
+			testShare := float64(testH[c]) / float64(a.Test.Len())
+			if math.Abs(trainShare-testShare) > 0.15 {
+				t.Fatalf("area %d class %d train share %v vs test share %v", e, c, trainShare, testShare)
+			}
+		}
+	}
+}
+
+func TestDirichletPartition(t *testing.T) {
+	p := MNISTLike()
+	train, test := p.Generate(100, 20, 5)
+	f := Dirichlet(train, test, 5, 2, 0.3, 50, 3)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumAreas() != 5 {
+		t.Fatalf("areas=%d", f.NumAreas())
+	}
+}
+
+func TestGenerateAdult(t *testing.T) {
+	cfg := DefaultAdult()
+	cfg.TrainPerArea = 600
+	cfg.TestPerArea = 200
+	f := GenerateAdult(cfg, 3, 11)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumAreas() != 2 || f.NumClasses != 2 || f.InputDim != cfg.InputDim() {
+		t.Fatal("adult schema wrong")
+	}
+	// Minority area must be smaller.
+	if f.Areas[1].Train.Len() >= f.Areas[0].Train.Len() {
+		t.Fatalf("minority area has %d >= majority %d", f.Areas[1].Train.Len(), f.Areas[0].Train.Len())
+	}
+	// One-hot structure: exactly NumCategorical ones per example.
+	for _, x := range f.Areas[0].Train.Xs[:10] {
+		ones := 0
+		for _, v := range x {
+			if v == 1 {
+				ones++
+			} else if v != 0 {
+				t.Fatal("non-binary feature in one-hot encoding")
+			}
+		}
+		if ones != cfg.NumCategorical {
+			t.Fatalf("%d ones, want %d", ones, cfg.NumCategorical)
+		}
+	}
+	// Both labels must occur in both groups.
+	for e := 0; e < 2; e++ {
+		h := f.Areas[e].Train.LabelHistogram(2)
+		if h[0] == 0 || h[1] == 0 {
+			t.Fatalf("area %d is single-label: %v", e, h)
+		}
+	}
+}
+
+func TestGenerateLiSynthetic(t *testing.T) {
+	cfg := DefaultLiSynthetic()
+	cfg.NumDevices = 20
+	cfg.MeanSamples = 50
+	cfg.TestPer = 30
+	f := GenerateLiSynthetic(cfg, 2, 13)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumAreas() != 20 || f.InputDim != 60 || f.NumClasses != 10 {
+		t.Fatal("synthetic schema wrong")
+	}
+	// Device sizes must vary (log-normal).
+	sizes := map[int]bool{}
+	for _, a := range f.Areas {
+		sizes[a.Train.Len()] = true
+	}
+	if len(sizes) < 5 {
+		t.Fatalf("device sizes suspiciously uniform: %d distinct", len(sizes))
+	}
+	// Heterogeneity: label distributions must differ across devices.
+	h0 := f.Areas[0].Train.LabelHistogram(10)
+	different := false
+	for _, a := range f.Areas[1:] {
+		h := a.Train.LabelHistogram(10)
+		for c := range h {
+			f0 := float64(h0[c]) / float64(f.Areas[0].Train.Len())
+			f1 := float64(h[c]) / float64(a.Train.Len())
+			if math.Abs(f0-f1) > 0.2 {
+				different = true
+			}
+		}
+	}
+	if !different {
+		t.Fatal("LiSynthetic devices look i.i.d.")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	p := MNISTLike()
+	train, test := p.Generate(10, 5, 5)
+	f := OneClassPerArea(train, test, 2, 1)
+	f.Areas[0].Train.Ys[0] = 99
+	if err := f.Validate(); err == nil {
+		t.Fatal("Validate missed out-of-range label")
+	}
+	f2 := OneClassPerArea(train, test, 2, 1)
+	f2.Areas[3].Clients[0] = Subset{}
+	if err := f2.Validate(); err == nil {
+		t.Fatal("Validate missed empty client shard")
+	}
+}
+
+func TestFederationPanicsUneven(t *testing.T) {
+	f := &Federation{Areas: []AreaData{
+		{Clients: make([]Subset, 2)},
+		{Clients: make([]Subset, 3)},
+	}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for uneven areas")
+		}
+	}()
+	f.ClientsPerArea()
+}
+
+func TestDirichletSamplerIsDistribution(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 100; trial++ {
+		p := dirichlet(r, 6, 0.5)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 {
+				t.Fatalf("negative Dirichlet component %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("Dirichlet sums to %v", sum)
+		}
+	}
+}
+
+func TestGammaSampleMean(t *testing.T) {
+	r := rng.New(6)
+	for _, alpha := range []float64{0.5, 1, 2, 5} {
+		const n = 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += gammaSample(r, alpha)
+		}
+		mean := sum / n
+		if math.Abs(mean-alpha) > 0.1*alpha+0.05 {
+			t.Fatalf("Gamma(%v) sample mean %v", alpha, mean)
+		}
+	}
+}
+
+func equalSlice(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGenerateValidatesProfile(t *testing.T) {
+	for _, bad := range []ImageProfile{
+		{Name: "x", Dim: 8, Classes: 4, Confusable: [][2]int{{1, 9}}},
+		{Name: "x", Dim: 8, Classes: 4, NoisyClasses: []int{7}},
+		{Name: "x", Dim: 0, Classes: 4},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("profile %+v accepted", bad)
+				}
+			}()
+			bad.Generate(1, 1, 1)
+		}()
+	}
+}

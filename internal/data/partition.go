@@ -1,0 +1,250 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// OneClassPerArea assigns the training data of class e to edge area e,
+// reproducing the §6.1 heterogeneity ("we assign one distinct class of
+// training data to the clients of each edge area"). The number of areas
+// must equal the number of classes. Each area's test set is that class's
+// test data, so worst-case accuracy is worst-class accuracy.
+func OneClassPerArea(train, test Dataset, clientsPerArea int, seed uint64) *Federation {
+	if train.NumClasses != test.NumClasses || train.InputDim != test.InputDim {
+		panic("data: train/test schema mismatch")
+	}
+	numAreas := train.NumClasses
+	byClassTrain := groupByClass(train.Subset, numAreas)
+	byClassTest := groupByClass(test.Subset, numAreas)
+	root := rng.New(seed)
+	f := &Federation{
+		Name:       train.Name + "/one-class-per-area",
+		NumClasses: train.NumClasses,
+		InputDim:   train.InputDim,
+		Areas:      make([]AreaData, numAreas),
+	}
+	for e := 0; e < numAreas; e++ {
+		areaTrain := shuffled(byClassTrain[e], root.Child(uint64(e)))
+		f.Areas[e] = AreaData{
+			Clients: splitAmongClients(areaTrain, clientsPerArea),
+			Train:   areaTrain,
+			Test:    byClassTest[e],
+		}
+	}
+	return f
+}
+
+// Similarity partitions data as in Karimireddy et al. [15] (used in
+// §6.2): each edge area receives s·100% i.i.d. data and the remaining
+// (1-s)·100% from a contiguous block of the label-sorted corpus, so lower
+// s means stronger heterogeneity. The per-area test set mirrors the
+// area's training label mixture by resampling from the test corpus, so
+// worst-area test accuracy measures performance on that area's actual
+// distribution.
+func Similarity(train, test Dataset, numAreas, clientsPerArea int, s float64, testPerArea int, seed uint64) *Federation {
+	if s < 0 || s > 1 {
+		panic("data: similarity s must be in [0,1]")
+	}
+	if train.NumClasses != test.NumClasses || train.InputDim != test.InputDim {
+		panic("data: train/test schema mismatch")
+	}
+	root := rng.New(seed)
+	n := train.Len()
+	perArea := n / numAreas
+	if perArea == 0 {
+		panic("data: fewer training examples than areas")
+	}
+	iidPer := int(s * float64(perArea))
+	sortedPer := perArea - iidPer
+
+	// Shuffle once, take the i.i.d. pool off the front, sort the rest by
+	// label for the contiguous heterogeneous blocks.
+	perm := root.Child(1).Perm(n)
+	iidNeeded := iidPer * numAreas
+	iidPool := perm[:iidNeeded]
+	rest := append([]int(nil), perm[iidNeeded:]...)
+	sort.SliceStable(rest, func(a, b int) bool { return train.Ys[rest[a]] < train.Ys[rest[b]] })
+
+	byClassTest := groupByClass(test.Subset, test.NumClasses)
+
+	f := &Federation{
+		Name:       fmt.Sprintf("%s/similarity(s=%.0f%%)", train.Name, s*100),
+		NumClasses: train.NumClasses,
+		InputDim:   train.InputDim,
+		Areas:      make([]AreaData, numAreas),
+	}
+	for e := 0; e < numAreas; e++ {
+		var areaTrain Subset
+		for _, idx := range iidPool[e*iidPer : (e+1)*iidPer] {
+			areaTrain.Append(train.Xs[idx], train.Ys[idx])
+		}
+		for _, idx := range rest[e*sortedPer : (e+1)*sortedPer] {
+			areaTrain.Append(train.Xs[idx], train.Ys[idx])
+		}
+		areaTrain = shuffled(areaTrain, root.ChildN(2, uint64(e)))
+		areaTest := resampleByHistogram(byClassTest, areaTrain.LabelHistogram(train.NumClasses), testPerArea, root.ChildN(3, uint64(e)))
+		f.Areas[e] = AreaData{
+			Clients: splitAmongClients(areaTrain, clientsPerArea),
+			Train:   areaTrain,
+			Test:    areaTest,
+		}
+	}
+	return f
+}
+
+// Dirichlet partitions data with per-area class proportions drawn from a
+// symmetric Dirichlet(alpha) distribution — the other standard federated
+// heterogeneity model; small alpha means near-one-class areas. Provided
+// for ablations beyond the paper's two schemes.
+func Dirichlet(train, test Dataset, numAreas, clientsPerArea int, alpha float64, testPerArea int, seed uint64) *Federation {
+	if alpha <= 0 {
+		panic("data: Dirichlet alpha must be positive")
+	}
+	root := rng.New(seed)
+	byClassTrain := groupByClass(train.Subset, train.NumClasses)
+	byClassTest := groupByClass(test.Subset, test.NumClasses)
+	// Per-class cursors walk each class pool once so areas partition it.
+	cursors := make([]int, train.NumClasses)
+	f := &Federation{
+		Name:       fmt.Sprintf("%s/dirichlet(a=%g)", train.Name, alpha),
+		NumClasses: train.NumClasses,
+		InputDim:   train.InputDim,
+		Areas:      make([]AreaData, numAreas),
+	}
+	perArea := train.Len() / numAreas
+	for e := 0; e < numAreas; e++ {
+		r := root.ChildN(4, uint64(e))
+		props := dirichlet(r, train.NumClasses, alpha)
+		var areaTrain Subset
+		hist := make([]int, train.NumClasses)
+		for c := 0; c < train.NumClasses; c++ {
+			take := int(props[c] * float64(perArea))
+			pool := byClassTrain[c]
+			for k := 0; k < take && cursors[c] < pool.Len(); k++ {
+				areaTrain.Append(pool.Xs[cursors[c]], pool.Ys[cursors[c]])
+				hist[c]++
+				cursors[c]++
+			}
+		}
+		if areaTrain.Len() == 0 {
+			// Degenerate draw: give the area one example of a random class.
+			c := r.Intn(train.NumClasses)
+			pool := byClassTrain[c]
+			idx := cursors[c] % pool.Len()
+			areaTrain.Append(pool.Xs[idx], pool.Ys[idx])
+			hist[c]++
+		}
+		areaTrain = shuffled(areaTrain, r.Child(9))
+		f.Areas[e] = AreaData{
+			Clients: splitAmongClients(areaTrain, clientsPerArea),
+			Train:   areaTrain,
+			Test:    resampleByHistogram(byClassTest, hist, testPerArea, r.Child(10)),
+		}
+	}
+	return f
+}
+
+// groupByClass splits s into one subset per class.
+func groupByClass(s Subset, numClasses int) []Subset {
+	out := make([]Subset, numClasses)
+	for i, y := range s.Ys {
+		if y < 0 || y >= numClasses {
+			panic(fmt.Sprintf("data: label %d outside [0,%d)", y, numClasses))
+		}
+		out[y].Append(s.Xs[i], y)
+	}
+	return out
+}
+
+// shuffled returns a permuted copy of s.
+func shuffled(s Subset, r *rng.Stream) Subset {
+	perm := r.Perm(s.Len())
+	var out Subset
+	out.Xs = make([][]float64, 0, s.Len())
+	out.Ys = make([]int, 0, s.Len())
+	for _, i := range perm {
+		out.Append(s.Xs[i], s.Ys[i])
+	}
+	return out
+}
+
+// resampleByHistogram draws total examples from byClass pools with class
+// proportions matching hist (with replacement inside a class pool).
+func resampleByHistogram(byClass []Subset, hist []int, total int, r *rng.Stream) Subset {
+	sum := 0
+	for _, h := range hist {
+		sum += h
+	}
+	var out Subset
+	if sum == 0 {
+		return out
+	}
+	for c, h := range hist {
+		if h == 0 || byClass[c].Len() == 0 {
+			continue
+		}
+		take := int(float64(total)*float64(h)/float64(sum) + 0.5)
+		if take == 0 && h > 0 {
+			take = 1
+		}
+		for k := 0; k < take; k++ {
+			j := r.Intn(byClass[c].Len())
+			out.Append(byClass[c].Xs[j], c)
+		}
+	}
+	return out
+}
+
+// dirichlet draws one sample from a symmetric Dirichlet(alpha) via
+// normalized Gamma(alpha, 1) variates (Marsaglia–Tsang for alpha >= 1,
+// boosted for alpha < 1).
+func dirichlet(r *rng.Stream, k int, alpha float64) []float64 {
+	out := make([]float64, k)
+	sum := 0.0
+	for i := range out {
+		out[i] = gammaSample(r, alpha)
+		sum += out[i]
+	}
+	if sum == 0 {
+		for i := range out {
+			out[i] = 1 / float64(k)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+func gammaSample(r *rng.Stream, alpha float64) float64 {
+	if alpha < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return gammaSample(r, alpha+1) * math.Pow(u, 1/alpha)
+	}
+	d := alpha - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fingerprint reduces an example to a comparable key.
+func fingerprint(x []float64, y int) [3]float64 {
+	s := 0.0
+	for i, v := range x {
+		s += v * float64(i+1)
+	}
+	return [3]float64{float64(y), float64(len(x)), s}
+}
+
+func multiset(s Subset) map[[3]float64]int {
+	m := map[[3]float64]int{}
+	for i := range s.Xs {
+		m[fingerprint(s.Xs[i], s.Ys[i])]++
+	}
+	return m
+}
+
+// Property: OneClassPerArea partitions the training corpus exactly — no
+// example lost, duplicated, or invented — and client shards partition
+// each area's training set.
+func TestOneClassPartitionPreservesMultiset(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		seed := uint64(seedRaw)
+		p := MNISTLike()
+		p.Dim = 8
+		p.Classes = 4
+		p.Confusable = [][2]int{{1, 3}}
+		p.NoisyClasses = []int{3}
+		train, test := p.Generate(12, 5, seed)
+		fed := OneClassPerArea(train, test, 3, seed+1)
+
+		whole := multiset(train.Subset)
+		var rebuilt map[[3]float64]int
+		rebuilt = map[[3]float64]int{}
+		for _, a := range fed.Areas {
+			for k, v := range multiset(a.Train) {
+				rebuilt[k] += v
+			}
+			// Client shards partition the area's train set.
+			shardSum := map[[3]float64]int{}
+			for _, c := range a.Clients {
+				for k, v := range multiset(c) {
+					shardSum[k] += v
+				}
+			}
+			areaSet := multiset(a.Train)
+			if len(shardSum) != len(areaSet) {
+				return false
+			}
+			for k, v := range areaSet {
+				if shardSum[k] != v {
+					return false
+				}
+			}
+		}
+		if len(rebuilt) != len(whole) {
+			return false
+		}
+		for k, v := range whole {
+			if rebuilt[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Similarity partitions the training corpus exactly across
+// areas for any s in [0, 1].
+func TestSimilarityPartitionPreservesCount(t *testing.T) {
+	f := func(seedRaw uint16, sRaw uint8) bool {
+		seed := uint64(seedRaw)
+		s := float64(sRaw%11) / 10 // 0.0 .. 1.0
+		p := MNISTLike()
+		p.Dim = 8
+		train, test := p.Generate(20, 5, seed)
+		fed := Similarity(train, test, 5, 2, s, 30, seed+1)
+		total := 0
+		for _, a := range fed.Areas {
+			total += a.Train.Len()
+		}
+		// Rounding can strand at most numAreas examples from the i.i.d.
+		// split; nothing may be duplicated or invented.
+		return total <= train.Len() && total >= train.Len()-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every Similarity area train example appears in the original
+// corpus (no invention), for arbitrary s.
+func TestSimilarityExamplesComeFromCorpus(t *testing.T) {
+	p := MNISTLike()
+	p.Dim = 8
+	train, test := p.Generate(20, 5, 3)
+	whole := multiset(train.Subset)
+	for _, s := range []float64{0, 0.3, 0.7, 1} {
+		fed := Similarity(train, test, 5, 2, s, 30, 9)
+		for _, a := range fed.Areas {
+			for k, v := range multiset(a.Train) {
+				if whole[k] < v {
+					t.Fatalf("s=%v: area example not in corpus (or duplicated)", s)
+				}
+			}
+		}
+	}
+}

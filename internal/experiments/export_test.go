@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readCSV(t *testing.T, path string) [][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestFigExport(t *testing.T) {
+	dir := t.TempDir()
+	res := &FigResult{
+		Name:        "fig-test",
+		TargetWorst: 0.5,
+		ToTarget:    map[AlgorithmName]int{HierMinimax: 10},
+		Final:       map[AlgorithmName]Summary{HierMinimax: {Average: 0.9, Worst: 0.7, Variance: 3}},
+		Series: []Series{{
+			Algorithm:   HierMinimax,
+			Rounds:      []int{0, 10},
+			CloudRounds: []int64{0, 40},
+			Average:     []float64{0.1, 0.9},
+			Worst:       []float64{0, 0.7},
+		}},
+	}
+	var out bytes.Buffer
+	if err := Export(res, &out, dir, "fig-test"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig-test") {
+		t.Fatal("render missing from output")
+	}
+	rows := readCSV(t, filepath.Join(dir, "fig-test.csv"))
+	if len(rows) != 3 { // header + 2 points
+		t.Fatalf("csv rows: %d", len(rows))
+	}
+	if rows[0][0] != "algorithm" || rows[2][3] != "0.9" {
+		t.Fatalf("csv content: %v", rows)
+	}
+	var back FigResult
+	raw, err := os.ReadFile(filepath.Join(dir, "fig-test.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "fig-test" || len(back.Series) != 1 || back.Series[0].Worst[1] != 0.7 {
+		t.Fatalf("json round trip: %+v", back)
+	}
+}
+
+func TestTable2Export(t *testing.T) {
+	dir := t.TempDir()
+	res := &Table2Result{Rows: []Table2Row{
+		{Dataset: "d1", Method: HierFAvg, Average: 0.8, Worst: 0.5, Variance: 100},
+		{Dataset: "d1", Method: HierMinimax, Average: 0.79, Worst: 0.6, Variance: 40},
+	}}
+	if err := res.WriteFiles(dir, "t2"); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(dir, "t2.csv"))
+	if len(rows) != 3 || rows[2][1] != "HierMinimax" {
+		t.Fatalf("csv: %v", rows)
+	}
+}
+
+func TestTradeoffExport(t *testing.T) {
+	dir := t.TempDir()
+	res := &TradeoffResult{TotalSlots: 100, Points: []TradeoffPoint{
+		{Alpha: 0, Tau1: 1, Tau2: 1, Rounds: 100, CloudRounds: 400, DualityGap: 0.1},
+		{Alpha: 0.5, Tau1: 3, Tau2: 3, Rounds: 11, CloudRounds: 44, DualityGap: 0.5},
+	}}
+	if err := res.WriteFiles(dir, "t1"); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(dir, "t1.csv"))
+	if len(rows) != 3 || rows[1][0] != "0" || rows[2][5] != "0.5" {
+		t.Fatalf("csv: %v", rows)
+	}
+}
+
+func TestAblationExport(t *testing.T) {
+	dir := t.TempDir()
+	res := &AblationResult{Rows: []AblationRow{
+		{Study: "A1", Variant: "v1", Summary: Summary{Average: 0.9}, CloudRounds: 10, UplinkMB: 2.5},
+	}}
+	if err := res.WriteFiles(dir, "abl"); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(dir, "abl.csv"))
+	if len(rows) != 2 || rows[1][6] != "2.5" {
+		t.Fatalf("csv: %v", rows)
+	}
+}
+
+func TestExportNoDir(t *testing.T) {
+	var out bytes.Buffer
+	res := &Table2Result{}
+	if err := Export(res, &out, "", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("no render output")
+	}
+}
+
+func TestExportCreatesDir(t *testing.T) {
+	base := t.TempDir()
+	dir := filepath.Join(base, "nested", "artifacts")
+	res := &Table2Result{Rows: []Table2Row{{Dataset: "d", Method: HierFAvg}}}
+	var out bytes.Buffer
+	if err := Export(res, &out, dir, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "x.csv")); err != nil {
+		t.Fatal("csv not created in nested dir")
+	}
+}
+
+func TestFigExportWritesSVGs(t *testing.T) {
+	dir := t.TempDir()
+	res := &FigResult{
+		Name: "fig-svg",
+		Series: []Series{{
+			Algorithm:   HierMinimax,
+			Rounds:      []int{0, 10, 20},
+			CloudRounds: []int64{0, 40, 80},
+			Average:     []float64{0.1, 0.5, 0.9},
+			Worst:       []float64{0, 0.3, 0.7},
+		}},
+		ToTarget: map[AlgorithmName]int{},
+		Final:    map[AlgorithmName]Summary{},
+	}
+	if err := res.WriteFiles(dir, "fig-svg"); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{"-average.svg", "-worst.svg"} {
+		raw, err := os.ReadFile(filepath.Join(dir, "fig-svg"+suffix))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(raw), "<svg") || !strings.Contains(string(raw), "HierMinimax") {
+			t.Fatalf("%s incomplete", suffix)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/fl"
+)
+
+// Series is one algorithm's accuracy trajectory: the data behind one
+// curve of Fig. 3 or Fig. 4.
+type Series struct {
+	Algorithm   AlgorithmName
+	Rounds      []int   // training rounds at each snapshot
+	CloudRounds []int64 // cumulative cloud-link rounds
+	Average     []float64
+	Worst       []float64
+}
+
+// FigResult is one figure reproduction: all five curves plus the
+// rounds-to-target headline comparison the paper reports in prose.
+type FigResult struct {
+	Name        string
+	Series      []Series
+	TargetWorst float64
+	// ToTarget[algo] is the first training round whose worst accuracy
+	// reaches TargetWorst (0 = never reached within the run).
+	ToTarget map[AlgorithmName]int
+	// Final holds each algorithm's last-snapshot summary.
+	Final map[AlgorithmName]Summary
+}
+
+// Summary is the (average, worst, variance) triple of §6.
+type Summary struct {
+	Average, Worst, Variance float64
+}
+
+// runAlgorithm dispatches to the right engine.
+func runAlgorithm(algo AlgorithmName, prob *fl.Problem, cfg fl.Config) (*fl.Result, error) {
+	switch algo {
+	case FedAvg:
+		return baselines.FedAvg(prob, cfg)
+	case StochasticAFL:
+		return baselines.StochasticAFL(prob, cfg)
+	case DRFA:
+		return baselines.DRFA(prob, cfg)
+	case HierFAvg:
+		return baselines.HierFAvg(prob, cfg)
+	case HierMinimax:
+		return core.HierMinimax(prob, cfg)
+	}
+	return nil, fmt.Errorf("experiments: unknown algorithm %q", algo)
+}
+
+// AllAlgorithms lists the five methods in the paper's presentation order.
+var AllAlgorithms = []AlgorithmName{FedAvg, StochasticAFL, DRFA, HierFAvg, HierMinimax}
+
+// RunFigure runs every algorithm on the setup and assembles the figure
+// data. The federation is shared (read-only) across runs; the model
+// prototype is cloned per run.
+func RunFigure(setup FigSetup, algos []AlgorithmName) (*FigResult, error) {
+	res := &FigResult{
+		Name:        setup.Name,
+		TargetWorst: setup.TargetWorst,
+		ToTarget:    make(map[AlgorithmName]int),
+		Final:       make(map[AlgorithmName]Summary),
+	}
+	for _, algo := range algos {
+		prob := fl.NewProblem(setup.Fed, setup.Model.Clone())
+		cfg := configFor(setup.Base, algo)
+		out, err := runAlgorithm(algo, prob, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %w", algo, setup.Name, err)
+		}
+		s := Series{Algorithm: algo}
+		for _, snap := range out.History.Snapshots {
+			s.Rounds = append(s.Rounds, snap.Round)
+			s.CloudRounds = append(s.CloudRounds, snap.CloudRounds())
+			s.Average = append(s.Average, snap.Fair.Average)
+			s.Worst = append(s.Worst, snap.Fair.Worst)
+		}
+		res.Series = append(res.Series, s)
+		res.ToTarget[algo] = sustainedCrossing(s, setup.TargetWorst)
+		f := out.History.Final().Fair
+		res.Final[algo] = Summary{Average: f.Average, Worst: f.Worst, Variance: f.Variance}
+	}
+	return res, nil
+}
+
+// SetupFig3 exposes the Fig. 3 workload construction (used by the bench
+// harness to run one algorithm at a time).
+func SetupFig3(scale Scale, seed uint64) FigSetup { return convexSetup(scale, seed) }
+
+// SetupFig4 exposes the Fig. 4 workload construction.
+func SetupFig4(scale Scale, seed uint64) FigSetup { return nonConvexSetup(scale, seed) }
+
+// sustainedCrossing returns the first round whose worst accuracy reaches
+// target AND stays there at the following snapshot (a single noisy spike
+// above the target does not count), or 0 if never reached. The final
+// snapshot counts without a successor.
+func sustainedCrossing(s Series, target float64) int {
+	for i := 1; i < len(s.Rounds); i++ {
+		if s.Worst[i] < target {
+			continue
+		}
+		if i == len(s.Rounds)-1 || s.Worst[i+1] >= target {
+			return s.Rounds[i]
+		}
+	}
+	return 0
+}
+
+// Fig3 reproduces Figure 3 (convex loss, EMNIST-Digits substitute).
+func Fig3(scale Scale, seed uint64) (*FigResult, error) {
+	return RunFigure(convexSetup(scale, seed), AllAlgorithms)
+}
+
+// Fig4 reproduces Figure 4 (non-convex loss, Fashion-MNIST substitute).
+func Fig4(scale Scale, seed uint64) (*FigResult, error) {
+	return RunFigure(nonConvexSetup(scale, seed), AllAlgorithms)
+}
+
+// Render prints the figure data as aligned text: one block per curve
+// plus the rounds-to-target summary, mirroring how §6.1/§6.2 report the
+// result.
+func (r *FigResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", r.Name)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "\n%s (round: average / worst)\n", s.Algorithm)
+		for i := range s.Rounds {
+			fmt.Fprintf(&b, "  %6d: %.4f / %.4f\n", s.Rounds[i], s.Average[i], s.Worst[i])
+		}
+	}
+	fmt.Fprintf(&b, "\nRounds to reach %.0f%% worst accuracy:\n", 100*r.TargetWorst)
+	algos := make([]AlgorithmName, 0, len(r.ToTarget))
+	for a := range r.ToTarget {
+		algos = append(algos, a)
+	}
+	sort.Slice(algos, func(i, j int) bool { return algos[i] < algos[j] })
+	hmm := r.ToTarget[HierMinimax]
+	for _, a := range algos {
+		v := r.ToTarget[a]
+		if v == 0 {
+			fmt.Fprintf(&b, "  %-14s not reached\n", a)
+			continue
+		}
+		if a != HierMinimax && hmm > 0 {
+			fmt.Fprintf(&b, "  %-14s %6d  (HierMinimax reduction: %.0f%%)\n", a, v, 100*(1-float64(hmm)/float64(v)))
+		} else {
+			fmt.Fprintf(&b, "  %-14s %6d\n", a, v)
+		}
+	}
+	fmt.Fprintf(&b, "\nFinal (average / worst / variance):\n")
+	for _, a := range algos {
+		f := r.Final[a]
+		fmt.Fprintf(&b, "  %-14s %.4f / %.4f / %.4f\n", a, f.Average, f.Worst, f.Variance)
+	}
+	return b.String()
+}

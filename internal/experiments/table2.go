@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/fl"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// Table2Row is one (dataset, method) cell group of Table 2.
+type Table2Row struct {
+	Dataset  string
+	Method   AlgorithmName
+	Average  float64
+	Worst    float64 // worst-10% for Synthetic, per §6.3
+	Variance float64
+}
+
+// Table2Result reproduces Table 2: HierFAvg vs HierMinimax on five
+// datasets, reporting average / worst / variance of per-area accuracy.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// table2Workload is one dataset row's setup.
+type table2Workload struct {
+	name      string
+	fed       *data.Federation
+	model     model.Model
+	cfg       fl.Config
+	worstFrac float64 // 1.0 = plain worst; 0.1 = worst-10% (Synthetic)
+}
+
+// table2Workloads builds the five datasets of Table 2 at the given
+// scale. Learning rates follow §6.1/§6.3 scaled to the run length.
+func table2Workloads(scale Scale, seed uint64) []table2Workload {
+	p := convexParamsFor(scale)
+	base := p.base(seed)
+	var out []table2Workload
+
+	// Three image datasets, logistic regression, one class per area.
+	for _, profile := range []data.ImageProfile{data.EMNISTDigitsLike(), data.FashionMNISTLike(), data.MNISTLike()} {
+		profile.Dim = p.dim
+		train, test := profile.Generate(p.perTrain, p.perTest, seed)
+		fed := data.OneClassPerArea(train, test, 3, seed+1)
+		out = append(out, table2Workload{
+			name:      profile.Name,
+			fed:       fed,
+			model:     model.NewLinear(p.dim, profile.Classes),
+			cfg:       base,
+			worstFrac: 1,
+		})
+	}
+
+	// Adult: 2 edge areas (Doctorate / non-Doctorate), eta_p one decade
+	// below eta_w as in §6.3.
+	adultCfg := base
+	adultCfg.SampledEdges = 2
+	adultCfg.EtaP = p.etaP / 2
+	adult := data.DefaultAdult()
+	if scale == Smoke {
+		adult.TrainPerArea, adult.TestPerArea = 600, 200
+	}
+	adultFed := data.GenerateAdult(adult, 3, seed+2)
+	out = append(out, table2Workload{
+		name:      "adult",
+		fed:       adultFed,
+		model:     model.NewLinear(adult.InputDim(), 2),
+		cfg:       adultCfg,
+		worstFrac: 1,
+	})
+
+	// Synthetic (Li et al.): 100 edge areas, worst-10% accuracy.
+	synth := data.DefaultLiSynthetic()
+	if scale == Smoke {
+		synth.NumDevices, synth.MeanSamples, synth.TestPer = 30, 40, 20
+	}
+	synthCfg := base
+	synthCfg.SampledEdges = synth.NumDevices / 4
+	synthCfg.EtaW = p.etaW / 2
+	synthCfg.EtaP = p.etaP / 2
+	synthFed := data.GenerateLiSynthetic(synth, 2, seed+3)
+	out = append(out, table2Workload{
+		name:      "synthetic",
+		fed:       synthFed,
+		model:     model.NewLinear(synth.Dim, synth.Classes),
+		cfg:       synthCfg,
+		worstFrac: 0.1,
+	})
+	return out
+}
+
+// Table2 runs HierFAvg and HierMinimax on all five datasets.
+func Table2(scale Scale, seed uint64) (*Table2Result, error) {
+	res := &Table2Result{}
+	for _, w := range table2Workloads(scale, seed) {
+		for _, algo := range []AlgorithmName{HierFAvg, HierMinimax} {
+			prob := fl.NewProblem(w.fed, w.model.Clone())
+			out, err := runAlgorithm(algo, prob, w.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table2 %s/%s: %w", w.name, algo, err)
+			}
+			final := out.History.Final()
+			worst := final.Fair.Worst
+			if w.worstFrac < 1 {
+				worst = metrics.WorstK(final.Areas.Accuracy, w.worstFrac)
+			}
+			res.Rows = append(res.Rows, Table2Row{
+				Dataset:  w.name,
+				Method:   algo,
+				Average:  final.Fair.Average,
+				Worst:    worst,
+				Variance: final.Fair.Variance,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render prints Table 2 in the paper's layout.
+func (t *Table2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Table 2: HierFAvg vs HierMinimax ==\n")
+	fmt.Fprintf(&b, "%-22s %-13s %9s %9s %10s\n", "Dataset", "Method", "Average", "Worst", "Variance")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-22s %-13s %9.4f %9.4f %10.4f\n", r.Dataset, string(r.Method), r.Average, r.Worst, r.Variance)
+	}
+	return b.String()
+}
+
+// Row returns the row for (dataset, method), or nil.
+func (t *Table2Result) Row(dataset string, method AlgorithmName) *Table2Row {
+	for i := range t.Rows {
+		if t.Rows[i].Dataset == dataset && t.Rows[i].Method == method {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}

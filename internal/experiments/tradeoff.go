@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/fl"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/optim"
+)
+
+// TradeoffPoint is one alpha on the communication/convergence curve of
+// Table 1 and §5.1: tau1*tau2 ~ T^alpha local work per round, so
+// edge-cloud communication is Theta(T^{1-alpha}) while the duality-gap
+// bound degrades to O(1/T^{(1-alpha)/2}).
+type TradeoffPoint struct {
+	Alpha       float64
+	Tau1, Tau2  int
+	Rounds      int // K = T / (tau1*tau2)
+	CloudRounds int64
+	DualityGap  float64
+	FinalWorst  float64
+	FinalAvg    float64
+}
+
+// TradeoffResult is the empirical companion to Table 1 for HierMinimax
+// with convex loss.
+type TradeoffResult struct {
+	TotalSlots int
+	Points     []TradeoffPoint
+}
+
+// Tradeoff sweeps alpha at a fixed slot budget T, using the learning
+// rates prescribed after Theorem 1, and measures the realized duality
+// gap (Eq. 8) of the averaged iterates against the spent edge-cloud
+// communication.
+func Tradeoff(scale Scale, seed uint64) (*TradeoffResult, error) {
+	var T, perTrain, perTest, dim int
+	switch scale {
+	case Smoke:
+		T, perTrain, perTest, dim = 768, 40, 20, 32
+	case Small:
+		T, perTrain, perTest, dim = 8192, 120, 60, 64
+	default:
+		T, perTrain, perTest, dim = 65536, 300, 100, 128
+	}
+	profile := data.EMNISTDigitsLike()
+	profile.Dim = dim
+	train, test := profile.Generate(perTrain, perTest, seed)
+	fed := data.OneClassPerArea(train, test, 3, seed+1)
+
+	res := &TradeoffResult{TotalSlots: T}
+	for _, alpha := range []float64{0, 0.25, 0.5, 0.75} {
+		tau1, tau2 := optim.TausForAlpha(T, alpha)
+		rounds := T / (tau1 * tau2)
+		if rounds < 1 {
+			rounds = 1
+		}
+		sched := optim.ConvexSchedule(T, alpha, 3.0, 0.05)
+		prob := fl.NewProblem(fed, model.NewLinear(dim, profile.Classes))
+		cfg := fl.Config{
+			Rounds: rounds, Tau1: tau1, Tau2: tau2,
+			EtaW: sched.EtaW, EtaP: sched.EtaP,
+			BatchSize: 4, LossBatch: 16,
+			SampledEdges: 5, Seed: seed,
+			TrackAverages: true,
+		}
+		out, err := core.HierMinimax(prob, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: tradeoff alpha=%g: %w", alpha, err)
+		}
+		gap := metrics.DualityGap(prob.Model, out.WHat, out.PHat, fed, prob.W, prob.P, 200, sched.EtaW)
+		final := out.History.Final().Fair
+		res.Points = append(res.Points, TradeoffPoint{
+			Alpha: alpha, Tau1: tau1, Tau2: tau2, Rounds: rounds,
+			CloudRounds: out.Ledger.CloudRounds(),
+			DualityGap:  gap,
+			FinalWorst:  final.Worst,
+			FinalAvg:    final.Average,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the sweep as a table.
+func (t *TradeoffResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Table 1 companion: communication/convergence trade-off (T=%d slots) ==\n", t.TotalSlots)
+	fmt.Fprintf(&b, "%6s %5s %5s %7s %12s %12s %10s %10s\n",
+		"alpha", "tau1", "tau2", "K", "cloudRounds", "dualityGap", "finalAvg", "finalWorst")
+	for _, p := range t.Points {
+		fmt.Fprintf(&b, "%6.2f %5d %5d %7d %12d %12.4f %10.4f %10.4f\n",
+			p.Alpha, p.Tau1, p.Tau2, p.Rounds, p.CloudRounds, p.DualityGap, p.FinalAvg, p.FinalWorst)
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package fl
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/topology"
+)
+
+// Checkpoint captures the cloud-side training state after a round. The
+// determinism contract makes resumption exact: every round derives its
+// randomness from (Seed, round index) alone, so continuing from a
+// checkpoint reproduces the uninterrupted run bit for bit — asserted in
+// tests. WSum/WCount/PSum carry the iterate-averaging accumulators so
+// TrackAverages survives a restart too.
+type Checkpoint struct {
+	Algorithm string
+	Round     int
+	W, P      []float64
+	WSum      []float64
+	WCount    float64
+	PSum      []float64
+	Ledger    topology.LedgerSnapshot
+}
+
+// Save writes the checkpoint with encoding/gob.
+func (c *Checkpoint) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(c)
+}
+
+// LoadCheckpoint reads a checkpoint written by Save.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("fl: decode checkpoint: %w", err)
+	}
+	return &c, nil
+}
+
+// checkpointOf snapshots the run state after `round` completed rounds.
+func checkpointOf(algorithm string, round int, st *State) *Checkpoint {
+	c := &Checkpoint{
+		Algorithm: algorithm,
+		Round:     round,
+		W:         append([]float64(nil), st.W...),
+		P:         append([]float64(nil), st.P...),
+		WCount:    st.WCount,
+		Ledger:    st.Ledger.Snapshot(),
+	}
+	if st.WSum != nil {
+		c.WSum = append([]float64(nil), st.WSum...)
+		c.PSum = append([]float64(nil), st.PSum...)
+	}
+	return c
+}
+
+// restore loads a checkpoint into the run state, returning the round to
+// continue from.
+func (st *State) restore(c *Checkpoint) (startRound int, err error) {
+	if len(c.W) != len(st.W) {
+		return 0, fmt.Errorf("fl: checkpoint has %d parameters, problem wants %d", len(c.W), len(st.W))
+	}
+	if len(c.P) != len(st.P) {
+		return 0, fmt.Errorf("fl: checkpoint has %d weights, problem wants %d", len(c.P), len(st.P))
+	}
+	copy(st.W, c.W)
+	copy(st.P, c.P)
+	st.WCount = c.WCount
+	if st.WSum != nil {
+		if c.WSum == nil {
+			return 0, fmt.Errorf("fl: checkpoint lacks iterate accumulators required by TrackAverages")
+		}
+		copy(st.WSum, c.WSum)
+		copy(st.PSum, c.PSum)
+	}
+	// Replay the ledger totals.
+	for link := topology.Link(0); int(link) < len(c.Ledger.Rounds); link++ {
+		for i := int64(0); i < c.Ledger.Rounds[link]; i++ {
+			st.Ledger.RecordRound(link, 0, 0)
+		}
+		msgs := c.Ledger.Messages[link]
+		bytes := c.Ledger.Bytes[link]
+		if msgs > 0 {
+			st.Ledger.RecordMessage(link, bytes)
+			for i := int64(1); i < msgs; i++ {
+				st.Ledger.RecordMessage(link, 0)
+			}
+		}
+	}
+	return c.Round, nil
+}

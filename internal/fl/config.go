@@ -1,0 +1,109 @@
+package fl
+
+import (
+	"fmt"
+
+	"repro/internal/quant"
+)
+
+// Config controls one training run. The zero value is not runnable; call
+// WithDefaults or fill the required fields (Rounds, EtaW).
+type Config struct {
+	// Rounds is K, the number of training rounds (one w update and one p
+	// update each).
+	Rounds int
+	// Tau1 is the number of local SGD steps per client-edge aggregation;
+	// Tau2 is the number of client-edge aggregations per round. Two-layer
+	// algorithms ignore Tau2 (treat it as 1).
+	Tau1, Tau2 int
+	// EtaW and EtaP are the learning rates of Eq. (4) and Eq. (7).
+	EtaW, EtaP float64
+	// BatchSize is the local SGD mini-batch size; LossBatch is the
+	// per-client mini-batch for Phase-2 loss estimation.
+	BatchSize, LossBatch int
+	// SampledEdges is m_E, the number of edge servers sampled in each
+	// phase. Two-layer algorithms sample SampledEdges*N0 clients so all
+	// five algorithms touch the same amount of data per round.
+	SampledEdges int
+	// Seed drives every random choice of the run.
+	Seed uint64
+	// EvalEvery takes an evaluation snapshot every this many rounds
+	// (plus one before training and one after the last round). 0 means
+	// only initial and final snapshots.
+	EvalEvery int
+	// Sequential forces the single-goroutine reference engine; when
+	// false, independent slots run on parallel workers (identical
+	// results by the determinism contract).
+	Sequential bool
+	// TrackAverages maintains the time-averaged iterates (wHat, pHat)
+	// that the convex analysis evaluates (Eq. 8). Costs one extra
+	// d-vector accumulation per local step.
+	TrackAverages bool
+	// Quantizer, when non-nil, compresses every uplink model transfer
+	// (client->edge and edge->cloud); the A3 ablation. nil means exact
+	// float64 uplinks.
+	Quantizer quant.Quantizer
+	// DropoutProb is the probability that a sampled slot (Phase 1) or
+	// sampled edge (Phase 2) silently fails for the round; failure
+	// injection for the robustness tests. 0 disables.
+	DropoutProb float64
+	// CheckpointOff replaces the random-checkpoint model of Phase 2 with
+	// the end-of-round model (the A1 ablation; breaks the unbiasedness
+	// the analysis relies on but is the "obvious" simpler design).
+	CheckpointOff bool
+}
+
+// WithDefaults fills unset optional fields.
+func (c Config) WithDefaults() Config {
+	if c.Tau1 == 0 {
+		c.Tau1 = 1
+	}
+	if c.Tau2 == 0 {
+		c.Tau2 = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 1
+	}
+	if c.LossBatch == 0 {
+		c.LossBatch = c.BatchSize
+	}
+	if c.SampledEdges == 0 {
+		c.SampledEdges = 1
+	}
+	if c.EtaP == 0 {
+		c.EtaP = c.EtaW
+	}
+	return c
+}
+
+// Validate checks the configuration against a problem.
+func (c Config) Validate(p *Problem) error {
+	if c.Rounds <= 0 {
+		return fmt.Errorf("fl: Rounds must be positive, got %d", c.Rounds)
+	}
+	if c.Tau1 <= 0 || c.Tau2 <= 0 {
+		return fmt.Errorf("fl: Tau1/Tau2 must be positive, got %d/%d", c.Tau1, c.Tau2)
+	}
+	if c.EtaW <= 0 {
+		return fmt.Errorf("fl: EtaW must be positive, got %g", c.EtaW)
+	}
+	if c.EtaP < 0 {
+		return fmt.Errorf("fl: EtaP must be non-negative, got %g", c.EtaP)
+	}
+	if c.BatchSize <= 0 || c.LossBatch <= 0 {
+		return fmt.Errorf("fl: batch sizes must be positive")
+	}
+	if c.SampledEdges <= 0 || c.SampledEdges > p.Fed.NumAreas() {
+		return fmt.Errorf("fl: SampledEdges %d outside [1,%d]", c.SampledEdges, p.Fed.NumAreas())
+	}
+	if c.DropoutProb < 0 || c.DropoutProb >= 1 {
+		return fmt.Errorf("fl: DropoutProb %g outside [0,1)", c.DropoutProb)
+	}
+	return nil
+}
+
+// SlotsPerRound returns tau1*tau2, the local SGD slots per round.
+func (c Config) SlotsPerRound() int { return c.Tau1 * c.Tau2 }
+
+// TotalSlots returns T = K*tau1*tau2.
+func (c Config) TotalSlots() int { return c.Rounds * c.SlotsPerRound() }

@@ -1,0 +1,298 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/simplex"
+	"repro/internal/tensor"
+	"repro/internal/topology"
+)
+
+func toyShard(seed uint64, n int) data.Subset {
+	r := rng.New(seed)
+	var s data.Subset
+	for i := 0; i < n; i++ {
+		x := make([]float64, 4)
+		r.Fill(x, 0.3)
+		y := i % 2
+		x[y] += 2
+		s.Append(x, y)
+	}
+	return s
+}
+
+func TestLocalSGDDoesNotMutateStart(t *testing.T) {
+	m := model.NewLinear(4, 2)
+	w0 := make([]float64, m.Dim())
+	rng.New(1).Fill(w0, 0.1)
+	orig := append([]float64(nil), w0...)
+	shard := toyShard(2, 20)
+	LocalSGD(m, w0, shard, 5, 2, 0.1, simplex.FullSpace{Dim: m.Dim()}, rng.New(3), 0, nil)
+	for i := range w0 {
+		if w0[i] != orig[i] {
+			t.Fatal("LocalSGD mutated w0")
+		}
+	}
+}
+
+func TestLocalSGDCheckpointSemantics(t *testing.T) {
+	m := model.NewLinear(4, 2)
+	w0 := make([]float64, m.Dim())
+	shard := toyShard(2, 20)
+	W := simplex.FullSpace{Dim: m.Dim()}
+	// chkAt == steps: checkpoint equals the final iterate.
+	wf, wc := LocalSGD(m, w0, shard, 5, 2, 0.1, W, rng.New(3), 5, nil)
+	if wc == nil {
+		t.Fatal("no checkpoint at chkAt=steps")
+	}
+	for i := range wf {
+		if wf[i] != wc[i] {
+			t.Fatal("checkpoint at last step differs from final")
+		}
+	}
+	// chkAt = 2 equals running only 2 steps with the same stream.
+	_, wc2 := LocalSGD(m, w0, shard, 5, 2, 0.1, W, rng.New(3), 2, nil)
+	short, _ := LocalSGD(m, w0, shard, 2, 2, 0.1, W, rng.New(3), 0, nil)
+	for i := range short {
+		if wc2[i] != short[i] {
+			t.Fatal("mid-run checkpoint differs from prefix run")
+		}
+	}
+	// chkAt = 0: no checkpoint.
+	_, wc0 := LocalSGD(m, w0, shard, 5, 2, 0.1, W, rng.New(3), 0, nil)
+	if wc0 != nil {
+		t.Fatal("unexpected checkpoint")
+	}
+}
+
+func TestLocalSGDIterSum(t *testing.T) {
+	m := model.NewLinear(4, 2)
+	w0 := make([]float64, m.Dim())
+	rng.New(9).Fill(w0, 0.2)
+	shard := toyShard(2, 20)
+	sum := make([]float64, m.Dim())
+	LocalSGD(m, w0, shard, 1, 2, 0.1, simplex.FullSpace{Dim: m.Dim()}, rng.New(3), 0, sum)
+	// One step: the only accumulated iterate is w^(0) = w0.
+	for i := range sum {
+		if sum[i] != w0[i] {
+			t.Fatal("iterSum after one step must equal w0")
+		}
+	}
+}
+
+func TestLocalSGDDeterministicInStream(t *testing.T) {
+	m := model.NewLinear(4, 2)
+	w0 := make([]float64, m.Dim())
+	shard := toyShard(2, 20)
+	W := simplex.FullSpace{Dim: m.Dim()}
+	a, _ := LocalSGD(m, w0, shard, 8, 2, 0.1, W, rng.New(42), 0, nil)
+	b, _ := LocalSGD(m.Clone(), w0, shard, 8, 2, 0.1, W, rng.New(42), 0, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same stream, different trajectory")
+		}
+	}
+}
+
+func TestLocalSGDProjects(t *testing.T) {
+	m := model.NewLinear(4, 2)
+	w0 := make([]float64, m.Dim())
+	shard := toyShard(2, 20)
+	ball := simplex.Ball{Radius: 0.01}
+	wf, _ := LocalSGD(m, w0, shard, 10, 2, 1.0, ball, rng.New(3), 0, nil)
+	if tensor.Norm2(wf) > 0.01+1e-9 {
+		t.Fatalf("iterate escaped W: %v", tensor.Norm2(wf))
+	}
+}
+
+func TestAreaLossEstimate(t *testing.T) {
+	m := model.NewLinear(4, 2)
+	w := make([]float64, m.Dim())
+	shard := toyShard(5, 40)
+	area := data.AreaData{Clients: []data.Subset{shard, shard}, Train: shard, Test: shard}
+	// Zero model: every mini-batch loss is exactly ln 2.
+	got := AreaLossEstimate(m, w, area, 4, rng.New(1))
+	if math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Fatalf("loss estimate %v, want ln 2", got)
+	}
+}
+
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	c := Config{Rounds: 10, EtaW: 0.1}.WithDefaults()
+	if c.Tau1 != 1 || c.Tau2 != 1 || c.BatchSize != 1 || c.LossBatch != 1 || c.SampledEdges != 1 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if c.EtaP != c.EtaW {
+		t.Fatal("EtaP should default to EtaW")
+	}
+	if c.SlotsPerRound() != 1 || c.TotalSlots() != 10 {
+		t.Fatal("slot math wrong")
+	}
+
+	fed := tinyFed()
+	prob := NewProblem(fed, model.NewLinear(4, 2))
+	bad := []Config{
+		{Rounds: 0, EtaW: 0.1},
+		{Rounds: 1, EtaW: -1},
+		{Rounds: 1, EtaW: 0.1, EtaP: -0.1},
+		{Rounds: 1, EtaW: 0.1, SampledEdges: 5},
+		{Rounds: 1, EtaW: 0.1, DropoutProb: 1.0},
+	}
+	for i, b := range bad {
+		if err := b.WithDefaults().Validate(prob); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+	good := Config{Rounds: 1, EtaW: 0.1}.WithDefaults()
+	if err := good.Validate(prob); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func tinyFed() *data.Federation {
+	shard := toyShard(1, 10)
+	return &data.Federation{
+		Name: "tiny", NumClasses: 2, InputDim: 4,
+		Areas: []data.AreaData{
+			{Clients: []data.Subset{shard}, Train: shard, Test: shard},
+			{Clients: []data.Subset{shard}, Train: shard, Test: shard},
+		},
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	fed := tinyFed()
+	if err := NewProblem(fed, model.NewLinear(4, 2)).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewProblem(fed, model.NewLinear(5, 2)).Validate(); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if err := NewProblem(fed, model.NewLinear(4, 3)).Validate(); err == nil {
+		t.Fatal("class mismatch accepted")
+	}
+	if err := (&Problem{}).Validate(); err == nil {
+		t.Fatal("empty problem accepted")
+	}
+}
+
+func TestRunLifecycle(t *testing.T) {
+	prob := NewProblem(tinyFed(), model.NewLinear(4, 2))
+	calls := 0
+	res, err := Run("test", prob, Config{Rounds: 6, EtaW: 0.1, EvalEvery: 2, TrackAverages: true}, func(k int, st *State) {
+		if k != calls {
+			t.Fatalf("round order broken: got %d want %d", k, calls)
+		}
+		calls++
+		// Simulate some work moving w.
+		st.W[0] += 0.1
+		st.P[0] += 0.01
+		st.Prob.P.Project(st.P)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 6 {
+		t.Fatalf("round fn called %d times", calls)
+	}
+	// Snapshots: round 0, 2, 4, 6 (final not duplicated).
+	rounds := []int{}
+	for _, s := range res.History.Snapshots {
+		rounds = append(rounds, s.Round)
+	}
+	want := []int{0, 2, 4, 6}
+	if len(rounds) != len(want) {
+		t.Fatalf("snapshot rounds %v", rounds)
+	}
+	for i := range want {
+		if rounds[i] != want[i] {
+			t.Fatalf("snapshot rounds %v", rounds)
+		}
+	}
+	// p starts uniform (recorded at round 0).
+	p0 := res.History.Snapshots[0].P
+	if p0[0] != 0.5 || p0[1] != 0.5 {
+		t.Fatalf("p^(0) = %v", p0)
+	}
+	// PHat is the average of p^(0..K-1) and stays in the simplex.
+	if res.PHat == nil {
+		t.Fatal("TrackAverages did not produce PHat")
+	}
+	sum := res.PHat[0] + res.PHat[1]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PHat sums to %v", sum)
+	}
+}
+
+func TestRunRejectsInvalid(t *testing.T) {
+	prob := NewProblem(tinyFed(), model.NewLinear(4, 2))
+	if _, err := Run("x", prob, Config{Rounds: 0, EtaW: 1}, func(int, *State) {}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestHistoryQueries(t *testing.T) {
+	h := History{Snapshots: []Snapshot{
+		{Round: 0, Fair: fair(0.1, 0.0)},
+		{Round: 1, Fair: fair(0.5, 0.3), Ledger: ledgerWith(10)},
+		{Round: 2, Fair: fair(0.8, 0.6), Ledger: ledgerWith(20)},
+		{Round: 3, Fair: fair(0.9, 0.5), Ledger: ledgerWith(30)},
+	}}
+	if r, ok := h.RoundsToWorst(0.6); !ok || r != 20 {
+		t.Fatalf("RoundsToWorst = %d, %v", r, ok)
+	}
+	if _, ok := h.RoundsToWorst(0.95); ok {
+		t.Fatal("unreached target reported reached")
+	}
+	if r, ok := h.RoundsToAverage(0.5); !ok || r != 10 {
+		t.Fatalf("RoundsToAverage = %d, %v", r, ok)
+	}
+	if h.BestWorst() != 0.6 {
+		t.Fatalf("BestWorst = %v", h.BestWorst())
+	}
+	if h.Final().Round != 3 {
+		t.Fatal("Final wrong")
+	}
+}
+
+func fair(avg, worst float64) metrics.Fairness {
+	return metrics.Fairness{Average: avg, Worst: worst}
+}
+
+func ledgerWith(cloudRounds int64) topology.LedgerSnapshot {
+	var s topology.LedgerSnapshot
+	s.Rounds[topology.EdgeCloud] = cloudRounds
+	return s
+}
+
+func TestForEachBothModes(t *testing.T) {
+	for _, seq := range []bool{true, false} {
+		cfg := Config{Sequential: seq}
+		out := make([]int, 20)
+		cfg.ForEach(20, func(i int) { out[i] = i * i })
+		for i := range out {
+			if out[i] != i*i {
+				t.Fatalf("seq=%v index %d not processed", seq, i)
+			}
+		}
+	}
+}
+
+func TestModelPoolReuse(t *testing.T) {
+	pool := NewModelPool(model.NewLinear(4, 2))
+	a := pool.Get()
+	pool.Put(a)
+	b := pool.Get()
+	if a != b {
+		t.Fatal("pool did not reuse the instance")
+	}
+	c := pool.Get() // empty pool: must clone
+	if c == b {
+		t.Fatal("pool handed out the same instance twice")
+	}
+}

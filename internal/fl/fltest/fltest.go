@@ -1,0 +1,59 @@
+// Package fltest builds small, fast problem instances shared by the
+// engine tests in internal/core, internal/baselines and internal/simnet.
+package fltest
+
+import (
+	"repro/internal/data"
+	"repro/internal/fl"
+	"repro/internal/model"
+)
+
+// ToyProfile is a 4-class, 10-feature prototype dataset in which class 3
+// is strictly the hardest (confusable with class 2 and noise-boosted), so
+// fairness interventions have a worst area to rescue.
+func ToyProfile() data.ImageProfile {
+	return data.ImageProfile{
+		Name: "toy", Dim: 10, Classes: 4,
+		Sep: 3.2, Noise: 1.0, ConfuseDist: 0.45,
+		Confusable:   [][2]int{{2, 3}},
+		NoisyClasses: []int{3}, NoiseBoost: 1.6,
+	}
+}
+
+// ToyProblem returns a 4-area, 2-clients-per-area convex problem on the
+// toy profile: one class per edge area, logistic regression.
+func ToyProblem(seed uint64) *fl.Problem {
+	return ToyProblemClients(seed, 2)
+}
+
+// ToyProblemClients is ToyProblem with a custom client count per area
+// (used by the multi-layer tests, whose trees need composite counts).
+func ToyProblemClients(seed uint64, clientsPerArea int) *fl.Problem {
+	train, test := ToyProfile().Generate(40, 40, seed)
+	fed := data.OneClassPerArea(train, test, clientsPerArea, seed+1)
+	return fl.NewProblem(fed, model.NewLinear(10, 4))
+}
+
+// ToyMLPProblem is the non-convex variant of ToyProblem.
+func ToyMLPProblem(seed uint64) *fl.Problem {
+	train, test := ToyProfile().Generate(40, 40, seed)
+	fed := data.OneClassPerArea(train, test, 2, seed+1)
+	return fl.NewProblem(fed, model.NewMLP(10, 12, 8, 4))
+}
+
+// ToyConfig returns a configuration that trains the toy problem to a
+// reasonable accuracy in well under a second.
+func ToyConfig() fl.Config {
+	return fl.Config{
+		Rounds:       200,
+		Tau1:         2,
+		Tau2:         2,
+		EtaW:         0.04,
+		EtaP:         0.0005,
+		BatchSize:    4,
+		LossBatch:    8,
+		SampledEdges: 2,
+		Seed:         7,
+		EvalEvery:    20,
+	}
+}

@@ -1,0 +1,50 @@
+package fl
+
+import (
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/optim"
+	"repro/internal/rng"
+	"repro/internal/simplex"
+	"repro/internal/tensor"
+)
+
+// LocalSGD runs `steps` projected SGD steps (Eq. 4) on one client's
+// shard, starting from a copy of w0 (w0 is not modified).
+//
+// If chkAt is in [1, steps], wChk is a copy of the iterate after chkAt
+// steps — the client-side checkpoint of Algorithm 1 Part (b); otherwise
+// wChk is nil.
+//
+// If iterSum is non-nil, every pre-step iterate w^(t) (t = 0..steps-1) is
+// accumulated into it, which is what the time-averaged wHat of the
+// convex analysis sums over.
+func LocalSGD(m model.Model, w0 []float64, shard data.Subset, steps, batch int, eta float64, W simplex.Set, r *rng.Stream, chkAt int, iterSum []float64) (wFinal, wChk []float64) {
+	w := append([]float64(nil), w0...)
+	grad := make([]float64, len(w0))
+	for t := 0; t < steps; t++ {
+		if iterSum != nil {
+			tensor.Axpy(1, w, iterSum)
+		}
+		xs, ys := shard.Sample(r, batch)
+		m.Grad(w, grad, xs, ys)
+		optim.SGDStep(w, grad, eta, W)
+		if t+1 == chkAt {
+			wChk = append([]float64(nil), w...)
+		}
+	}
+	return w, wChk
+}
+
+// AreaLossEstimate implements the LossEstimation procedure of Phase 2:
+// each client of the area evaluates the checkpoint model on a mini-batch
+// and the edge server averages the client estimates, yielding an
+// unbiased estimate of f_e(w).
+func AreaLossEstimate(m model.Model, w []float64, area data.AreaData, lossBatch int, r *rng.Stream) float64 {
+	total := 0.0
+	for c, shard := range area.Clients {
+		xs, ys := shard.Sample(r.Child(uint64(c)), lossBatch)
+		total += m.Loss(w, xs, ys)
+	}
+	return total / float64(len(area.Clients))
+}

@@ -1,0 +1,122 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Linear is multinomial (softmax) logistic regression: logits = W·x + b
+// with W ∈ R^{C×D}, b ∈ R^C. Cross-entropy in these parameters is convex,
+// matching the convex-loss experiments of §6.1 (7850 parameters for
+// D=784, C=10, as in the paper's EMNIST setup).
+type Linear struct {
+	in, classes int
+	// scratch
+	logits, dlogits []float64
+}
+
+// NewLinear returns a logistic-regression model for inputDim features and
+// numClasses classes.
+func NewLinear(inputDim, numClasses int) *Linear {
+	if inputDim <= 0 || numClasses < 2 {
+		panic("model: invalid Linear dimensions")
+	}
+	return &Linear{
+		in:      inputDim,
+		classes: numClasses,
+		logits:  make([]float64, numClasses),
+		dlogits: make([]float64, numClasses),
+	}
+}
+
+// Dim returns C*D + C.
+func (l *Linear) Dim() int { return l.classes*l.in + l.classes }
+
+// InputDim returns the feature dimension D.
+func (l *Linear) InputDim() int { return l.in }
+
+// NumClasses returns C.
+func (l *Linear) NumClasses() int { return l.classes }
+
+// Name identifies the architecture.
+func (l *Linear) Name() string {
+	return fmt.Sprintf("logreg(%dx%d)", l.classes, l.in)
+}
+
+// Clone returns an independent instance with fresh scratch buffers.
+func (l *Linear) Clone() Model { return NewLinear(l.in, l.classes) }
+
+// Init zeroes the parameters; the convex problem needs no symmetry
+// breaking and zero init matches the common logistic-regression start.
+func (l *Linear) Init(w []float64, _ *rng.Stream) {
+	l.checkDim(w)
+	tensor.Zero(w)
+}
+
+// weights views w as the C×D weight matrix; bias views the trailing C
+// entries.
+func (l *Linear) weights(w []float64) *tensor.Matrix {
+	return tensor.MatrixFrom(w[:l.classes*l.in], l.classes, l.in)
+}
+
+func (l *Linear) bias(w []float64) []float64 {
+	return w[l.classes*l.in:]
+}
+
+func (l *Linear) forward(w, x []float64) {
+	W := l.weights(w)
+	copy(l.logits, l.bias(w))
+	for c := 0; c < l.classes; c++ {
+		l.logits[c] += tensor.Dot(W.Row(c), x)
+	}
+}
+
+// Loss returns the mean cross-entropy over the batch.
+func (l *Linear) Loss(w []float64, xs [][]float64, ys []int) float64 {
+	l.checkDim(w)
+	if len(xs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for i, x := range xs {
+		l.forward(w, x)
+		total += tensor.LogSumExp(l.logits) - l.logits[ys[i]]
+	}
+	return total / float64(len(xs))
+}
+
+// Grad writes the mean gradient into grad and returns the mean loss.
+func (l *Linear) Grad(w, grad []float64, xs [][]float64, ys []int) float64 {
+	l.checkDim(w)
+	l.checkDim(grad)
+	tensor.Zero(grad)
+	if len(xs) == 0 {
+		return 0
+	}
+	gW := l.weights(grad)
+	gb := l.bias(grad)
+	total := 0.0
+	inv := 1 / float64(len(xs))
+	for i, x := range xs {
+		l.forward(w, x)
+		total += crossEntropyFromLogits(l.dlogits, l.logits, ys[i])
+		// dW += inv * dlogits ⊗ x ; db += inv * dlogits
+		tensor.OuterAccum(inv, l.dlogits, x, gW)
+		tensor.Axpy(inv, l.dlogits, gb)
+	}
+	return total * inv
+}
+
+// Predict returns the argmax class for x.
+func (l *Linear) Predict(w []float64, x []float64) int {
+	l.forward(w, x)
+	return tensor.ArgMax(l.logits)
+}
+
+func (l *Linear) checkDim(w []float64) {
+	if len(w) != l.Dim() {
+		panic(fmt.Sprintf("model: Linear parameter length %d, want %d", len(w), l.Dim()))
+	}
+}

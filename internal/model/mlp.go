@@ -1,0 +1,162 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// MLP is a fully-connected network with two ReLU hidden layers and a
+// softmax cross-entropy head, matching the non-convex model of §6.2
+// (hidden sizes 300 and 100 → 266,610 parameters for D=784, C=10).
+//
+// Parameter layout (flat, in order):
+//
+//	W1 (H1×D) | b1 (H1) | W2 (H2×H1) | b2 (H2) | W3 (C×H2) | b3 (C)
+type MLP struct {
+	in, h1, h2, classes int
+	// Slice offsets into the flat parameter vector.
+	oW1, ob1, oW2, ob2, oW3, ob3, dim int
+	// Scratch buffers for one forward/backward pass.
+	z1, a1, z2, a2, logits []float64
+	dlogits, d2, d1        []float64
+}
+
+// NewMLP returns an MLP with the given layer sizes.
+func NewMLP(inputDim, hidden1, hidden2, numClasses int) *MLP {
+	if inputDim <= 0 || hidden1 <= 0 || hidden2 <= 0 || numClasses < 2 {
+		panic("model: invalid MLP dimensions")
+	}
+	m := &MLP{in: inputDim, h1: hidden1, h2: hidden2, classes: numClasses}
+	m.oW1 = 0
+	m.ob1 = m.oW1 + hidden1*inputDim
+	m.oW2 = m.ob1 + hidden1
+	m.ob2 = m.oW2 + hidden2*hidden1
+	m.oW3 = m.ob2 + hidden2
+	m.ob3 = m.oW3 + numClasses*hidden2
+	m.dim = m.ob3 + numClasses
+	m.z1 = make([]float64, hidden1)
+	m.a1 = make([]float64, hidden1)
+	m.z2 = make([]float64, hidden2)
+	m.a2 = make([]float64, hidden2)
+	m.logits = make([]float64, numClasses)
+	m.dlogits = make([]float64, numClasses)
+	m.d2 = make([]float64, hidden2)
+	m.d1 = make([]float64, hidden1)
+	return m
+}
+
+// Dim returns the total parameter count.
+func (m *MLP) Dim() int { return m.dim }
+
+// InputDim returns the feature dimension.
+func (m *MLP) InputDim() int { return m.in }
+
+// NumClasses returns the number of classes.
+func (m *MLP) NumClasses() int { return m.classes }
+
+// HiddenSizes returns the two hidden-layer widths.
+func (m *MLP) HiddenSizes() (h1, h2 int) { return m.h1, m.h2 }
+
+// Name identifies the architecture.
+func (m *MLP) Name() string {
+	return fmt.Sprintf("mlp(%d-%d-%d-%d)", m.in, m.h1, m.h2, m.classes)
+}
+
+// Clone returns an independent instance with fresh scratch buffers.
+func (m *MLP) Clone() Model { return NewMLP(m.in, m.h1, m.h2, m.classes) }
+
+// Init fills w with He-normal weights (std sqrt(2/fanIn), appropriate for
+// ReLU) and zero biases.
+func (m *MLP) Init(w []float64, r *rng.Stream) {
+	m.checkDim(w)
+	r.Fill(w[m.oW1:m.ob1], math.Sqrt(2/float64(m.in)))
+	tensor.Zero(w[m.ob1:m.oW2])
+	r.Fill(w[m.oW2:m.ob2], math.Sqrt(2/float64(m.h1)))
+	tensor.Zero(w[m.ob2:m.oW3])
+	r.Fill(w[m.oW3:m.ob3], math.Sqrt(2/float64(m.h2)))
+	tensor.Zero(w[m.ob3:])
+}
+
+func (m *MLP) mats(w []float64) (W1, W2, W3 *tensor.Matrix, b1, b2, b3 []float64) {
+	W1 = tensor.MatrixFrom(w[m.oW1:m.ob1], m.h1, m.in)
+	b1 = w[m.ob1:m.oW2]
+	W2 = tensor.MatrixFrom(w[m.oW2:m.ob2], m.h2, m.h1)
+	b2 = w[m.ob2:m.oW3]
+	W3 = tensor.MatrixFrom(w[m.oW3:m.ob3], m.classes, m.h2)
+	b3 = w[m.ob3:]
+	return
+}
+
+func (m *MLP) forward(w, x []float64) {
+	W1, W2, W3, b1, b2, b3 := m.mats(w)
+	copy(m.z1, b1)
+	tensor.Gemv(1, W1, x, 1, m.z1)
+	tensor.ReLU(m.a1, m.z1)
+	copy(m.z2, b2)
+	tensor.Gemv(1, W2, m.a1, 1, m.z2)
+	tensor.ReLU(m.a2, m.z2)
+	copy(m.logits, b3)
+	tensor.Gemv(1, W3, m.a2, 1, m.logits)
+}
+
+// Loss returns the mean cross-entropy over the batch.
+func (m *MLP) Loss(w []float64, xs [][]float64, ys []int) float64 {
+	m.checkDim(w)
+	if len(xs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for i, x := range xs {
+		m.forward(w, x)
+		total += tensor.LogSumExp(m.logits) - m.logits[ys[i]]
+	}
+	return total / float64(len(xs))
+}
+
+// Grad writes the mean gradient into grad and returns the mean loss.
+func (m *MLP) Grad(w, grad []float64, xs [][]float64, ys []int) float64 {
+	m.checkDim(w)
+	m.checkDim(grad)
+	tensor.Zero(grad)
+	if len(xs) == 0 {
+		return 0
+	}
+	_, W2, W3, _, _, _ := m.mats(w)
+	gW1, gW2, gW3, gb1, gb2, gb3 := m.mats(grad)
+	total := 0.0
+	inv := 1 / float64(len(xs))
+	for i, x := range xs {
+		m.forward(w, x)
+		total += crossEntropyFromLogits(m.dlogits, m.logits, ys[i])
+		// Backprop. dlogits = softmax - onehot.
+		// Layer 3: gW3 += inv * dlogits ⊗ a2 ; gb3 += inv * dlogits.
+		tensor.OuterAccum(inv, m.dlogits, m.a2, gW3)
+		tensor.Axpy(inv, m.dlogits, gb3)
+		// d2 = (W3^T dlogits) ⊙ relu'(z2)
+		tensor.GemvT(1, W3, m.dlogits, 0, m.d2)
+		tensor.ReLUGrad(m.d2, m.d2, m.z2)
+		tensor.OuterAccum(inv, m.d2, m.a1, gW2)
+		tensor.Axpy(inv, m.d2, gb2)
+		// d1 = (W2^T d2) ⊙ relu'(z1)
+		tensor.GemvT(1, W2, m.d2, 0, m.d1)
+		tensor.ReLUGrad(m.d1, m.d1, m.z1)
+		tensor.OuterAccum(inv, m.d1, x, gW1)
+		tensor.Axpy(inv, m.d1, gb1)
+	}
+	return total * inv
+}
+
+// Predict returns the argmax class for x.
+func (m *MLP) Predict(w []float64, x []float64) int {
+	m.forward(w, x)
+	return tensor.ArgMax(m.logits)
+}
+
+func (m *MLP) checkDim(w []float64) {
+	if len(w) != m.dim {
+		panic(fmt.Sprintf("model: MLP parameter length %d, want %d", len(w), m.dim))
+	}
+}

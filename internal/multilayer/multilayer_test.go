@@ -1,0 +1,210 @@
+package multilayer
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fl"
+	"repro/internal/fl/fltest"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/topology"
+)
+
+// threeLayer reduces the generalized config to the paper's Algorithm 1.
+func threeLayer(base fl.Config, n0, nE int) Config {
+	return Config{
+		Base:      base,
+		Branching: []int{n0, nE},
+		Taus:      []int{base.Tau1, base.Tau2},
+	}
+}
+
+func TestThreeLayerMatchesCoreBitwise(t *testing.T) {
+	cfg := fltest.ToyConfig()
+	cfg.Rounds = 50
+
+	ref, err := core.HierMinimax(fltest.ToyProblem(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := HierMinimax(fltest.ToyProblem(1), threeLayer(cfg, 2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.W {
+		if ref.W[i] != gen.W[i] {
+			t.Fatalf("w diverges at %d: %v vs %v", i, ref.W[i], gen.W[i])
+		}
+	}
+	for i := range ref.PWeights {
+		if ref.PWeights[i] != gen.PWeights[i] {
+			t.Fatalf("p diverges at %d", i)
+		}
+	}
+	if ref.Ledger != gen.Ledger {
+		t.Fatalf("ledgers differ:\ncore: %+v\ngen:  %+v", ref.Ledger, gen.Ledger)
+	}
+}
+
+func TestThreeLayerMatchesCoreWithCheckpointOff(t *testing.T) {
+	cfg := fltest.ToyConfig()
+	cfg.Rounds = 30
+	cfg.CheckpointOff = true
+	ref, err := core.HierMinimax(fltest.ToyProblem(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := HierMinimax(fltest.ToyProblem(1), threeLayer(cfg, 2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.W {
+		if ref.W[i] != gen.W[i] {
+			t.Fatalf("w diverges at %d", i)
+		}
+	}
+}
+
+func TestFourLayerLearns(t *testing.T) {
+	// 4 areas x (2 mid-tier nodes x 2 clients) = 4 clients per area.
+	prob := fltest.ToyProblemClients(1, 4)
+	cfg := Config{
+		Base:      fltest.ToyConfig(),
+		Branching: []int{2, 2, 4},
+		Taus:      []int{2, 2, 2},
+	}
+	res, err := HierMinimax(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "HierMinimax/4-layer" {
+		t.Fatalf("algorithm name %q", res.Algorithm)
+	}
+	if final := res.History.Final().Fair; final.Average < 0.75 {
+		t.Fatalf("4-layer run reached only %v", final.Average)
+	}
+	if !tensor.AllFinite(res.W) {
+		t.Fatal("non-finite parameters")
+	}
+	// The mid-tier boundary must carry traffic; client-edge and
+	// edge-cloud too.
+	if res.Ledger.Rounds[topology.MidTier] == 0 {
+		t.Fatal("4-layer run recorded no mid-tier rounds")
+	}
+	if res.Ledger.Rounds[topology.ClientEdge] == 0 || res.Ledger.Rounds[topology.EdgeCloud] == 0 {
+		t.Fatal("missing boundary traffic")
+	}
+}
+
+func TestFiveLayerLearns(t *testing.T) {
+	// 4 areas x (2 x 2 x 2) = 8 clients per area, 5 layers.
+	prob := fltest.ToyProblemClients(1, 8)
+	base := fltest.ToyConfig()
+	base.Rounds = 60 // 8 slots per round: same total slots as the toy config
+	cfg := Config{
+		Base:      base,
+		Branching: []int{2, 2, 2, 4},
+		Taus:      []int{1, 2, 2, 2},
+	}
+	res, err := HierMinimax(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := res.History.Final().Fair; final.Average < 0.7 {
+		t.Fatalf("5-layer run reached only %v", final.Average)
+	}
+}
+
+func TestDeeperTreeSavesRootCommunication(t *testing.T) {
+	// Same total SGD slots: the 4-layer tree with one more aggregation
+	// level does fewer rounds, so the root (edge-cloud) link carries
+	// fewer synchronization passes — the Theorem-1 trade-off extended
+	// by depth.
+	base := fltest.ToyConfig()
+	base.Rounds = 64 // 3-layer: 64 rounds x 4 slots = 256 slots
+	three, err := HierMinimax(fltest.ToyProblemClients(1, 4), Config{
+		Base:      base,
+		Branching: []int{4, 4},
+		Taus:      []int{2, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base4 := base
+	base4.Rounds = 32 // 4-layer: 32 rounds x 8 slots = 256 slots
+	four, err := HierMinimax(fltest.ToyProblemClients(1, 4), Config{
+		Base:      base4,
+		Branching: []int{2, 2, 4},
+		Taus:      []int{2, 2, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.Ledger.Rounds[topology.EdgeCloud] >= three.Ledger.Rounds[topology.EdgeCloud] {
+		t.Fatalf("deeper tree did not save root rounds: %d vs %d",
+			four.Ledger.Rounds[topology.EdgeCloud], three.Ledger.Rounds[topology.EdgeCloud])
+	}
+	// Both runs still learn.
+	if three.History.Final().Fair.Average < 0.7 || four.History.Final().Fair.Average < 0.7 {
+		t.Fatal("a run failed to learn")
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	c := Config{Branching: []int{2, 3, 5}, Taus: []int{2, 3, 4}}
+	if c.Layers() != 4 {
+		t.Fatalf("Layers = %d", c.Layers())
+	}
+	if c.SlotsPerRound() != 24 {
+		t.Fatalf("SlotsPerRound = %d", c.SlotsPerRound())
+	}
+	if c.LeavesPerArea() != 6 {
+		t.Fatalf("LeavesPerArea = %d", c.LeavesPerArea())
+	}
+	if c.leavesBelow(1) != 2 || c.leavesBelow(2) != 6 {
+		t.Fatal("leavesBelow wrong")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	prob := fltest.ToyProblem(1)
+	base := fltest.ToyConfig()
+	bad := []Config{
+		{Base: base}, // no branching
+		{Base: base, Branching: []int{2, 4}, Taus: []int{2}},    // len mismatch
+		{Base: base, Branching: []int{0, 4}, Taus: []int{2, 2}}, // zero branch
+		{Base: base, Branching: []int{2, 4}, Taus: []int{2, 0}}, // zero tau
+		{Base: base, Branching: []int{2, 5}, Taus: []int{2, 2}}, // wrong areas
+		{Base: base, Branching: []int{3, 4}, Taus: []int{2, 2}}, // wrong leaves
+	}
+	for i, c := range bad {
+		if _, err := HierMinimax(prob, c); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+	withQuant := base
+	withQuant.Quantizer = quant.Uniform{Bits: 8}
+	if _, err := HierMinimax(prob, threeLayer(withQuant, 2, 4)); err == nil {
+		t.Fatal("quantizer accepted")
+	}
+	withDrop := base
+	withDrop.DropoutProb = 0.5
+	if _, err := HierMinimax(prob, threeLayer(withDrop, 2, 4)); err == nil {
+		t.Fatal("dropout accepted")
+	}
+	withAvg := base
+	withAvg.TrackAverages = true
+	if _, err := HierMinimax(prob, threeLayer(withAvg, 2, 4)); err == nil {
+		t.Fatal("TrackAverages accepted")
+	}
+}
+
+func TestLinkClassification(t *testing.T) {
+	if linkFor(1) != topology.ClientEdge {
+		t.Fatal("level-1 boundary must be client-edge")
+	}
+	if linkFor(2) != topology.MidTier || linkFor(3) != topology.MidTier {
+		t.Fatal("inner boundaries must be mid-tier")
+	}
+}

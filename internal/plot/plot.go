@@ -1,0 +1,156 @@
+// Package plot renders line charts as standalone SVG files using only
+// the standard library, so the experiment harness can emit
+// publication-style figures (the visual counterpart of the paper's
+// Figs. 3-4) next to its CSV/JSON artifacts.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one polyline.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a 2D line chart.
+type Chart struct {
+	Title          string
+	XLabel, YLabel string
+	Series         []Series
+	// Width and Height in pixels; zero values default to 720x440.
+	Width, Height int
+	// YMin/YMax fix the y range when YFixed is true (e.g. accuracies in
+	// [0,1]); otherwise the range is fitted to the data.
+	YFixed     bool
+	YMin, YMax float64
+}
+
+// palette holds distinguishable line colors (Okabe-Ito).
+var palette = []string{
+	"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#000000",
+}
+
+// WriteSVG renders the chart. It returns an error only for structural
+// problems (no series, ragged series); io errors surface from w.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	width, height := c.Width, c.Height
+	if width == 0 {
+		width = 720
+	}
+	if height == 0 {
+		height = 440
+	}
+	const marginL, marginR, marginT, marginB = 64, 160, 40, 48
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q is ragged (%d x, %d y)", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("plot: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if c.YFixed {
+		yMin, yMax = c.YMin, c.YMax
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	px := func(x float64) float64 { return float64(marginL) + (x-xMin)/(xMax-xMin)*plotW }
+	py := func(y float64) float64 { return float64(marginT) + (1-(y-yMin)/(yMax-yMin))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="Helvetica,Arial,sans-serif">`+"\n", width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333" stroke-width="1"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333" stroke-width="1"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+
+	// Ticks and grid: 5 intervals per axis.
+	for i := 0; i <= 5; i++ {
+		fx := xMin + (xMax-xMin)*float64(i)/5
+		fy := yMin + (yMax-yMin)*float64(i)/5
+		gx, gy := px(fx), py(fy)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd" stroke-width="0.5"/>`+"\n",
+			gx, marginT, gx, height-marginB)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd" stroke-width="0.5"/>`+"\n",
+			marginL, gy, width-marginR, gy)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			gx, height-marginB+16, tick(fx))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, gy+4, tick(fy))
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		float64(marginL)+plotW/2, height-10, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-size="12" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		float64(marginT)+plotH/2, float64(marginT)+plotH/2, esc(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts strings.Builder
+		for i := range s.X {
+			if i > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f", px(s.X[i]), py(s.Y[i]))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n", pts.String(), color)
+		// Legend entry.
+		ly := marginT + 12 + si*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2.5"/>`+"\n",
+			width-marginR+10, ly, width-marginR+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n",
+			width-marginR+40, ly+4, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// tick formats an axis tick value compactly.
+func tick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 10000:
+		return fmt.Sprintf("%.0fk", v/1000)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// esc escapes XML-special characters in labels.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,125 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func chart() *Chart {
+	return &Chart{
+		Title:  "worst accuracy",
+		XLabel: "rounds",
+		YLabel: "accuracy",
+		Series: []Series{
+			{Name: "HierMinimax", X: []float64{0, 100, 200}, Y: []float64{0, 0.5, 0.8}},
+			{Name: "HierFAvg", X: []float64{0, 100, 200}, Y: []float64{0, 0.4, 0.6}},
+		},
+		YFixed: true, YMin: 0, YMax: 1,
+	}
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "HierMinimax", "HierFAvg", "worst accuracy", "rounds"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Two polylines for two series.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("polylines: %d", got)
+	}
+}
+
+func TestWriteSVGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Chart{Title: "empty"}).WriteSVG(&buf); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	ragged := chart()
+	ragged.Series[0].Y = ragged.Series[0].Y[:2]
+	if err := ragged.WriteSVG(&buf); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+	empty := chart()
+	empty.Series[0].X, empty.Series[0].Y = nil, nil
+	if err := empty.WriteSVG(&buf); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestWriteSVGDegenerateRanges(t *testing.T) {
+	// Constant x and y must not divide by zero.
+	c := &Chart{
+		Title:  "flat",
+		Series: []Series{{Name: "s", X: []float64{5, 5}, Y: []float64{1, 1}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("NaN leaked into the SVG")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	c := chart()
+	c.Title = `a < b & "c"`
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `a < b &`) {
+		t.Fatal("labels not escaped")
+	}
+}
+
+func TestTickFormats(t *testing.T) {
+	cases := map[float64]string{
+		25000: "25k",
+		300:   "300",
+		2.5:   "2.5",
+		0.31:  "0.31",
+	}
+	for v, want := range cases {
+		if got := tick(v); got != want {
+			t.Fatalf("tick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestManySeriesCycleColors(t *testing.T) {
+	c := &Chart{Title: "many"}
+	for i := 0; i < 10; i++ {
+		c.Series = append(c.Series, Series{
+			Name: "s",
+			X:    []float64{0, 1},
+			Y:    []float64{float64(i), float64(i + 1)},
+		})
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "<polyline") != 10 {
+		t.Fatal("missing polylines")
+	}
+}

@@ -1,0 +1,92 @@
+// Package quant implements stochastic uniform quantization of model
+// vectors, the uplink-compression extension of Hier-Local-QSGD (Liu et
+// al., IEEE TWC 2023 [22]) that the paper cites as the quantized
+// hierarchical counterpart of its setting. It is used by the A3 ablation
+// to show HierMinimax composes with compressed uplinks.
+package quant
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Quantizer compresses a vector in place, returning the number of bits
+// the compressed representation would occupy on the wire. The returned
+// vector is the dequantized value (what the receiver reconstructs).
+type Quantizer interface {
+	// Quantize replaces x with its dequantized compression and returns
+	// the wire size in bits.
+	Quantize(x []float64, r *rng.Stream) int64
+	// Name identifies the scheme for manifests.
+	Name() string
+}
+
+// None is the identity quantizer (64-bit floats on the wire).
+type None struct{}
+
+// Quantize is the identity; wire size is 64 bits per element.
+func (None) Quantize(x []float64, _ *rng.Stream) int64 {
+	return int64(len(x)) * 64
+}
+
+// Name returns "none".
+func (None) Name() string { return "none" }
+
+// Uniform is stochastic uniform quantization with 2^Bits levels over the
+// vector's [min, max] range. Rounding is randomized so the quantizer is
+// unbiased: E[Q(x)] = x. Wire size is Bits per element plus two float64
+// scalars (range).
+type Uniform struct {
+	Bits uint // levels = 2^Bits; must be in [1, 32]
+}
+
+// Quantize performs unbiased stochastic rounding onto the uniform grid.
+func (q Uniform) Quantize(x []float64, r *rng.Stream) int64 {
+	if q.Bits < 1 || q.Bits > 32 {
+		panic("quant: Bits outside [1,32]")
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	lo, hi := tensor.Min(x), tensor.Max(x)
+	levels := float64(uint64(1)<<q.Bits - 1)
+	if hi == lo {
+		// Constant vector: exact at any bit width.
+		return int64(len(x))*int64(q.Bits) + 128
+	}
+	scale := (hi - lo) / levels
+	for i, v := range x {
+		t := (v - lo) / scale
+		base := math.Floor(t)
+		frac := t - base
+		if r.Float64() < frac {
+			base++
+		}
+		if base > levels {
+			base = levels
+		}
+		x[i] = lo + base*scale
+	}
+	return int64(len(x))*int64(q.Bits) + 128
+}
+
+// Name returns e.g. "uniform-8bit".
+func (q Uniform) Name() string {
+	return "uniform-" + itoa(int(q.Bits)) + "bit"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,165 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// streams for reproducible distributed simulations.
+//
+// Every component of a simulated federated run (each client, each edge
+// server, each training round) draws from its own Stream derived from a
+// root seed by a stable key path. This makes trajectories independent of
+// scheduling order: the parallel and sequential engines consume identical
+// random sequences because each logical entity owns its stream.
+//
+// The generator is SplitMix64 (Steele, Lea, Flood; JPDC 2014), which has a
+// 64-bit state, passes BigCrush when used as specified, and — critically
+// for splitting — allows child streams to be derived by mixing a key into
+// the parent seed without correlating the sequences.
+package rng
+
+import "math"
+
+// Stream is a deterministic pseudo-random stream. The zero value is a
+// valid stream seeded with 0; prefer New for clarity.
+//
+// A Stream is NOT safe for concurrent use; derive one stream per
+// goroutine with Child.
+type Stream struct {
+	state uint64
+	// spare caches the second output of the polar Gaussian method.
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a Stream seeded from seed.
+func New(seed uint64) *Stream {
+	return &Stream{state: mix64(seed)}
+}
+
+// mix64 is the SplitMix64 output function, also used to hash seeds and
+// keys so that nearby seeds yield unrelated streams.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Child derives an independent stream keyed by key. Two children of the
+// same parent with different keys, and the parent itself, produce
+// unrelated sequences. Child does not advance the parent stream, so the
+// set of children is a pure function of the parent's seed.
+func (s *Stream) Child(key uint64) *Stream {
+	return &Stream{state: mix64(s.state ^ mix64(key^0xd1b54a32d192ed03))}
+}
+
+// ChildN derives an independent stream keyed by a path of keys, e.g.
+// (round, clientID).
+func (s *Stream) ChildN(keys ...uint64) *Stream {
+	c := s
+	for _, k := range keys {
+		c = c.Child(k)
+	}
+	return c
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 random bits.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	v := s.Uint64()
+	hi, lo := mul64(v, uint64(n))
+	if lo < uint64(n) {
+		thresh := uint64(-int64(n)) % uint64(n)
+		for lo < thresh {
+			v = s.Uint64()
+			hi, lo = mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// mul64 computes the 128-bit product of a and b.
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// NormFloat64 returns a standard normal variate via the Marsaglia polar
+// method, caching the spare deviate.
+func (s *Stream) NormFloat64() float64 {
+	if s.hasSpare {
+		s.hasSpare = false
+		return s.spare
+	}
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(q) / q)
+		s.spare = v * f
+		s.hasSpare = true
+		return u * f
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (s *Stream) Bernoulli(p float64) bool {
+	return s.Float64() < p
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes p in place (Fisher–Yates).
+func (s *Stream) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Fill overwrites dst with i.i.d. N(0, sigma^2) samples.
+func (s *Stream) Fill(dst []float64, sigma float64) {
+	for i := range dst {
+		dst[i] = sigma * s.NormFloat64()
+	}
+}
+
+// FillUniform overwrites dst with i.i.d. Uniform[lo, hi) samples.
+func (s *Stream) FillUniform(dst []float64, lo, hi float64) {
+	w := hi - lo
+	for i := range dst {
+		dst[i] = lo + w*s.Float64()
+	}
+}

@@ -1,0 +1,248 @@
+package simnet
+
+import (
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/fl"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/simplex"
+	"repro/internal/tensor"
+)
+
+// Protocol messages. Payload ownership transfers with the message: the
+// sender copies any buffer it keeps using.
+
+// trainReq asks a client to run local SGD from W.
+type trainReq struct {
+	W      []float64
+	Steps  int
+	Batch  int
+	ChkAt  int
+	Eta    float64
+	Stream *rng.Stream
+	Client int // client index within its area
+}
+
+// trainReply returns the client's final model, optional checkpoint, and
+// (when iterate tracking is on) the sum of visited iterates.
+type trainReply struct {
+	Client       int
+	WFinal, WChk []float64
+	IterSum      []float64
+}
+
+// lossReq asks a client for a mini-batch loss estimate of W.
+type lossReq struct {
+	W      []float64
+	Batch  int
+	Stream *rng.Stream
+	Client int
+}
+
+// lossReply returns the client's loss estimate.
+type lossReply struct {
+	Client int
+	Loss   float64
+}
+
+// edgeTrainReq asks an edge server to run ModelUpdate for one slot.
+type edgeTrainReq struct {
+	W      []float64
+	C1, C2 int
+	Slot   int
+	Stream *rng.Stream
+}
+
+// edgeTrainReply returns the slot's aggregated edge model and checkpoint.
+type edgeTrainReply struct {
+	Slot        int
+	WEdge, WChk []float64
+	IterSum     []float64
+	IterCount   float64
+}
+
+// edgeLossReq asks an edge server for its area loss estimate at W.
+type edgeLossReq struct {
+	W         []float64
+	Seq       int
+	LossBatch int
+	Stream    *rng.Stream
+}
+
+// edgeLossReply returns the edge's averaged loss estimate.
+type edgeLossReply struct {
+	Seq  int
+	Loss float64
+}
+
+// stopMsg terminates an actor loop.
+type stopMsg struct{}
+
+// clientActor owns one client's shard and model instance and serves
+// train and loss requests until stopped.
+type clientActor struct {
+	id    NodeID
+	net   *Network
+	inbox <-chan Message
+	shard data.Subset
+	model model.Model
+	wSet  simplex.Set
+	track bool // accumulate iterates for wHat
+}
+
+func (c *clientActor) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for msg := range c.inbox {
+		switch req := msg.Payload.(type) {
+		case trainReq:
+			var iterSum []float64
+			if c.track {
+				iterSum = make([]float64, len(req.W))
+			}
+			wf, wc := fl.LocalSGD(c.model, req.W, c.shard, req.Steps, req.Batch, req.Eta, c.wSet, req.Stream, req.ChkAt, iterSum)
+			c.net.Send(Message{
+				From: c.id, To: msg.From, Kind: "train-reply", Bytes: int64(len(wf)) * 8,
+				Payload: trainReply{Client: req.Client, WFinal: wf, WChk: wc, IterSum: iterSum},
+			})
+		case lossReq:
+			xs, ys := c.shard.Sample(req.Stream, req.Batch)
+			loss := c.model.Loss(req.W, xs, ys)
+			c.net.Send(Message{
+				From: c.id, To: msg.From, Kind: "loss-reply", Bytes: 8,
+				Payload: lossReply{Client: req.Client, Loss: loss},
+			})
+		case stopMsg:
+			return
+		default:
+			panic("simnet: client received unknown message kind " + msg.Kind)
+		}
+	}
+}
+
+// edgeActor owns one edge area: it fans ModelUpdate blocks out to its
+// client actors and aggregates their replies, mirroring core.ModelUpdate
+// exactly (same stream key derivations, same aggregation order).
+//
+// Requests from the cloud arrive on the actor's main inbox; replies from
+// clients arrive on a dedicated reply port, so a second queued cloud
+// request can never be swallowed by a reply-await loop.
+type edgeActor struct {
+	id      NodeID
+	port    NodeID // reply port clients answer to
+	net     *Network
+	inbox   <-chan Message
+	replies <-chan Message
+	clients []NodeID
+	tau1    int
+	tau2    int
+	batch   int
+	eta     float64
+	wSet    simplex.Set
+	track   bool
+}
+
+func (e *edgeActor) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for msg := range e.inbox {
+		switch req := msg.Payload.(type) {
+		case edgeTrainReq:
+			reply := e.modelUpdate(req)
+			e.net.Send(Message{
+				From: e.id, To: msg.From, Kind: "edge-train-reply",
+				Bytes: int64(len(reply.WEdge)) * 16, Payload: reply,
+			})
+		case edgeLossReq:
+			loss := e.lossEstimate(req)
+			e.net.Send(Message{
+				From: e.id, To: msg.From, Kind: "edge-loss-reply",
+				Bytes: 8, Payload: edgeLossReply{Seq: req.Seq, Loss: loss},
+			})
+		case stopMsg:
+			return
+		default:
+			panic("simnet: edge received unknown message kind " + msg.Kind)
+		}
+	}
+}
+
+// modelUpdate runs tau2 client-edge aggregation blocks by messaging the
+// area's clients.
+func (e *edgeActor) modelUpdate(req edgeTrainReq) edgeTrainReply {
+	n0 := len(e.clients)
+	we := req.W // ownership transferred with the message
+	var chkEdge []float64
+	var iterSum []float64
+	var iterCount float64
+	if e.track {
+		iterSum = make([]float64, len(we))
+	}
+	finals := make([][]float64, n0)
+	chks := make([][]float64, n0)
+	sums := make([][]float64, n0)
+	for t2 := 0; t2 < e.tau2; t2++ {
+		chkAt := 0
+		if t2 == req.C2 {
+			chkAt = req.C1
+		}
+		for c := 0; c < n0; c++ {
+			w := append([]float64(nil), we...)
+			e.net.Send(Message{
+				From: e.port, To: e.clients[c], Kind: "train-req", Bytes: int64(len(w)) * 8,
+				Payload: trainReq{
+					W: w, Steps: e.tau1, Batch: e.batch, ChkAt: chkAt, Eta: e.eta,
+					Stream: req.Stream.ChildN(uint64(t2), uint64(c)),
+					Client: c,
+				},
+			})
+		}
+		for recv := 0; recv < n0; recv++ {
+			msg := <-e.replies
+			r, ok := msg.Payload.(trainReply)
+			if !ok {
+				panic("simnet: edge expected train replies, got " + msg.Kind)
+			}
+			finals[r.Client] = r.WFinal
+			chks[r.Client] = r.WChk
+			sums[r.Client] = r.IterSum
+		}
+		if e.track {
+			// Deterministic client-order reduction of the iterate sums.
+			for c := 0; c < n0; c++ {
+				tensor.Axpy(1, sums[c], iterSum)
+				iterCount += float64(e.tau1)
+			}
+		}
+		tensor.AverageInto(we, finals...)
+		e.wSet.Project(we)
+		if t2 == req.C2 {
+			chkEdge = make([]float64, len(we))
+			tensor.AverageInto(chkEdge, chks...)
+		}
+	}
+	return edgeTrainReply{Slot: req.Slot, WEdge: we, WChk: chkEdge, IterSum: iterSum, IterCount: iterCount}
+}
+
+// lossEstimate collects per-client mini-batch losses of req.W and
+// averages them, matching fl.AreaLossEstimate's stream keys.
+func (e *edgeActor) lossEstimate(req edgeLossReq) float64 {
+	n0 := len(e.clients)
+	for c := 0; c < n0; c++ {
+		w := append([]float64(nil), req.W...)
+		e.net.Send(Message{
+			From: e.port, To: e.clients[c], Kind: "loss-req", Bytes: int64(len(w)) * 8,
+			Payload: lossReq{W: w, Batch: req.LossBatch, Stream: req.Stream.Child(uint64(c)), Client: c},
+		})
+	}
+	total := 0.0
+	for recv := 0; recv < n0; recv++ {
+		msg := <-e.replies
+		r, ok := msg.Payload.(lossReply)
+		if !ok {
+			panic("simnet: edge expected loss replies, got " + msg.Kind)
+		}
+		total += r.Loss
+	}
+	return total / float64(n0)
+}

@@ -1,0 +1,313 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/fl"
+	"repro/internal/optim"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/topology"
+)
+
+// Option adjusts the simnet engine.
+type Option func(*engine)
+
+// WithLatency installs a latency cost model for simulated-time
+// accounting; without it the default metropolitan model is used.
+func WithLatency(l Latency) Option {
+	return func(e *engine) { e.lat = l }
+}
+
+// WithDrop installs a message-drop hook (failure injection). Dropped
+// requests simply exclude the target from the round's aggregation; the
+// run stays live.
+func WithDrop(f DropFunc) Option {
+	return func(e *engine) { e.drop = f }
+}
+
+// WithCompute models heterogeneous client compute (Castiglia et al.'s
+// heterogeneous operating rates): each client runs one SGD step in
+// perStepMs milliseconds scaled by a log-normal speed factor with the
+// given sigma (0 = homogeneous). Speeds affect only the simulated-time
+// accounting, never the trajectory — synchronous aggregation waits for
+// the slowest client, which is exactly the straggler cost the paper's
+// hierarchical design amortizes over tau1*tau2 local slots.
+func WithCompute(perStepMs, stragglerSigma float64) Option {
+	return func(e *engine) {
+		e.computeMs = perStepMs
+		e.stragglerSigma = stragglerSigma
+	}
+}
+
+// RunStats reports distributed-execution metrics of a simnet run.
+type RunStats struct {
+	// SimulatedMs is the modeled wall-clock time of the whole run under
+	// the latency model (critical-path accounting).
+	SimulatedMs float64
+	// MessagesSent and MessagesLost count actual protocol messages.
+	MessagesSent, MessagesLost int64
+}
+
+// HierMinimax runs Algorithm 1 as a message-passing distributed system:
+// one goroutine per client, per edge server, and the cloud driver. With
+// no drop hook installed, the returned trajectory is bitwise-identical
+// to core.HierMinimax with the same problem and config (asserted in
+// tests). Config.Quantizer and Config.DropoutProb are not supported here
+// — use WithDrop for link-level failure injection instead.
+func HierMinimax(prob *fl.Problem, cfg fl.Config, opts ...Option) (*fl.Result, RunStats, error) {
+	if cfg.Quantizer != nil {
+		return nil, RunStats{}, fmt.Errorf("simnet: quantization is not supported by the actor engine")
+	}
+	if cfg.DropoutProb != 0 {
+		return nil, RunStats{}, fmt.Errorf("simnet: use WithDrop for failure injection")
+	}
+	e := &engine{prob: prob, cfg: cfg.WithDefaults(), lat: DefaultLatency()}
+	for _, o := range opts {
+		o(e)
+	}
+	if err := e.start(); err != nil {
+		return nil, RunStats{}, err
+	}
+	defer e.stop()
+	res, err := fl.Run("HierMinimax/simnet", prob, cfg, e.round)
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	return res, RunStats{
+		SimulatedMs:  e.simMs,
+		MessagesSent: e.net.Sent(),
+		MessagesLost: e.net.Lost(),
+	}, nil
+}
+
+// engine is the cloud-side driver plus the spawned actor fleet.
+type engine struct {
+	prob           *fl.Problem
+	cfg            fl.Config
+	lat            Latency
+	drop           DropFunc
+	computeMs      float64
+	stragglerSigma float64
+	net            *Network
+	inbox          <-chan Message
+	top            topology.Topology
+	wg             sync.WaitGroup
+	simMs          float64
+	// areaSlowest[e] is the slowest client speed factor in area e (the
+	// synchronous block time is gated by it).
+	areaSlowest []float64
+}
+
+// start builds the network and spawns every edge and client actor.
+func (e *engine) start() error {
+	if err := e.prob.Validate(); err != nil {
+		return err
+	}
+	e.top = e.prob.Topology()
+	e.net = NewNetwork()
+	e.net.SetDrop(e.drop)
+	// Per-client speed factors (log-normal) reduced to the per-area
+	// slowest, which gates every synchronous block.
+	e.areaSlowest = make([]float64, e.top.NumEdges)
+	sr := rng.New(e.cfg.Seed).Child('s')
+	for edge := 0; edge < e.top.NumEdges; edge++ {
+		slowest := 1.0
+		for c := 0; c < e.top.ClientsPerEdge; c++ {
+			speed := 1.0
+			if e.stragglerSigma > 0 {
+				speed = math.Exp(e.stragglerSigma * sr.NormFloat64())
+			}
+			if speed > slowest {
+				slowest = speed
+			}
+		}
+		e.areaSlowest[edge] = slowest
+	}
+	// Cloud mailbox: phase fan-outs await at most SampledEdges replies.
+	e.inbox = e.net.Register(NodeID{Cloud, 0}, 2*e.cfg.SampledEdges+4)
+	for edge := 0; edge < e.top.NumEdges; edge++ {
+		id := NodeID{Edge, edge}
+		port := NodeID{ReplyPort, edge}
+		a := &edgeActor{
+			id:      id,
+			port:    port,
+			net:     e.net,
+			inbox:   e.net.Register(id, 4),
+			replies: e.net.Register(port, e.top.ClientsPerEdge+1),
+			tau1:    e.cfg.Tau1,
+			tau2:    e.cfg.Tau2,
+			batch:   e.cfg.BatchSize,
+			eta:     e.cfg.EtaW,
+			wSet:    e.prob.W,
+			track:   e.cfg.TrackAverages,
+		}
+		for c := 0; c < e.top.ClientsPerEdge; c++ {
+			a.clients = append(a.clients, NodeID{Client, e.top.ClientID(edge, c)})
+		}
+		e.wg.Add(1)
+		go a.run(&e.wg)
+		for c := 0; c < e.top.ClientsPerEdge; c++ {
+			cid := NodeID{Client, e.top.ClientID(edge, c)}
+			ca := &clientActor{
+				id:    cid,
+				net:   e.net,
+				inbox: e.net.Register(cid, 2),
+				shard: e.prob.Fed.Areas[edge].Clients[c],
+				model: e.prob.Model.Clone(),
+				wSet:  e.prob.W,
+				track: e.cfg.TrackAverages,
+			}
+			e.wg.Add(1)
+			go ca.run(&e.wg)
+		}
+	}
+	return nil
+}
+
+// stop terminates all actors and waits for them.
+func (e *engine) stop() {
+	for edge := 0; edge < e.top.NumEdges; edge++ {
+		e.net.Send(Message{From: NodeID{Cloud, 0}, To: NodeID{Edge, edge}, Kind: "stop", Payload: stopMsg{}})
+		for c := 0; c < e.top.ClientsPerEdge; c++ {
+			e.net.Send(Message{From: NodeID{Cloud, 0}, To: NodeID{Client, e.top.ClientID(edge, c)}, Kind: "stop", Payload: stopMsg{}})
+		}
+	}
+	e.wg.Wait()
+	e.net.Close()
+}
+
+// round is the cloud-side protocol for one HierMinimax training round,
+// mirroring core.Round step for step.
+func (e *engine) round(k int, st *fl.State) {
+	cfg := &st.Cfg
+	prob := st.Prob
+	nE := prob.Fed.NumAreas()
+	dBytes := topology.ModelBytes(len(st.W))
+	kr := st.Root.ChildN('k', uint64(k))
+	cloudID := NodeID{Cloud, 0}
+
+	// ---- Phase 1 ----
+	slots := kr.Child(1).SampleWeighted(cfg.SampledEdges, st.P)
+	cr := kr.Child(2)
+	c2 := cr.Intn(cfg.Tau2)
+	c1 := 1 + cr.Intn(cfg.Tau1)
+
+	st.Ledger.RecordRound(topology.EdgeCloud, len(slots), dBytes)
+	pending := 0
+	for i, edge := range slots {
+		w := append([]float64(nil), st.W...)
+		ok := e.net.Send(Message{
+			From: cloudID, To: NodeID{Edge, edge}, Kind: "edge-train-req", Bytes: dBytes,
+			Payload: edgeTrainReq{W: w, C1: c1, C2: c2, Slot: i, Stream: kr.ChildN(3, uint64(i))},
+		})
+		if ok {
+			pending++
+		}
+	}
+	results := make([]*edgeTrainReply, len(slots))
+	for recv := 0; recv < pending; recv++ {
+		msg := <-e.inbox
+		r, ok := msg.Payload.(edgeTrainReply)
+		if !ok {
+			panic("simnet: cloud expected edge train replies, got " + msg.Kind)
+		}
+		rr := r
+		results[r.Slot] = &rr
+	}
+	// Ledger entries for the client-edge traffic driven by the slots
+	// (recorded by the cloud on the actors' behalf; counts are exact
+	// because the protocol is deterministic).
+	for range slots {
+		for t2 := 0; t2 < cfg.Tau2; t2++ {
+			st.Ledger.RecordRound(topology.ClientEdge, e.top.ClientsPerEdge, dBytes)
+			up := dBytes
+			if t2 == c2 {
+				up *= 2
+			}
+			st.Ledger.RecordRound(topology.ClientEdge, e.top.ClientsPerEdge, up)
+		}
+	}
+	// Simulated time: slots run in parallel (critical path = the slot on
+	// the slowest area); blocks inside a slot are sequential, and each
+	// block waits for its slowest client's tau1 local steps.
+	slowest := 1.0
+	for _, edge := range slots {
+		if s := e.areaSlowest[edge]; s > slowest {
+			slowest = s
+		}
+	}
+	blockCompute := float64(cfg.Tau1) * e.computeMs * slowest
+	e.simMs += e.lat.EdgeCloudCost(dBytes) +
+		float64(cfg.Tau2)*(2*e.lat.ClientEdgeCost(dBytes)+blockCompute) +
+		e.lat.EdgeCloudCost(2*dBytes)
+
+	var wVecs, chkVecs [][]float64
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		wVecs = append(wVecs, r.WEdge)
+		chkVecs = append(chkVecs, r.WChk)
+		if st.WSum != nil {
+			tensor.Axpy(1, r.IterSum, st.WSum)
+			st.WCount += r.IterCount
+		}
+	}
+	if len(wVecs) == 0 {
+		return // all sampled edges unreachable this round
+	}
+	st.Ledger.RecordRound(topology.EdgeCloud, len(wVecs), 2*dBytes)
+	tensor.AverageInto(st.W, wVecs...)
+	prob.W.Project(st.W)
+	wChk := make([]float64, len(st.W))
+	tensor.AverageInto(wChk, chkVecs...)
+	if cfg.CheckpointOff {
+		copy(wChk, st.W)
+	}
+
+	// ---- Phase 2 ----
+	ur := kr.Child(4)
+	sampled := ur.SampleUniform(cfg.SampledEdges, nE)
+	st.Ledger.RecordRound(topology.EdgeCloud, len(sampled), dBytes)
+	pending = 0
+	for i, edge := range sampled {
+		w := append([]float64(nil), wChk...)
+		ok := e.net.Send(Message{
+			From: cloudID, To: NodeID{Edge, edge}, Kind: "edge-loss-req", Bytes: dBytes,
+			Payload: edgeLossReq{W: w, Seq: i, LossBatch: cfg.LossBatch, Stream: ur.ChildN(5, uint64(i))},
+		})
+		if ok {
+			pending++
+		}
+	}
+	losses := make([]float64, len(sampled))
+	alive := make([]bool, len(sampled))
+	for recv := 0; recv < pending; recv++ {
+		msg := <-e.inbox
+		r, ok := msg.Payload.(edgeLossReply)
+		if !ok {
+			panic("simnet: cloud expected edge loss replies, got " + msg.Kind)
+		}
+		losses[r.Seq] = r.Loss
+		alive[r.Seq] = true
+	}
+	for range sampled {
+		st.Ledger.RecordRound(topology.ClientEdge, e.top.ClientsPerEdge, dBytes)
+		st.Ledger.RecordRound(topology.ClientEdge, e.top.ClientsPerEdge, 8)
+	}
+	st.Ledger.RecordRound(topology.EdgeCloud, len(sampled), 8)
+	e.simMs += e.lat.EdgeCloudCost(dBytes) + e.lat.ClientEdgeCost(dBytes) +
+		e.lat.ClientEdgeCost(8) + e.lat.EdgeCloudCost(8)
+
+	v := make([]float64, nE)
+	scale := float64(nE) / float64(cfg.SampledEdges)
+	for i, edge := range sampled {
+		if alive[i] {
+			v[edge] += scale * losses[i]
+		}
+	}
+	optim.AscentStep(st.P, v, cfg.EtaP*float64(cfg.SlotsPerRound()), prob.P)
+}

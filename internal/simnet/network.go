@@ -1,0 +1,175 @@
+// Package simnet runs the federated algorithms as a true message-passing
+// distributed system: every client, edge server and the cloud is a
+// goroutine actor with a typed mailbox, communicating only through the
+// Network. The HierMinimax engine in this package produces trajectories
+// bitwise-identical to the in-process engine in internal/core (asserted
+// in tests), while exercising the real coordination structure — cloud →
+// edge → client fan-out, client → edge → cloud aggregation — and
+// supporting link-level failure injection and a latency cost model for
+// simulated wall-clock estimates.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// NodeKind classifies nodes in the hierarchy.
+type NodeKind int
+
+// Node kinds. ReplyPort is the dedicated response mailbox of an edge
+// server, kept separate from its request mailbox so queued requests are
+// never consumed by a reply-await loop.
+const (
+	Cloud NodeKind = iota
+	Edge
+	Client
+	ReplyPort
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case Cloud:
+		return "cloud"
+	case Edge:
+		return "edge"
+	case Client:
+		return "client"
+	case ReplyPort:
+		return "edge-port"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// NodeID identifies a node: the cloud is {Cloud, 0}, edge servers are
+// {Edge, e}, clients are {Client, globalClientIndex}.
+type NodeID struct {
+	Kind  NodeKind
+	Index int
+}
+
+func (id NodeID) String() string { return fmt.Sprintf("%s-%d", id.Kind, id.Index) }
+
+// Message is one transfer over the network.
+type Message struct {
+	From, To NodeID
+	// Kind names the protocol step (e.g. "train-req"); used by the drop
+	// hook and the statistics.
+	Kind string
+	// Payload is the message body; senders must not retain references to
+	// mutable payload state after sending (single-owner discipline).
+	Payload any
+	// Bytes is the simulated wire size used by the latency model.
+	Bytes int64
+}
+
+// DropFunc decides whether a message is lost in transit. It runs on the
+// sender's goroutine and must be safe for concurrent use.
+type DropFunc func(Message) bool
+
+// Network routes messages between registered nodes. Mailboxes are
+// buffered channels; Send never blocks the sender beyond the buffer,
+// so deadlock-free protocols only need bounded outstanding messages per
+// mailbox (the engines size buffers to their fan-out).
+type Network struct {
+	mu     sync.Mutex
+	boxes  map[NodeID]chan Message
+	drop   DropFunc
+	sent   atomic.Int64
+	lost   atomic.Int64
+	closed bool
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{boxes: make(map[NodeID]chan Message)}
+}
+
+// SetDrop installs the failure-injection hook (nil disables).
+func (n *Network) SetDrop(f DropFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.drop = f
+}
+
+// Register creates the mailbox for id with the given buffer and returns
+// its receive side. Registering the same id twice panics.
+func (n *Network) Register(id NodeID, buffer int) <-chan Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.boxes[id]; ok {
+		panic("simnet: duplicate registration of " + id.String())
+	}
+	ch := make(chan Message, buffer)
+	n.boxes[id] = ch
+	return ch
+}
+
+// Send delivers msg to its destination mailbox. It returns false if the
+// message was dropped by the failure hook (the sender is aware of the
+// loss, modeling a send-side link failure). Sending to an unregistered
+// node panics — that is a protocol bug, not a simulated failure.
+func (n *Network) Send(msg Message) bool {
+	n.mu.Lock()
+	box, ok := n.boxes[msg.To]
+	drop := n.drop
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return false
+	}
+	if !ok {
+		panic("simnet: send to unregistered node " + msg.To.String())
+	}
+	n.sent.Add(1)
+	if drop != nil && drop(msg) {
+		n.lost.Add(1)
+		return false
+	}
+	box <- msg
+	return true
+}
+
+// Close marks the network closed; subsequent Sends return false. It does
+// not close mailboxes (receivers drain and exit on their stop message).
+func (n *Network) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+}
+
+// Sent returns the number of Send calls; Lost the number dropped.
+func (n *Network) Sent() int64 { return n.sent.Load() }
+
+// Lost returns the number of messages dropped by the failure hook.
+func (n *Network) Lost() int64 { return n.lost.Load() }
+
+// Latency is a per-link-class cost model used to estimate the simulated
+// wall-clock time of a run without sleeping: the engines accumulate the
+// per-round critical path (client-edge hops happen in parallel across an
+// area; edge-cloud hops in parallel across edges).
+type Latency struct {
+	// ClientEdgeRTT and EdgeCloudRTT are fixed per-round-trip costs in
+	// milliseconds; PerMB adds bandwidth-proportional cost.
+	ClientEdgeRTT, EdgeCloudRTT float64
+	PerMB                       float64
+}
+
+// DefaultLatency models a metropolitan edge deployment: 5 ms to the edge,
+// 50 ms to the cloud, 80 ms per transferred megabyte.
+func DefaultLatency() Latency {
+	return Latency{ClientEdgeRTT: 5, EdgeCloudRTT: 50, PerMB: 80}
+}
+
+// ClientEdgeCost returns the simulated cost (ms) of one client-edge round
+// trip carrying the given payload.
+func (l Latency) ClientEdgeCost(bytes int64) float64 {
+	return l.ClientEdgeRTT + l.PerMB*float64(bytes)/1e6
+}
+
+// EdgeCloudCost returns the simulated cost (ms) of one edge-cloud round
+// trip carrying the given payload.
+func (l Latency) EdgeCloudCost(bytes int64) float64 {
+	return l.EdgeCloudRTT + l.PerMB*float64(bytes)/1e6
+}

@@ -1,0 +1,283 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fl/fltest"
+	"repro/internal/tensor"
+	"repro/internal/topology"
+)
+
+func TestNetworkBasics(t *testing.T) {
+	n := NewNetwork()
+	box := n.Register(NodeID{Client, 0}, 1)
+	ok := n.Send(Message{From: NodeID{Cloud, 0}, To: NodeID{Client, 0}, Kind: "x", Payload: 42})
+	if !ok {
+		t.Fatal("send failed")
+	}
+	msg := <-box
+	if msg.Payload.(int) != 42 {
+		t.Fatal("wrong payload")
+	}
+	if n.Sent() != 1 || n.Lost() != 0 {
+		t.Fatal("stats wrong")
+	}
+}
+
+func TestNetworkDuplicateRegistrationPanics(t *testing.T) {
+	n := NewNetwork()
+	n.Register(NodeID{Edge, 1}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	n.Register(NodeID{Edge, 1}, 1)
+}
+
+func TestNetworkSendToUnregisteredPanics(t *testing.T) {
+	n := NewNetwork()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	n.Send(Message{To: NodeID{Edge, 9}})
+}
+
+func TestNetworkDrop(t *testing.T) {
+	n := NewNetwork()
+	n.Register(NodeID{Client, 0}, 4)
+	n.SetDrop(func(m Message) bool { return m.Kind == "lossy" })
+	if n.Send(Message{To: NodeID{Client, 0}, Kind: "lossy"}) {
+		t.Fatal("dropped message reported delivered")
+	}
+	if !n.Send(Message{To: NodeID{Client, 0}, Kind: "fine"}) {
+		t.Fatal("clean message dropped")
+	}
+	if n.Lost() != 1 || n.Sent() != 2 {
+		t.Fatalf("stats: sent=%d lost=%d", n.Sent(), n.Lost())
+	}
+}
+
+func TestNetworkClose(t *testing.T) {
+	n := NewNetwork()
+	n.Register(NodeID{Client, 0}, 1)
+	n.Close()
+	if n.Send(Message{To: NodeID{Client, 0}}) {
+		t.Fatal("send succeeded after close")
+	}
+}
+
+func TestNodeIDStrings(t *testing.T) {
+	for _, k := range []NodeKind{Cloud, Edge, Client, ReplyPort} {
+		if k.String() == "" || (NodeID{k, 3}).String() == "" {
+			t.Fatal("empty name")
+		}
+	}
+	if NodeKind(99).String() == "" {
+		t.Fatal("unknown kind must print")
+	}
+}
+
+func TestLatencyCosts(t *testing.T) {
+	l := DefaultLatency()
+	if l.ClientEdgeCost(0) != l.ClientEdgeRTT {
+		t.Fatal("zero-byte cost should be the RTT")
+	}
+	if l.EdgeCloudCost(1e6) <= l.EdgeCloudCost(0) {
+		t.Fatal("bytes must add cost")
+	}
+}
+
+// The headline property: the actor engine reproduces the in-process
+// engine bit for bit.
+func TestSimnetMatchesCoreEngine(t *testing.T) {
+	cfg := fltest.ToyConfig()
+	cfg.Rounds = 40
+
+	ref, err := core.HierMinimax(fltest.ToyProblem(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, stats, err := HierMinimax(fltest.ToyProblem(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.W {
+		if ref.W[i] != sim.W[i] {
+			t.Fatalf("w diverges at %d: %v vs %v", i, ref.W[i], sim.W[i])
+		}
+	}
+	for i := range ref.PWeights {
+		if ref.PWeights[i] != sim.PWeights[i] {
+			t.Fatalf("p diverges at %d", i)
+		}
+	}
+	if ref.Ledger.CloudRounds() != sim.Ledger.CloudRounds() {
+		t.Fatalf("cloud rounds %d vs %d", ref.Ledger.CloudRounds(), sim.Ledger.CloudRounds())
+	}
+	if ref.Ledger.Bytes[topology.ClientEdge] != sim.Ledger.Bytes[topology.ClientEdge] {
+		t.Fatalf("client-edge bytes %d vs %d",
+			ref.Ledger.Bytes[topology.ClientEdge], sim.Ledger.Bytes[topology.ClientEdge])
+	}
+	if stats.MessagesSent == 0 {
+		t.Fatal("no messages counted")
+	}
+	if stats.SimulatedMs <= 0 {
+		t.Fatal("no simulated time accumulated")
+	}
+}
+
+func TestSimnetTrackedAveragesMatchCore(t *testing.T) {
+	cfg := fltest.ToyConfig()
+	cfg.Rounds = 25
+	cfg.TrackAverages = true
+	ref, err := core.HierMinimax(fltest.ToyProblem(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, _, err := HierMinimax(fltest.ToyProblem(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.WHat {
+		if ref.WHat[i] != sim.WHat[i] {
+			t.Fatalf("wHat diverges at %d: %v vs %v", i, ref.WHat[i], sim.WHat[i])
+		}
+	}
+	for i := range ref.PHat {
+		if ref.PHat[i] != sim.PHat[i] {
+			t.Fatalf("pHat diverges at %d", i)
+		}
+	}
+}
+
+func TestSimnetLearns(t *testing.T) {
+	cfg := fltest.ToyConfig()
+	res, _, err := HierMinimax(fltest.ToyProblem(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := res.History.Final().Fair; final.Average < 0.75 {
+		t.Fatalf("simnet run reached only %v", final.Average)
+	}
+}
+
+func TestSimnetSurvivesMessageLoss(t *testing.T) {
+	cfg := fltest.ToyConfig()
+	cfg.Rounds = 150
+	// Drop ~20% of edge-train requests: the cloud aggregates survivors.
+	var mu sync.Mutex
+	count := 0
+	drop := func(m Message) bool {
+		if m.Kind != "edge-train-req" {
+			return false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		count++
+		return count%5 == 0
+	}
+	res, stats, err := HierMinimax(fltest.ToyProblem(1), cfg, WithDrop(drop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MessagesLost == 0 {
+		t.Fatal("drop hook never fired")
+	}
+	if !tensor.AllFinite(res.W) {
+		t.Fatal("non-finite parameters under message loss")
+	}
+	if final := res.History.Final().Fair; final.Average < 0.6 {
+		t.Fatalf("run under message loss reached only %v", final.Average)
+	}
+}
+
+func TestSimnetRejectsUnsupportedConfig(t *testing.T) {
+	cfg := fltest.ToyConfig()
+	cfg.DropoutProb = 0.5
+	if _, _, err := HierMinimax(fltest.ToyProblem(1), cfg); err == nil {
+		t.Fatal("DropoutProb accepted")
+	}
+}
+
+func TestSimnetDuplicateSlotsOnOneEdge(t *testing.T) {
+	// With m_E close to N_E and weighted sampling, the same edge is
+	// regularly sampled for two slots in a round; the serialized edge
+	// actor must handle both without deadlock and still match core.
+	cfg := fltest.ToyConfig()
+	cfg.Rounds = 30
+	cfg.SampledEdges = 4 // guarantee duplicates under p-weighted sampling
+	ref, err := core.HierMinimax(fltest.ToyProblem(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, _, err := HierMinimax(fltest.ToyProblem(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.W {
+		if ref.W[i] != sim.W[i] {
+			t.Fatalf("w diverges at %d with duplicate slots", i)
+		}
+	}
+}
+
+func TestStragglersSlowSimulatedTime(t *testing.T) {
+	cfg := fltest.ToyConfig()
+	cfg.Rounds = 30
+	fast, statsFast, err := HierMinimax(fltest.ToyProblem(1), cfg, WithCompute(2.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, statsSlow, err := HierMinimax(fltest.ToyProblem(1), cfg, WithCompute(2.0, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsSlow.SimulatedMs <= statsFast.SimulatedMs {
+		t.Fatalf("straggler run not slower: %v vs %v", statsSlow.SimulatedMs, statsFast.SimulatedMs)
+	}
+	// Speeds must never change the trajectory.
+	for i := range fast.W {
+		if fast.W[i] != slow.W[i] {
+			t.Fatal("straggler model changed the trajectory")
+		}
+	}
+}
+
+func TestComputeCostAddsTime(t *testing.T) {
+	cfg := fltest.ToyConfig()
+	cfg.Rounds = 10
+	_, none, err := HierMinimax(fltest.ToyProblem(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, withCompute, err := HierMinimax(fltest.ToyProblem(1), cfg, WithCompute(5.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCompute.SimulatedMs <= none.SimulatedMs {
+		t.Fatalf("compute model added no time: %v vs %v", withCompute.SimulatedMs, none.SimulatedMs)
+	}
+}
+
+func TestCustomLatencyModel(t *testing.T) {
+	cfg := fltest.ToyConfig()
+	cfg.Rounds = 10
+	cheap := Latency{ClientEdgeRTT: 1, EdgeCloudRTT: 1, PerMB: 1}
+	dear := Latency{ClientEdgeRTT: 100, EdgeCloudRTT: 1000, PerMB: 1000}
+	_, a, err := HierMinimax(fltest.ToyProblem(1), cfg, WithLatency(cheap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := HierMinimax(fltest.ToyProblem(1), cfg, WithLatency(dear))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SimulatedMs <= a.SimulatedMs {
+		t.Fatalf("expensive latency not slower: %v vs %v", b.SimulatedMs, a.SimulatedMs)
+	}
+}

@@ -1,0 +1,106 @@
+package tensor
+
+// Matrix is a dense row-major matrix backed by a flat slice, so model
+// parameters can be viewed as one contiguous vector for aggregation and
+// serialization.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatrixFrom wraps an existing flat buffer as a rows x cols matrix
+// without copying. It panics if the buffer has the wrong length.
+func MatrixFrom(data []float64, rows, cols int) *Matrix {
+	if len(data) != rows*cols {
+		panic("tensor: MatrixFrom buffer length mismatch")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.Data[i*m.Cols+j] = v
+}
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Gemv computes y = alpha*A*x + beta*y for a row-major A.
+func Gemv(alpha float64, a *Matrix, x []float64, beta float64, y []float64) {
+	checkLen(len(x), a.Cols)
+	checkLen(len(y), a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		y[i] = alpha*Dot(a.Row(i), x) + beta*y[i]
+	}
+}
+
+// GemvT computes y = alpha*A^T*x + beta*y for a row-major A.
+func GemvT(alpha float64, a *Matrix, x []float64, beta float64, y []float64) {
+	checkLen(len(x), a.Rows)
+	checkLen(len(y), a.Cols)
+	if beta == 0 {
+		Zero(y)
+	} else if beta != 1 {
+		Scale(beta, y)
+	}
+	for i := 0; i < a.Rows; i++ {
+		Axpy(alpha*x[i], a.Row(i), y)
+	}
+}
+
+// Gemm computes C = alpha*A*B + beta*C, all row-major. Panics on shape
+// mismatch.
+func Gemm(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic("tensor: Gemm shape mismatch")
+	}
+	if beta == 0 {
+		Zero(c.Data)
+	} else if beta != 1 {
+		Scale(beta, c.Data)
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			Axpy(alpha*aik, b.Row(k), crow)
+		}
+	}
+}
+
+// OuterAccum computes A += alpha * x * y^T where A is len(x) x len(y).
+func OuterAccum(alpha float64, x, y []float64, a *Matrix) {
+	checkLen(len(x), a.Rows)
+	checkLen(len(y), a.Cols)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		Axpy(alpha*xi, y, a.Row(i))
+	}
+}

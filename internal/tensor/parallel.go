@@ -1,0 +1,121 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelFor splits [0, n) into contiguous chunks of at least grain
+// iterations and runs fn(lo, hi) on each chunk across GOMAXPROCS workers.
+// It is deterministic in its partitioning (chunk boundaries depend only
+// on n, grain and GOMAXPROCS at call time), so callers that write
+// disjoint outputs per index get reproducible results regardless of
+// scheduling.
+func ParallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	chunks := (n + grain - 1) / grain
+	if chunks < workers {
+		workers = chunks
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ReduceSum computes the sum over i in [0, n) of term(i) by parallel
+// partial sums combined in index order, so the result is independent of
+// goroutine scheduling.
+func ReduceSum(n, grain int, term func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	chunks := (n + grain - 1) / grain
+	if chunks < workers {
+		workers = chunks
+	}
+	if workers <= 1 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += term(i)
+		}
+		return s
+	}
+	chunk := (n + workers - 1) / workers
+	nChunks := (n + chunk - 1) / chunk
+	partial := make([]float64, nChunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nChunks; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += term(i)
+			}
+			partial[c] = s
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	// Combine in fixed order for determinism.
+	return Sum(partial)
+}
+
+// AverageInto writes the elementwise average of the given vectors into
+// dst. All vectors must share dst's length; the list must be non-empty.
+// The summation order is the list order, so the result is deterministic.
+func AverageInto(dst []float64, vecs ...[]float64) {
+	if len(vecs) == 0 {
+		panic("tensor: AverageInto with no inputs")
+	}
+	Zero(dst)
+	for _, v := range vecs {
+		Axpy(1, v, dst)
+	}
+	Scale(1/float64(len(vecs)), dst)
+}
+
+// WeightedAverageInto writes sum_i weights[i]*vecs[i] into dst. Weights
+// need not sum to one; callers that want a convex combination must
+// normalize. Panics on length mismatches.
+func WeightedAverageInto(dst []float64, weights []float64, vecs [][]float64) {
+	if len(weights) != len(vecs) {
+		panic("tensor: WeightedAverageInto weight/vector count mismatch")
+	}
+	if len(vecs) == 0 {
+		panic("tensor: WeightedAverageInto with no inputs")
+	}
+	Zero(dst)
+	for i, v := range vecs {
+		Axpy(weights[i], v, dst)
+	}
+}

@@ -1,0 +1,172 @@
+package tensor
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// withProcs runs fn with GOMAXPROCS temporarily raised so the
+// multi-worker branches of ParallelFor/ReduceSum execute even on
+// single-core CI machines.
+func withProcs(t *testing.T, n int, fn func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	fn()
+}
+
+func TestParallelForMultiWorker(t *testing.T) {
+	withProcs(t, 4, func() {
+		const n = 10000
+		var hits [n]int32
+		ParallelFor(n, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("index %d visited %d times", i, h)
+			}
+		}
+	})
+}
+
+func TestParallelForGrainLimitsWorkers(t *testing.T) {
+	withProcs(t, 8, func() {
+		// grain so large only one chunk exists: must run inline.
+		var calls int32
+		ParallelFor(100, 1000, func(lo, hi int) {
+			atomic.AddInt32(&calls, 1)
+			if lo != 0 || hi != 100 {
+				t.Errorf("expected single chunk, got [%d,%d)", lo, hi)
+			}
+		})
+		if calls != 1 {
+			t.Fatalf("expected 1 call, got %d", calls)
+		}
+	})
+}
+
+func TestReduceSumMultiWorker(t *testing.T) {
+	withProcs(t, 4, func() {
+		const n = 9999
+		term := func(i int) float64 { return float64(i%7) * 0.25 }
+		got := ReduceSum(n, 1, term)
+		want := 0.0
+		for i := 0; i < n; i++ {
+			want += term(i)
+		}
+		if !approx(got, want, 1e-10) {
+			t.Fatalf("ReduceSum = %v, want %v", got, want)
+		}
+		// Still deterministic across repetitions with real parallelism.
+		for trial := 0; trial < 5; trial++ {
+			if again := ReduceSum(n, 1, term); again != got {
+				t.Fatal("parallel ReduceSum nondeterministic")
+			}
+		}
+	})
+}
+
+func TestGemmBetaPaths(t *testing.T) {
+	a := MatrixFrom([]float64{1, 0, 0, 1}, 2, 2)
+	b := MatrixFrom([]float64{1, 2, 3, 4}, 2, 2)
+	c := MatrixFrom([]float64{10, 10, 10, 10}, 2, 2)
+	Gemm(1, a, b, 1, c) // beta = 1: accumulate
+	want := []float64{11, 12, 13, 14}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("beta=1 Gemm = %v", c.Data)
+		}
+	}
+	Gemm(1, a, b, 0.5, c) // beta = 0.5: scale then accumulate
+	want = []float64{6.5, 8, 9.5, 11}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("beta=0.5 Gemm = %v", c.Data)
+		}
+	}
+}
+
+func TestGemmSkipsZeros(t *testing.T) {
+	// Sparse A row exercises the aik == 0 fast path.
+	a := MatrixFrom([]float64{0, 2, 0, 0}, 2, 2)
+	b := MatrixFrom([]float64{1, 1, 1, 1}, 2, 2)
+	c := NewMatrix(2, 2)
+	Gemm(1, a, b, 0, c)
+	want := []float64{2, 2, 0, 0}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("sparse Gemm = %v", c.Data)
+		}
+	}
+}
+
+func TestOuterAccumSkipsZeros(t *testing.T) {
+	a := NewMatrix(2, 2)
+	OuterAccum(1, []float64{0, 3}, []float64{1, 2}, a)
+	want := []float64{0, 0, 3, 6}
+	for i := range want {
+		if a.Data[i] != want[i] {
+			t.Fatalf("OuterAccum = %v", a.Data)
+		}
+	}
+}
+
+func TestCopyAndFill(t *testing.T) {
+	dst := make([]float64, 3)
+	Copy(dst, []float64{1, 2, 3})
+	if dst[1] != 2 {
+		t.Fatal("Copy failed")
+	}
+	Fill(dst, 7)
+	for _, v := range dst {
+		if v != 7 {
+			t.Fatal("Fill failed")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Copy length mismatch must panic")
+		}
+	}()
+	Copy(dst, []float64{1})
+}
+
+func TestMinMaxPanicsOnEmpty(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Min(nil) },
+		func() { Max(nil) },
+		func() { ArgMax(nil) },
+		func() { LogSumExp(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on empty input")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAverageIntoPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AverageInto(make([]float64, 2))
+}
+
+func TestNewMatrixPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(-1, 3)
+}

@@ -1,0 +1,295 @@
+// Package tensor implements the dense linear algebra kernels used by the
+// models and optimizers: BLAS-1 vector operations, BLAS-2/3 matrix
+// kernels, and the numerically careful reductions (log-sum-exp, softmax)
+// needed for cross-entropy training.
+//
+// Everything operates on plain []float64 and a row-major Matrix so the
+// federated engines can serialize parameters as flat buffers with zero
+// copying. All kernels are allocation-free when given destination
+// buffers, which keeps the inner SGD loops off the garbage collector.
+package tensor
+
+import "math"
+
+// Dot returns the inner product of x and y. It panics on length mismatch.
+func Dot(x, y []float64) float64 {
+	checkLen(len(x), len(y))
+	var s0, s1, s2, s3 float64
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < n; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	checkLen(len(x), len(y))
+	for i, xi := range x {
+		y[i] += a * xi
+	}
+}
+
+// Scale computes x *= a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// AddTo computes dst = x + y.
+func AddTo(dst, x, y []float64) {
+	checkLen(len(x), len(y))
+	checkLen(len(dst), len(x))
+	for i := range dst {
+		dst[i] = x[i] + y[i]
+	}
+}
+
+// SubTo computes dst = x - y.
+func SubTo(dst, x, y []float64) {
+	checkLen(len(x), len(y))
+	checkLen(len(dst), len(x))
+	for i := range dst {
+		dst[i] = x[i] - y[i]
+	}
+}
+
+// Copy copies src into dst. It panics on length mismatch.
+func Copy(dst, src []float64) {
+	checkLen(len(dst), len(src))
+	copy(dst, src)
+}
+
+// Zero sets every element of x to 0.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Norm2 returns the Euclidean norm of x, guarding against overflow for
+// large magnitudes by scaling.
+func Norm2(x []float64) float64 {
+	maxAbs := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	if maxAbs > 1e150 || maxAbs < 1e-150 {
+		// Scaled accumulation for extreme ranges.
+		s := 0.0
+		for _, v := range x {
+			r := v / maxAbs
+			s += r * r
+		}
+		return maxAbs * math.Sqrt(s)
+	}
+	return math.Sqrt(Dot(x, x))
+}
+
+// SquaredDistance returns ||x - y||^2.
+func SquaredDistance(x, y []float64) float64 {
+	checkLen(len(x), len(y))
+	s := 0.0
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// NormInf returns the max-absolute-value norm of x.
+func NormInf(x []float64) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of the elements of x using Kahan compensation so
+// that long accumulations (loss averaging across thousands of batches)
+// stay accurate.
+func Sum(x []float64) float64 {
+	var s, c float64
+	for _, v := range x {
+		y := v - c
+		t := s + y
+		c = (t - s) - y
+		s = t
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Sum(x) / float64(len(x))
+}
+
+// Variance returns the population variance of x, or 0 for len(x) < 2.
+func Variance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	s := 0.0
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// Min returns the minimum element of x. It panics on an empty slice.
+func Min(x []float64) float64 {
+	if len(x) == 0 {
+		panic("tensor: Min of empty slice")
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the maximum element of x. It panics on an empty slice.
+func Max(x []float64) float64 {
+	if len(x) == 0 {
+		panic("tensor: Max of empty slice")
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the maximum element (first on ties). It
+// panics on an empty slice.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		panic("tensor: ArgMax of empty slice")
+	}
+	best, bi := x[0], 0
+	for i, v := range x[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// Clamp limits each element of x to [lo, hi] in place.
+func Clamp(x []float64, lo, hi float64) {
+	for i, v := range x {
+		if v < lo {
+			x[i] = lo
+		} else if v > hi {
+			x[i] = hi
+		}
+	}
+}
+
+// LogSumExp returns log(sum_i exp(x_i)) with max-shifting for stability.
+func LogSumExp(x []float64) float64 {
+	if len(x) == 0 {
+		panic("tensor: LogSumExp of empty slice")
+	}
+	m := Max(x)
+	if math.IsInf(m, -1) {
+		return math.Inf(-1)
+	}
+	s := 0.0
+	for _, v := range x {
+		s += math.Exp(v - m)
+	}
+	return m + math.Log(s)
+}
+
+// Softmax writes softmax(x) into dst (dst may alias x).
+func Softmax(dst, x []float64) {
+	checkLen(len(dst), len(x))
+	m := Max(x)
+	s := 0.0
+	for i, v := range x {
+		e := math.Exp(v - m)
+		dst[i] = e
+		s += e
+	}
+	inv := 1 / s
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// ReLU writes max(x, 0) elementwise into dst (dst may alias x).
+func ReLU(dst, x []float64) {
+	checkLen(len(dst), len(x))
+	for i, v := range x {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// ReLUGrad multiplies grad elementwise by the ReLU derivative evaluated
+// at pre-activation z: dst[i] = grad[i] if z[i] > 0 else 0. dst may alias
+// grad.
+func ReLUGrad(dst, grad, z []float64) {
+	checkLen(len(dst), len(grad))
+	checkLen(len(grad), len(z))
+	for i := range dst {
+		if z[i] > 0 {
+			dst[i] = grad[i]
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// AllFinite reports whether every element of x is finite.
+func AllFinite(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func checkLen(a, b int) {
+	if a != b {
+		panic("tensor: length mismatch")
+	}
+}

@@ -1,0 +1,161 @@
+package topology
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Link identifies a class of network links in the hierarchy.
+type Link int
+
+// Link classes. EdgeCloud and ClientCloud both terminate at the cloud
+// and together form the "cloud rounds" axis of Figures 3-4; ClientEdge
+// traffic stays inside an edge area (the cheap, low-latency links the
+// hierarchical design exploits).
+const (
+	ClientEdge Link = iota
+	EdgeCloud
+	ClientCloud
+	// MidTier covers links between intermediate aggregation levels in
+	// the L-layer generalization (internal/multilayer); a 3-layer run
+	// never uses it.
+	MidTier
+	numLinks
+)
+
+func (l Link) String() string {
+	switch l {
+	case ClientEdge:
+		return "client-edge"
+	case EdgeCloud:
+		return "edge-cloud"
+	case ClientCloud:
+		return "client-cloud"
+	case MidTier:
+		return "mid-tier"
+	}
+	return fmt.Sprintf("link(%d)", int(l))
+}
+
+// Ledger counts communication per link class. A "round" is one
+// synchronization pass over a link class (e.g. the cloud broadcasting the
+// global model to the sampled edges is 1 edge-cloud round, regardless of
+// how many edges are involved); messages and bytes count the individual
+// transfers inside that pass. This matches how the paper reports
+// "communication rounds" while still exposing message- and byte-level
+// detail for the overhead analyses.
+//
+// Ledger is safe for concurrent use: the parallel and simnet engines
+// record transfers from many goroutines.
+type Ledger struct {
+	mu       sync.Mutex
+	rounds   [numLinks]int64
+	messages [numLinks]int64
+	bytes    [numLinks]int64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// RecordRound records one synchronization pass of nMessages transfers of
+// bytesEach bytes over the link class.
+func (l *Ledger) RecordRound(link Link, nMessages int, bytesEach int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.rounds[link]++
+	l.messages[link] += int64(nMessages)
+	l.bytes[link] += int64(nMessages) * bytesEach
+}
+
+// RecordMessage records a single transfer that does not open a new
+// round (e.g. a retransmission in failure-injection tests).
+func (l *Ledger) RecordMessage(link Link, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.messages[link]++
+	l.bytes[link] += bytes
+}
+
+// Rounds returns the number of synchronization passes on the link class.
+func (l *Ledger) Rounds(link Link) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rounds[link]
+}
+
+// Messages returns the number of transfers on the link class.
+func (l *Ledger) Messages(link Link) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.messages[link]
+}
+
+// Bytes returns the bytes moved on the link class.
+func (l *Ledger) Bytes(link Link) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes[link]
+}
+
+// CloudRounds returns the rounds terminating at the cloud: the sum of
+// edge-cloud and client-cloud rounds. This is the x-axis of Figs. 3-4.
+func (l *Ledger) CloudRounds() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rounds[EdgeCloud] + l.rounds[ClientCloud]
+}
+
+// CloudBytes returns bytes over links terminating at the cloud.
+func (l *Ledger) CloudBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes[EdgeCloud] + l.bytes[ClientCloud]
+}
+
+// TotalBytes returns bytes moved over all links.
+func (l *Ledger) TotalBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var s int64
+	for _, b := range l.bytes {
+		s += b
+	}
+	return s
+}
+
+// Snapshot returns a consistent copy of all counters.
+func (l *Ledger) Snapshot() LedgerSnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var s LedgerSnapshot
+	for i := Link(0); i < numLinks; i++ {
+		s.Rounds[i] = l.rounds[i]
+		s.Messages[i] = l.messages[i]
+		s.Bytes[i] = l.bytes[i]
+	}
+	return s
+}
+
+// Reset zeroes all counters.
+func (l *Ledger) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.rounds {
+		l.rounds[i], l.messages[i], l.bytes[i] = 0, 0, 0
+	}
+}
+
+// LedgerSnapshot is an immutable copy of a Ledger's counters.
+type LedgerSnapshot struct {
+	Rounds   [numLinks]int64
+	Messages [numLinks]int64
+	Bytes    [numLinks]int64
+}
+
+// CloudRounds mirrors Ledger.CloudRounds for snapshots.
+func (s LedgerSnapshot) CloudRounds() int64 {
+	return s.Rounds[EdgeCloud] + s.Rounds[ClientCloud]
+}
+
+// ModelBytes returns the wire size of a d-dimensional float64 model.
+func ModelBytes(d int) int64 { return int64(d) * 8 }

@@ -1,0 +1,134 @@
+package topology
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTopologyIndexing(t *testing.T) {
+	top := New(4, 3)
+	if top.NumClients() != 12 {
+		t.Fatalf("NumClients = %d", top.NumClients())
+	}
+	if top.ClientID(2, 1) != 7 {
+		t.Fatalf("ClientID(2,1) = %d", top.ClientID(2, 1))
+	}
+	if top.EdgeOf(7) != 2 {
+		t.Fatalf("EdgeOf(7) = %d", top.EdgeOf(7))
+	}
+	ids := top.Clients(3)
+	if len(ids) != 3 || ids[0] != 9 || ids[2] != 11 {
+		t.Fatalf("Clients(3) = %v", ids)
+	}
+	// Round trip for every client.
+	for e := 0; e < 4; e++ {
+		for i := 0; i < 3; i++ {
+			if top.EdgeOf(top.ClientID(e, i)) != e {
+				t.Fatalf("round trip broken for (%d,%d)", e, i)
+			}
+		}
+	}
+}
+
+func TestTopologyPanics(t *testing.T) {
+	top := New(2, 2)
+	for _, fn := range []func(){
+		func() { New(0, 1) },
+		func() { top.ClientID(2, 0) },
+		func() { top.ClientID(0, 2) },
+		func() { top.EdgeOf(4) },
+		func() { top.EdgeOf(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLedgerCounting(t *testing.T) {
+	l := NewLedger()
+	l.RecordRound(ClientEdge, 3, 100)
+	l.RecordRound(EdgeCloud, 2, 50)
+	l.RecordRound(EdgeCloud, 2, 50)
+	l.RecordRound(ClientCloud, 5, 10)
+	if l.Rounds(ClientEdge) != 1 || l.Rounds(EdgeCloud) != 2 || l.Rounds(ClientCloud) != 1 {
+		t.Fatal("round counts wrong")
+	}
+	if l.Messages(ClientEdge) != 3 || l.Bytes(ClientEdge) != 300 {
+		t.Fatal("message/byte counts wrong")
+	}
+	if l.CloudRounds() != 3 {
+		t.Fatalf("CloudRounds = %d", l.CloudRounds())
+	}
+	if l.CloudBytes() != 2*2*50+5*10 {
+		t.Fatalf("CloudBytes = %d", l.CloudBytes())
+	}
+	if l.TotalBytes() != 300+200+50 {
+		t.Fatalf("TotalBytes = %d", l.TotalBytes())
+	}
+	l.RecordMessage(EdgeCloud, 7)
+	if l.Rounds(EdgeCloud) != 2 || l.Messages(EdgeCloud) != 5 || l.Bytes(EdgeCloud) != 207 {
+		t.Fatal("RecordMessage must not open a round")
+	}
+}
+
+func TestLedgerSnapshotAndReset(t *testing.T) {
+	l := NewLedger()
+	l.RecordRound(EdgeCloud, 1, 8)
+	s := l.Snapshot()
+	if s.CloudRounds() != 1 || s.Bytes[EdgeCloud] != 8 {
+		t.Fatal("snapshot wrong")
+	}
+	l.Reset()
+	if l.CloudRounds() != 0 || l.TotalBytes() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	// Snapshot must be immutable copy.
+	if s.CloudRounds() != 1 {
+		t.Fatal("snapshot mutated by reset")
+	}
+}
+
+func TestLedgerConcurrent(t *testing.T) {
+	l := NewLedger()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.RecordRound(EdgeCloud, 1, 4)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Rounds(EdgeCloud) != workers*per {
+		t.Fatalf("lost updates: %d", l.Rounds(EdgeCloud))
+	}
+	if l.Bytes(EdgeCloud) != workers*per*4 {
+		t.Fatalf("lost bytes: %d", l.Bytes(EdgeCloud))
+	}
+}
+
+func TestModelBytes(t *testing.T) {
+	if ModelBytes(7850) != 62800 {
+		t.Fatalf("ModelBytes = %d", ModelBytes(7850))
+	}
+}
+
+func TestLinkString(t *testing.T) {
+	for _, l := range []Link{ClientEdge, EdgeCloud, ClientCloud} {
+		if l.String() == "" {
+			t.Fatal("empty link name")
+		}
+	}
+	if Link(99).String() == "" {
+		t.Fatal("unknown link must still print")
+	}
+}

@@ -1,0 +1,124 @@
+package hierfair
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadLogReg(t *testing.T) {
+	spec := smokeSpec(AlgHierMinimax)
+	spec.Rounds = 100
+	rep, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clf, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clf.InputDim() != 48 || clf.NumClasses() != 10 {
+		t.Fatalf("restored dims %d/%d", clf.InputDim(), clf.NumClasses())
+	}
+	// The restored classifier must agree with the live report on a set
+	// of probe points.
+	for i := 0; i < 50; i++ {
+		x := make([]float64, 48)
+		for j := range x {
+			x[j] = float64((i*31+j*7)%13) * 0.1
+		}
+		if rep.Predict(x) != clf.Predict(x) {
+			t.Fatalf("restored model disagrees at probe %d", i)
+		}
+	}
+}
+
+func TestSaveLoadMLP(t *testing.T) {
+	spec := smokeSpec(AlgHierMinimax)
+	spec.Model = ModelMLP
+	spec.Hidden1, spec.Hidden2 = 12, 8
+	spec.Rounds = 60
+	rep, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clf, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 48)
+	x[3] = 1
+	if rep.Predict(x) != clf.Predict(x) {
+		t.Fatal("restored MLP disagrees")
+	}
+}
+
+func TestClassifierExtraction(t *testing.T) {
+	spec := smokeSpec(AlgHierMinimax)
+	spec.Rounds = 60
+	rep, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := rep.Classifier()
+	x := make([]float64, 48)
+	if clf.Predict(x) != rep.Predict(x) {
+		t.Fatal("classifier disagrees with report")
+	}
+	// Accuracy on a trivially self-consistent set.
+	xs := [][]float64{x}
+	ys := []int{clf.Predict(x)}
+	if clf.Accuracy(xs, ys) != 1 {
+		t.Fatal("Accuracy broken")
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadModelRejectsLengthMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	spec := smokeSpec(AlgHierMinimax)
+	spec.Rounds = 30
+	rep, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: reload, truncate parameters, re-save through the struct
+	// by crafting a short parameter vector.
+	clf, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = clf
+	// Directly exercise the mismatch branch.
+	var buf2 bytes.Buffer
+	bad := savedModel{Kind: ModelLogReg, InputDim: 4, NumClasses: 3, W: []float64{1, 2}}
+	if err := encodeGob(&buf2, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(&buf2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	var buf3 bytes.Buffer
+	badKind := savedModel{Kind: "bogus", InputDim: 4, NumClasses: 3, W: make([]float64, 15)}
+	if err := encodeGob(&buf3, badKind); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(&buf3); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
