@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -22,6 +23,9 @@ func main() {
 	scaleName := flag.String("scale", "smoke", "scale: smoke|small|full")
 	seed := flag.Uint64("seed", 42, "random seed")
 	out := flag.String("out", "", "directory for CSV/JSON artifacts (empty = none)")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus-text metrics here at exit (plus a .json snapshot beside it)")
+	traceOut := flag.String("trace-out", "", "stream a JSONL span/event trace journal to this path")
+	pprofDir := flag.String("pprof", "", "capture cpu.pprof and heap.pprof into this directory")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -37,18 +41,33 @@ func main() {
 		os.Exit(1)
 	}
 
+	obsDone, err := obs.Setup(*metricsOut, *traceOut, *pprofDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	// Phase timings come from obs spans, so the harness needs a hub even
+	// when no exporter flag asked for one.
+	if !obs.Enabled() {
+		obs.SetGlobal(obs.New())
+	}
+	fail := func(format string, args ...any) {
+		obsDone()
+		fmt.Fprintf(os.Stderr, format, args...)
+		os.Exit(1)
+	}
+
 	run := func(name string, fn func() (experiments.Artifact, error)) {
-		t0 := time.Now()
+		fmt.Printf("[%s started at scale %s]\n", name, scale)
+		sp := obs.Start("experiment-phase", obs.Str("phase", name), obs.Str("scale", scale.String()))
 		res, err := fn()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
-			os.Exit(1)
+			fail("experiments: %s: %v\n", name, err)
 		}
 		if err := experiments.Export(res, os.Stdout, *out, name+"-"+scale.String()); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: export %s: %v\n", name, err)
-			os.Exit(1)
+			fail("experiments: export %s: %v\n", name, err)
 		}
-		fmt.Printf("[%s completed in %v at scale %s]\n\n", name, time.Since(t0).Round(time.Millisecond), scale)
+		fmt.Printf("[%s completed in %v at scale %s]\n\n", name, sp.End().Round(time.Millisecond), scale)
 	}
 
 	all := *exp == "all"
@@ -73,5 +92,9 @@ func main() {
 	}
 	if all || *exp == "ablations" {
 		run("ablations", func() (experiments.Artifact, error) { return experiments.Ablations(scale, *seed) })
+	}
+	if err := obsDone(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: observability teardown:", err)
+		os.Exit(1)
 	}
 }

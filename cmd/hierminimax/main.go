@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -45,6 +46,9 @@ func main() {
 	flag.Uint64Var(&spec.Seed, "seed", 1, "random seed")
 	flag.IntVar(&spec.EvalEvery, "eval", 100, "evaluate every this many rounds")
 	saveModel := flag.String("savemodel", "", "write the trained model (gob) to this path")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus-text metrics here at exit (plus a .json snapshot beside it)")
+	traceOut := flag.String("trace-out", "", "stream a JSONL span/event trace journal to this path")
+	pprofDir := flag.String("pprof", "", "capture cpu.pprof and heap.pprof into this directory")
 	flag.Parse()
 
 	spec.Algorithm = hierfair.Algorithm(alg)
@@ -53,10 +57,22 @@ func main() {
 	spec.Model = hierfair.ModelKind(mdl)
 	spec.Engine = hierfair.Engine(engine)
 
-	rep, err := hierfair.Run(spec)
+	obsDone, err := obs.Setup(*metricsOut, *traceOut, *pprofDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hierminimax:", err)
 		os.Exit(1)
+	}
+	// fail flushes observability outputs before exiting on an error path
+	// (os.Exit skips defers).
+	fail := func(err error) {
+		obsDone()
+		fmt.Fprintln(os.Stderr, "hierminimax:", err)
+		os.Exit(1)
+	}
+
+	rep, err := hierfair.Run(spec)
+	if err != nil {
+		fail(err)
 	}
 	fmt.Printf("%8s %12s %9s %9s %10s\n", "round", "cloudRounds", "average", "worst", "variance")
 	for _, p := range rep.History {
@@ -72,15 +88,29 @@ func main() {
 	if *saveModel != "" {
 		f, err := os.Create(*saveModel)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "hierminimax:", err)
-			os.Exit(1)
+			fail(err)
 		}
-		defer f.Close()
 		if err := rep.SaveModel(f); err != nil {
-			fmt.Fprintln(os.Stderr, "hierminimax:", err)
-			os.Exit(1)
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
 		}
 		fmt.Printf("model written to %s\n", *saveModel)
+	}
+	if err := obsDone(); err != nil {
+		fmt.Fprintln(os.Stderr, "hierminimax: observability teardown:", err)
+		os.Exit(1)
+	}
+	if *metricsOut != "" {
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		fmt.Printf("trace journal written to %s\n", *traceOut)
+	}
+	if *pprofDir != "" {
+		fmt.Printf("profiles written to %s\n", *pprofDir)
 	}
 }
 

@@ -9,7 +9,6 @@ import (
 	"repro/internal/model"
 	"repro/internal/multilayer"
 	"repro/internal/simnet"
-	"repro/internal/topology"
 )
 
 // Point is one evaluation snapshot of a training run.
@@ -107,8 +106,8 @@ func Run(spec Spec) (*Report, error) {
 		Algorithm:    res.Algorithm,
 		EdgeWeights:  append([]float64(nil), res.PWeights...),
 		CloudRounds:  res.Ledger.CloudRounds(),
-		CloudBytes:   res.Ledger.Bytes[topology.EdgeCloud] + res.Ledger.Bytes[topology.ClientCloud],
-		TotalBytes:   res.Ledger.Bytes[topology.ClientEdge] + res.Ledger.Bytes[topology.EdgeCloud] + res.Ledger.Bytes[topology.ClientCloud],
+		CloudBytes:   res.Ledger.CloudBytes(),
+		TotalBytes:   res.Ledger.TotalBytes(),
 		SimulatedMs:  stats.SimulatedMs,
 		MessagesSent: stats.MessagesSent,
 		mdl:          prob.Model,

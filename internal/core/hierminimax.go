@@ -10,6 +10,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/fl"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/rng"
 	"repro/internal/tensor"
@@ -63,6 +64,8 @@ func Round(k int, st *fl.State, pool *fl.ModelPool) {
 	dBytes := topology.ModelBytes(len(st.W))
 	kr := st.Root.ChildN('k', uint64(k))
 
+	p1 := obsSpan("phase1", k)
+
 	// ---- Phase 1 ----
 	// Sample edge slots by p^(k) with replacement (the unbiasedness
 	// argument of Appendix A needs i.i.d. draws), and the checkpoint
@@ -94,8 +97,10 @@ func Round(k int, st *fl.State, pool *fl.ModelPool) {
 	// Edge-cloud aggregation (Eqs. 5 and 6): average over surviving
 	// slots, in slot order for determinism.
 	var wVecs, chkVecs [][]float64
+	dropped := 0
 	for _, r := range results {
 		if r.dropped {
+			dropped++
 			continue
 		}
 		wVecs = append(wVecs, r.wEdge)
@@ -105,12 +110,19 @@ func Round(k int, st *fl.State, pool *fl.ModelPool) {
 			st.WCount += r.iterCount
 		}
 	}
+	if h := obs.Get(); h != nil {
+		h.Registry().Counter("core_slots_total").Add(int64(len(slots)))
+		h.Registry().Counter("core_slots_dropped_total").Add(int64(dropped))
+	}
 	if len(wVecs) == 0 {
+		p1.End()
 		return // every sampled edge failed this round; w and p carry over
 	}
 	st.Ledger.RecordRound(topology.EdgeCloud, len(wVecs), 2*dBytes)
 	tensor.AverageInto(st.W, wVecs...)
+	t0 := obs.Now()
 	prob.W.Project(st.W)
+	obs.ObserveSince("core_projection_ms", t0)
 	wChk := make([]float64, len(st.W))
 	tensor.AverageInto(wChk, chkVecs...)
 	if cfg.CheckpointOff {
@@ -118,9 +130,21 @@ func Round(k int, st *fl.State, pool *fl.ModelPool) {
 		// instead of the unbiased random checkpoint.
 		copy(wChk, st.W)
 	}
+	p1.End()
 
 	// ---- Phase 2 ----
+	p2 := obsSpan("phase2", k)
 	phase2(k, st, pool, wChk, nE, dBytes, kr.Child(4))
+	p2.End()
+}
+
+// obsSpan opens a per-phase span without allocating attrs when
+// observability is disabled.
+func obsSpan(name string, round int) obs.Span {
+	if h := obs.Get(); h != nil {
+		return h.Start(name, obs.Int("round", round))
+	}
+	return obs.Span{}
 }
 
 // phase2 performs the edge-weight update (Algorithm 1 lines 10-14). It
@@ -148,6 +172,7 @@ func phase2(k int, st *fl.State, pool *fl.ModelPool, wChk []float64, nE int, dBy
 		m := pool.Get()
 		losses[i] = fl.AreaLossEstimate(m, wChk, area, cfg.LossBatch, er)
 		pool.Put(m)
+		obs.Add("core_loss_evals_total", int64(len(area.Clients)*cfg.LossBatch))
 		st.Ledger.RecordRound(topology.ClientEdge, len(area.Clients), 8)
 	})
 	st.Ledger.RecordRound(topology.EdgeCloud, len(sampled), 8)
@@ -252,5 +277,8 @@ func ModelUpdate(a modelUpdateArgs) slotResult {
 		cfg.Quantizer.Quantize(we, a.stream.ChildN('Q', 1))
 		cfg.Quantizer.Quantize(chkEdge, a.stream.ChildN('Q', 2))
 	}
+	// One SGD step evaluates BatchSize per-example gradients; the slot
+	// ran tau1*tau2 steps on each of its n0 clients.
+	obs.Add("core_grad_evals_total", int64(cfg.Tau1*cfg.Tau2*n0*cfg.BatchSize))
 	return slotResult{wEdge: we, wChk: chkEdge, iterSum: iterSum, iterCount: iterCount}
 }

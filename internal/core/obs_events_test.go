@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fl"
+	"repro/internal/fl/fltest"
+	"repro/internal/obs"
+)
+
+// withCollector runs fn with a fresh global hub carrying a collector
+// sink and returns the recorded event sequence.
+func withCollector(t *testing.T, fn func()) []string {
+	t.Helper()
+	hub := obs.New()
+	var sink obs.CollectorSink
+	hub.AddSink(&sink)
+	prev := obs.SetGlobal(hub)
+	defer obs.SetGlobal(prev)
+	fn()
+	return sink.Events()
+}
+
+// Round lifecycle events are a pure function of (problem, config, seed),
+// so interrupting a run at a checkpoint and resuming must replay exactly
+// the uninterrupted run's event sequence: leg one emits rounds [0, s),
+// the resumed leg [s, K), and their concatenation equals the full run.
+func TestResumeReplaysRoundEventSequence(t *testing.T) {
+	cfg := fltest.ToyConfig()
+	cfg.Rounds = 40
+	const stop = 15
+
+	full := withCollector(t, func() {
+		if _, err := HierMinimax(fltest.ToyProblem(1), cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if want := 2 * cfg.Rounds; len(full) != want {
+		t.Fatalf("full run emitted %d events, want %d", len(full), want)
+	}
+
+	var chk *fl.Checkpoint
+	legCfg := cfg
+	legCfg.Rounds = stop
+	leg1 := withCollector(t, func() {
+		_, err := HierMinimaxWithOptions(fltest.ToyProblem(1), legCfg, fl.RunOptions{
+			CheckpointEvery: stop,
+			OnCheckpoint:    func(c *fl.Checkpoint) { chk = c },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Serialize through gob like a real restart would.
+	var buf bytes.Buffer
+	if err := chk.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := fl.LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leg2 := withCollector(t, func() {
+		if _, err := HierMinimaxWithOptions(fltest.ToyProblem(1), cfg, fl.RunOptions{Resume: restored}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	stitched := append(append([]string(nil), leg1...), leg2...)
+	if len(stitched) != len(full) {
+		t.Fatalf("stitched %d events, full run %d", len(stitched), len(full))
+	}
+	for i := range full {
+		if stitched[i] != full[i] {
+			t.Fatalf("event %d diverges after resume: %q vs %q", i, stitched[i], full[i])
+		}
+	}
+}
+
+// The trace journal must contain exactly one "round" span per configured
+// training round, and every line must parse as JSON (the JSONL
+// contract the acceptance criteria pin down).
+func TestTraceJournalRoundSpansMatchRounds(t *testing.T) {
+	var journal bytes.Buffer
+	hub := obs.New()
+	hub.SetTracer(obs.NewTracer(&journal))
+	prev := obs.SetGlobal(hub)
+	defer obs.SetGlobal(prev)
+
+	cfg := fltest.ToyConfig()
+	cfg.Rounds = 25
+	if _, err := HierMinimax(fltest.ToyProblem(1), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	lines, err := obs.ReadTrace(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatalf("journal is not valid JSONL: %v", err)
+	}
+	rounds, phase1 := 0, 0
+	for _, ln := range lines {
+		if ln.Type != "span" && ln.Type != "event" {
+			t.Fatalf("unknown journal record type %q", ln.Type)
+		}
+		switch ln.Name {
+		case "round":
+			rounds++
+			if ln.Attrs["algorithm"] != Algorithm {
+				t.Fatalf("round span algorithm = %v", ln.Attrs["algorithm"])
+			}
+		case "phase1":
+			phase1++
+		}
+	}
+	if rounds != cfg.Rounds {
+		t.Fatalf("journal has %d round spans, want %d", rounds, cfg.Rounds)
+	}
+	if phase1 != cfg.Rounds {
+		t.Fatalf("journal has %d phase1 spans, want %d", phase1, cfg.Rounds)
+	}
+}
+
+// With no hub installed (the default), instrumented training must
+// produce trajectories bitwise-identical to an instrumented-and-enabled
+// run: observability may time things but never touch the math.
+func TestTrajectoryUnchangedByObservability(t *testing.T) {
+	cfg := fltest.ToyConfig()
+	cfg.Rounds = 30
+
+	plain, err := HierMinimax(fltest.ToyProblem(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hub := obs.New()
+	hub.SetTracer(obs.NewTracer(&bytes.Buffer{}))
+	prev := obs.SetGlobal(hub)
+	defer obs.SetGlobal(prev)
+	traced, err := HierMinimax(fltest.ToyProblem(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range plain.W {
+		if plain.W[i] != traced.W[i] {
+			t.Fatalf("w diverges at %d under observability", i)
+		}
+	}
+	for i := range plain.PWeights {
+		if plain.PWeights[i] != traced.PWeights[i] {
+			t.Fatalf("p diverges at %d under observability", i)
+		}
+	}
+	if plain.Ledger != traced.Ledger {
+		t.Fatal("ledger diverges under observability")
+	}
+}

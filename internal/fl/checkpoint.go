@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
@@ -26,13 +27,19 @@ type Checkpoint struct {
 
 // Save writes the checkpoint with encoding/gob.
 func (c *Checkpoint) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(c)
+	sp := obs.Start("checkpoint-encode", obs.Int("round", c.Round))
+	err := gob.NewEncoder(w).Encode(c)
+	sp.End()
+	return err
 }
 
 // LoadCheckpoint reads a checkpoint written by Save.
 func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	sp := obs.Start("checkpoint-load")
 	var c Checkpoint
-	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+	err := gob.NewDecoder(r).Decode(&c)
+	sp.End()
+	if err != nil {
 		return nil, fmt.Errorf("fl: decode checkpoint: %w", err)
 	}
 	return &c, nil
@@ -74,19 +81,8 @@ func (st *State) restore(c *Checkpoint) (startRound int, err error) {
 		copy(st.WSum, c.WSum)
 		copy(st.PSum, c.PSum)
 	}
-	// Replay the ledger totals.
-	for link := topology.Link(0); int(link) < len(c.Ledger.Rounds); link++ {
-		for i := int64(0); i < c.Ledger.Rounds[link]; i++ {
-			st.Ledger.RecordRound(link, 0, 0)
-		}
-		msgs := c.Ledger.Messages[link]
-		bytes := c.Ledger.Bytes[link]
-		if msgs > 0 {
-			st.Ledger.RecordMessage(link, bytes)
-			for i := int64(1); i < msgs; i++ {
-				st.Ledger.RecordMessage(link, 0)
-			}
-		}
-	}
+	// Restore the communication totals in one consistent write instead
+	// of replaying synthetic Record calls.
+	st.Ledger.Restore(c.Ledger)
 	return c.Round, nil
 }

@@ -94,6 +94,5 @@ func (r *Result) Summary() string {
 	f := r.History.Final().Fair
 	return fmt.Sprintf("%s: avg=%.4f worst=%.4f var=%.4f cloudRounds=%d cloudMB=%.1f",
 		r.Algorithm, f.Average, f.Worst, f.Variance,
-		r.Ledger.CloudRounds(),
-		float64(r.Ledger.Bytes[topology.EdgeCloud]+r.Ledger.Bytes[topology.ClientCloud])/1e6)
+		r.Ledger.CloudRounds(), float64(r.Ledger.CloudBytes())/1e6)
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 	"repro/internal/topology"
@@ -98,6 +99,7 @@ func RunWithOptions(algorithm string, prob *Problem, cfg Config, roundFn RoundFu
 	evalModel := prob.Model.Clone()
 	hist := History{}
 	record := func(round int) {
+		sp := obs.Start("eval", obs.Str("algorithm", algorithm), obs.Int("round", round))
 		areas := metrics.EvaluateAreas(evalModel, st.W, prob.Fed)
 		hist.Snapshots = append(hist.Snapshots, Snapshot{
 			Round:  round,
@@ -107,19 +109,35 @@ func RunWithOptions(algorithm string, prob *Problem, cfg Config, roundFn RoundFu
 			Fair:   metrics.Summarize(areas.Accuracy),
 			P:      append([]float64(nil), st.P...),
 		})
+		sp.End()
 	}
 	record(startRound)
 
+	// The observability hub is resolved once per run: rounds of one run
+	// all report to the same hub even if the global is swapped mid-run.
+	hub := obs.Get()
 	for k := startRound; k < cfg.Rounds; k++ {
 		if cfg.TrackAverages {
 			tensor.Axpy(1, st.P, st.PSum)
 		}
+		var sp obs.Span
+		if hub != nil {
+			hub.RoundStart(obs.RoundEvent{Algorithm: algorithm, Round: k})
+			sp = hub.Start("round", obs.Str("algorithm", algorithm), obs.Int("round", k))
+		}
 		roundFn(k, st)
+		if hub != nil {
+			sp.End()
+			hub.Registry().Counter("fl_rounds_total").Inc()
+			hub.RoundEnd(obs.RoundEvent{Algorithm: algorithm, Round: k})
+		}
 		if cfg.EvalEvery > 0 && (k+1)%cfg.EvalEvery == 0 && k+1 < cfg.Rounds {
 			record(k + 1)
 		}
 		if opts.CheckpointEvery > 0 && (k+1)%opts.CheckpointEvery == 0 && opts.OnCheckpoint != nil {
+			csp := obs.Start("checkpoint-save", obs.Int("round", k+1))
 			opts.OnCheckpoint(checkpointOf(algorithm, k+1, st))
+			csp.End()
 		}
 	}
 	record(cfg.Rounds)

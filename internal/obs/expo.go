@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): `# TYPE` headers per metric family, counter
+// and gauge samples, and histograms expanded into `_bucket{le=...}`,
+// `_sum` and `_count` series. Inline labels in instrument names (e.g.
+// `x_total{link="client-edge"}`) are preserved and merged with the
+// generated `le` label.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	typed := map[instrumentKind]string{
+		KindCounter:   "counter",
+		KindGauge:     "gauge",
+		KindHistogram: "histogram",
+	}
+	seenType := map[string]bool{}
+	for _, p := range r.Snapshot() {
+		family, labels := splitName(p.Name)
+		if !seenType[family] {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, typed[p.Kind]); err != nil {
+				return err
+			}
+			seenType[family] = true
+		}
+		switch p.Kind {
+		case KindCounter, KindGauge:
+			if _, err := fmt.Fprintf(w, "%s %s\n", p.Name, fmtFloat(p.Value)); err != nil {
+				return err
+			}
+		case KindHistogram:
+			var cum int64
+			for i, c := range p.Buckets {
+				cum += c
+				le := "+Inf"
+				if i < len(p.Bounds) {
+					le = fmtFloat(p.Bounds[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					family, mergeLabels(labels, `le="`+le+`"`), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", family, braced(labels), fmtFloat(p.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", family, braced(labels), p.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// splitName separates `family{label="v"}` into family and the raw label
+// body (`label="v"`, empty when unlabeled).
+func splitName(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// mergeLabels joins existing labels with an extra one into `{a,b}`.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// braced re-wraps a non-empty label body in braces.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// fmtFloat renders integers without exponent noise and everything else
+// with enough digits to round-trip.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// jsonMetric is one instrument in the JSON snapshot.
+type jsonMetric struct {
+	Type      string             `json:"type"`
+	Value     *float64           `json:"value,omitempty"`
+	Buckets   []jsonBucket       `json:"buckets,omitempty"`
+	Sum       *float64           `json:"sum,omitempty"`
+	Count     *int64             `json:"count,omitempty"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+}
+
+// jsonBucket is one histogram bucket in the JSON snapshot.
+type jsonBucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// WriteJSON renders the registry as an indented JSON object keyed by
+// instrument name; histograms include p50/p90/p99 estimates so the
+// snapshot is directly plottable from artifacts/.
+func WriteJSON(w io.Writer, r *Registry) error {
+	out := make(map[string]jsonMetric)
+	for _, p := range r.Snapshot() {
+		switch p.Kind {
+		case KindCounter:
+			v := p.Value
+			out[p.Name] = jsonMetric{Type: "counter", Value: &v}
+		case KindGauge:
+			v := p.Value
+			out[p.Name] = jsonMetric{Type: "gauge", Value: &v}
+		case KindHistogram:
+			m := jsonMetric{Type: "histogram"}
+			sum, count := p.Sum, p.Count
+			m.Sum, m.Count = &sum, &count
+			for i, c := range p.Buckets {
+				le := "+Inf"
+				if i < len(p.Bounds) {
+					le = fmtFloat(p.Bounds[i])
+				}
+				m.Buckets = append(m.Buckets, jsonBucket{LE: le, Count: c})
+			}
+			if count > 0 {
+				h := r.Histogram(p.Name, nil)
+				m.Quantiles = map[string]float64{
+					"p50": h.Quantile(0.50),
+					"p90": h.Quantile(0.90),
+					"p99": h.Quantile(0.99),
+				}
+			}
+			out[p.Name] = m
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

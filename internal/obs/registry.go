@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use; the hot path is a single atomic add.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta (negative deltas are ignored to
+// preserve monotonicity).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 value. The value is stored as raw
+// IEEE-754 bits so every operation is a lock-free atomic.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta to the gauge (CAS loop).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// high-water mark (used e.g. for mailbox queue depths).
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is an explicit-bucket histogram. Bounds are inclusive upper
+// bucket edges in ascending order; an implicit +Inf bucket catches the
+// rest. Observations are lock-free atomic adds.
+type Histogram struct {
+	bounds []float64 // immutable after construction
+	counts []atomic.Int64
+	sum    Gauge // running sum of observed values
+	count  atomic.Int64
+}
+
+// DefDurationBuckets covers microseconds to tens of seconds, the useful
+// range for round, eval and checkpoint timings (values in milliseconds).
+var DefDurationBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500,
+	1000, 5000, 10000, 30000,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose bound >= v, i.e. Prometheus `le` semantics.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Bounds returns the upper bucket edges (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns the per-bucket counts; the last entry is the
+// +Inf bucket. The scan is not atomic with respect to concurrent
+// Observes, which can at worst undercount in-flight observations.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket holding the target rank, the same
+// scheme Prometheus' histogram_quantile uses: the lower edge of the
+// first bucket is taken as 0 (or the bound itself when negative values
+// were bucketed), and ranks landing in the +Inf bucket clamp to the
+// highest finite bound. Returns NaN on an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == len(h.bounds) {
+				// +Inf bucket: clamp to the largest finite edge.
+				if len(h.bounds) == 0 {
+					return math.NaN()
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			if hi < lo { // all-negative bounds; don't extrapolate above hi
+				lo = hi
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Registry holds named instruments. Lookup uses a read lock; the
+// instruments themselves are lock-free, so concurrent recording never
+// serializes. Names may carry Prometheus-style labels inline, e.g.
+// `simnet_messages_sent_total{link="client-edge"}`; the exposition
+// writer groups such series under their family name.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; ok {
+		return h
+	}
+	if len(bounds) == 0 {
+		bounds = DefDurationBuckets
+	}
+	h = newHistogram(bounds)
+	r.histograms[name] = h
+	return h
+}
+
+// instrumentKind tags entries of a registry snapshot.
+type instrumentKind int
+
+// Snapshot entry kinds.
+const (
+	KindCounter instrumentKind = iota
+	KindGauge
+	KindHistogram
+)
+
+// MetricPoint is one instrument's state in a registry snapshot.
+type MetricPoint struct {
+	Name string
+	Kind instrumentKind
+	// Value holds the counter count or gauge value.
+	Value float64
+	// Histogram state (Kind == KindHistogram only).
+	Bounds  []float64
+	Buckets []int64
+	Sum     float64
+	Count   int64
+}
+
+// Snapshot returns every instrument's current state sorted by name.
+// Instruments record lock-free, so the snapshot is per-instrument
+// consistent rather than globally atomic — the right trade for a
+// telemetry export.
+func (r *Registry) Snapshot() []MetricPoint {
+	r.mu.RLock()
+	pts := make([]MetricPoint, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		pts = append(pts, MetricPoint{Name: name, Kind: KindCounter, Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		pts = append(pts, MetricPoint{Name: name, Kind: KindGauge, Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		pts = append(pts, MetricPoint{
+			Name: name, Kind: KindHistogram,
+			Bounds:  h.Bounds(),
+			Buckets: h.BucketCounts(),
+			Sum:     h.Sum(),
+			Count:   h.Count(),
+		})
+	}
+	r.mu.RUnlock()
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Name < pts[j].Name })
+	return pts
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/fl"
+	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/rng"
 	"repro/internal/tensor"
@@ -72,9 +74,17 @@ func HierMinimax(prob *fl.Problem, cfg fl.Config, opts ...Option) (*fl.Result, R
 		return nil, RunStats{}, err
 	}
 	defer e.stop()
+	h := obs.Get()
+	t0 := obs.Now()
 	res, err := fl.Run("HierMinimax/simnet", prob, cfg, e.round)
 	if err != nil {
 		return nil, RunStats{}, err
+	}
+	if h != nil {
+		// Simulated (latency-model) vs. real wall time, the gap a future
+		// scheduling/perf PR must attack.
+		h.Registry().Gauge("simnet_simulated_ms").Set(e.simMs)
+		h.Registry().Gauge("simnet_wall_ms").Set(float64(time.Since(t0)) / float64(time.Millisecond))
 	}
 	return res, RunStats{
 		SimulatedMs:  e.simMs,

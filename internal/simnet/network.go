@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // NodeKind classifies nodes in the hierarchy.
@@ -78,12 +80,88 @@ type Network struct {
 	drop   DropFunc
 	sent   atomic.Int64
 	lost   atomic.Int64
+	om     *netObs
 	closed bool
 }
 
-// NewNetwork returns an empty network.
+// NewNetwork returns an empty network. Observability is bound here: if a
+// global obs hub is installed when the network is built, every Send
+// records per-link-class message counters and mailbox-depth high-water
+// marks into it (see netObs).
 func NewNetwork() *Network {
-	return &Network{boxes: make(map[NodeID]chan Message)}
+	return &Network{boxes: make(map[NodeID]chan Message), om: newNetObs(obs.Get())}
+}
+
+// linkClass buckets a transfer by the hierarchy links it crosses,
+// matching the topology.Link classes the ledger uses. Reply ports are
+// aspects of their edge server.
+func linkClass(from, to NodeKind) string {
+	if from == ReplyPort {
+		from = Edge
+	}
+	if to == ReplyPort {
+		to = Edge
+	}
+	switch {
+	case (from == Cloud && to == Edge) || (from == Edge && to == Cloud):
+		return "edge-cloud"
+	case (from == Edge && to == Client) || (from == Client && to == Edge):
+		return "client-edge"
+	case (from == Cloud && to == Client) || (from == Client && to == Cloud):
+		return "client-cloud"
+	}
+	return "unknown"
+}
+
+// netObs caches resolved instruments so the per-message hot path is one
+// map-free atomic add per metric. Control messages (actor shutdown) are
+// counted apart from protocol traffic so the link-class counters
+// reconcile exactly with the topology.Ledger totals (asserted in tests).
+type netObs struct {
+	sent    map[string]*obs.Counter
+	dropped map[string]*obs.Counter
+	bytes   map[string]*obs.Counter
+	depth   map[NodeKind]*obs.Gauge
+	control *obs.Counter
+}
+
+func newNetObs(h *obs.Hub) *netObs {
+	if h == nil {
+		return nil
+	}
+	reg := h.Registry()
+	om := &netObs{
+		sent:    make(map[string]*obs.Counter),
+		dropped: make(map[string]*obs.Counter),
+		bytes:   make(map[string]*obs.Counter),
+		depth:   make(map[NodeKind]*obs.Gauge),
+		control: reg.Counter("simnet_control_messages_total"),
+	}
+	for _, class := range []string{"client-edge", "edge-cloud", "client-cloud", "unknown"} {
+		om.sent[class] = reg.Counter(`simnet_messages_sent_total{link="` + class + `"}`)
+		om.dropped[class] = reg.Counter(`simnet_messages_dropped_total{link="` + class + `"}`)
+		om.bytes[class] = reg.Counter(`simnet_bytes_sent_total{link="` + class + `"}`)
+	}
+	for _, kind := range []NodeKind{Cloud, Edge, Client, ReplyPort} {
+		om.depth[kind] = reg.Gauge(`simnet_mailbox_depth_hwm{kind="` + kind.String() + `"}`)
+	}
+	return om
+}
+
+// observe records one Send outcome.
+func (om *netObs) observe(msg Message, queued int, dropped bool) {
+	if _, ok := msg.Payload.(stopMsg); ok {
+		om.control.Inc()
+		return
+	}
+	class := linkClass(msg.From.Kind, msg.To.Kind)
+	if dropped {
+		om.dropped[class].Inc()
+		return
+	}
+	om.sent[class].Inc()
+	om.bytes[class].Add(msg.Bytes)
+	om.depth[msg.To.Kind].SetMax(float64(queued))
 }
 
 // SetDrop installs the failure-injection hook (nil disables).
@@ -125,9 +203,16 @@ func (n *Network) Send(msg Message) bool {
 	n.sent.Add(1)
 	if drop != nil && drop(msg) {
 		n.lost.Add(1)
+		if n.om != nil {
+			n.om.observe(msg, 0, true)
+		}
 		return false
 	}
+	queued := len(box) + 1 // depth including this message at enqueue time
 	box <- msg
+	if n.om != nil {
+		n.om.observe(msg, queued, false)
+	}
 	return true
 }
 

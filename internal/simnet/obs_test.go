@@ -1,0 +1,106 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/fl/fltest"
+	"repro/internal/obs"
+	"repro/internal/topology"
+)
+
+// The per-link-class message counters recorded by the Network must
+// reconcile exactly with the topology.Ledger totals of the same run: the
+// ledger is the cloud's logical account of the protocol, the obs
+// counters are the transport's, and the deterministic protocol makes
+// them two views of the same traffic. Control (shutdown) messages are
+// kept out of the link classes for exactly this reconciliation.
+func TestObsMessageCountersMatchLedger(t *testing.T) {
+	hub := obs.New()
+	prev := obs.SetGlobal(hub)
+	defer obs.SetGlobal(prev)
+
+	cfg := fltest.ToyConfig()
+	cfg.Rounds = 12
+	res, stats, err := HierMinimax(fltest.ToyProblem(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := hub.Registry()
+	counter := func(name string) int64 { return reg.Counter(name).Value() }
+
+	ce := counter(`simnet_messages_sent_total{link="client-edge"}`)
+	ec := counter(`simnet_messages_sent_total{link="edge-cloud"}`)
+	cc := counter(`simnet_messages_sent_total{link="client-cloud"}`)
+	if want := res.Ledger.Messages[topology.ClientEdge]; ce != want {
+		t.Fatalf("client-edge messages: obs %d, ledger %d", ce, want)
+	}
+	if want := res.Ledger.Messages[topology.EdgeCloud]; ec != want {
+		t.Fatalf("edge-cloud messages: obs %d, ledger %d", ec, want)
+	}
+	if cc != 0 || res.Ledger.Messages[topology.ClientCloud] != 0 {
+		t.Fatalf("client-cloud traffic in a hierarchical run: obs %d, ledger %d",
+			cc, res.Ledger.Messages[topology.ClientCloud])
+	}
+
+	// The transport saw exactly the protocol messages (shutdown controls
+	// are counted apart; stats.MessagesSent is read before actor
+	// shutdown, so it excludes them too), and nothing was dropped.
+	if got := ce + ec + cc; got != stats.MessagesSent {
+		t.Fatalf("protocol messages: obs %d, runstats %d", got, stats.MessagesSent)
+	}
+	if control := counter("simnet_control_messages_total"); control == 0 {
+		t.Fatal("no control messages counted for actor shutdown")
+	}
+	for _, class := range []string{"client-edge", "edge-cloud", "client-cloud"} {
+		if d := counter(`simnet_messages_dropped_total{link="` + class + `"}`); d != 0 {
+			t.Fatalf("dropped %d %s messages without a drop hook", d, class)
+		}
+	}
+
+	// Mailbox high-water marks were observed and stayed within the
+	// registered buffer capacities.
+	for kind, capLimit := range map[string]float64{
+		"cloud":     float64(2*cfg.SampledEdges + 4),
+		"edge":      4,
+		"client":    2,
+		"edge-port": float64(2 + 1), // ClientsPerEdge+1 on the toy problem
+	} {
+		hwm := reg.Gauge(`simnet_mailbox_depth_hwm{kind="` + kind + `"}`).Value()
+		if hwm <= 0 {
+			t.Fatalf("no mailbox depth recorded for %s", kind)
+		}
+		if hwm > capLimit {
+			t.Fatalf("%s mailbox high-water %g exceeds buffer %g", kind, hwm, capLimit)
+		}
+	}
+
+	// Byte counters reconcile on the cloud links, where message payloads
+	// carry exactly the bytes the ledger records.
+	ecBytes := counter(`simnet_bytes_sent_total{link="edge-cloud"}`)
+	if want := res.Ledger.Bytes[topology.EdgeCloud]; ecBytes != want {
+		t.Fatalf("edge-cloud bytes: obs %d, ledger %d", ecBytes, want)
+	}
+}
+
+// With a drop hook installed, dropped messages must land in the dropped
+// counters, not the sent ones.
+func TestObsDropCounters(t *testing.T) {
+	hub := obs.New()
+	prev := obs.SetGlobal(hub)
+	defer obs.SetGlobal(prev)
+
+	n := NewNetwork()
+	n.Register(NodeID{Client, 0}, 4)
+	n.SetDrop(func(m Message) bool { return m.Kind == "lossy" })
+	n.Send(Message{From: NodeID{Edge, 0}, To: NodeID{Client, 0}, Kind: "lossy", Bytes: 8})
+	n.Send(Message{From: NodeID{Edge, 0}, To: NodeID{Client, 0}, Kind: "fine", Bytes: 8})
+
+	reg := hub.Registry()
+	if got := reg.Counter(`simnet_messages_dropped_total{link="client-edge"}`).Value(); got != 1 {
+		t.Fatalf("dropped counter = %d, want 1", got)
+	}
+	if got := reg.Counter(`simnet_messages_sent_total{link="client-edge"}`).Value(); got != 1 {
+		t.Fatalf("sent counter = %d, want 1", got)
+	}
+}

@@ -136,6 +136,19 @@ func (l *Ledger) Snapshot() LedgerSnapshot {
 	return s
 }
 
+// Restore overwrites all counters from a snapshot, the inverse of
+// Snapshot. Checkpoint resume uses it to replay the communication totals
+// of the interrupted run in one consistent write.
+func (l *Ledger) Restore(s LedgerSnapshot) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := Link(0); i < numLinks; i++ {
+		l.rounds[i] = s.Rounds[i]
+		l.messages[i] = s.Messages[i]
+		l.bytes[i] = s.Bytes[i]
+	}
+}
+
 // Reset zeroes all counters.
 func (l *Ledger) Reset() {
 	l.mu.Lock()
@@ -155,6 +168,30 @@ type LedgerSnapshot struct {
 // CloudRounds mirrors Ledger.CloudRounds for snapshots.
 func (s LedgerSnapshot) CloudRounds() int64 {
 	return s.Rounds[EdgeCloud] + s.Rounds[ClientCloud]
+}
+
+// CloudBytes returns the snapshot's bytes over links terminating at the
+// cloud, mirroring Ledger.CloudBytes.
+func (s LedgerSnapshot) CloudBytes() int64 {
+	return s.Bytes[EdgeCloud] + s.Bytes[ClientCloud]
+}
+
+// TotalBytes returns the snapshot's bytes over all links.
+func (s LedgerSnapshot) TotalBytes() int64 {
+	var sum int64
+	for _, b := range s.Bytes {
+		sum += b
+	}
+	return sum
+}
+
+// TotalMessages returns the snapshot's transfer count over all links.
+func (s LedgerSnapshot) TotalMessages() int64 {
+	var sum int64
+	for _, m := range s.Messages {
+		sum += m
+	}
+	return sum
 }
 
 // ModelBytes returns the wire size of a d-dimensional float64 model.
