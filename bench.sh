@@ -1,0 +1,51 @@
+#!/bin/sh
+# Performance gate: benchmarks the engine hot path and records the
+# numbers in BENCH_2.json so perf regressions are diffable in review.
+#
+#   ./bench.sh            # ~1 min, writes BENCH_2.json
+#
+# BenchmarkEngineRound is the contract benchmark: one HierMinimax round
+# (Phase 1 + Phase 2) on the smoke workload. examples/sec counts gradient
+# examples (sampled edges x clients x tau1*tau2 x batch) per wall second.
+set -eu
+
+OUT=${1:-BENCH_2.json}
+COUNT=${BENCH_COUNT:-3}
+TIME=${BENCH_TIME:-2s}
+
+RAW=$(go test -run '^$' -bench 'BenchmarkEngineRound$|BenchmarkSimnetRound$' \
+	-benchmem -benchtime "$TIME" -count "$COUNT" .)
+echo "$RAW"
+
+echo "$RAW" | awk -v out="$OUT" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op" && (!(name in ns) || $i + 0 < ns[name])) {
+			# keep the best (min) of the repeated runs
+			ns[name] = $i + 0
+			bytes[name] = 0; allocs[name] = 0; eps[name] = 0
+			for (j = 2; j < NF; j++) {
+				if ($(j+1) == "B/op") bytes[name] = $j + 0
+				if ($(j+1) == "allocs/op") allocs[name] = $j + 0
+				if ($(j+1) == "examples/sec") eps[name] = $j + 0
+			}
+		}
+	}
+	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+	printf "{\n  \"benchmarks\": [\n" > out
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f, \"examples_per_sec\": %.0f}%s\n", \
+			name, ns[name], bytes[name], allocs[name], eps[name], (i < n ? "," : "") > out
+	}
+	printf "  ]\n}\n" > out
+}
+'
+
+echo "wrote $OUT:"
+cat "$OUT"

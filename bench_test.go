@@ -156,6 +156,12 @@ func BenchmarkEngineRound(b *testing.B) {
 	if _, err := Run(spec); err != nil {
 		b.Fatal(err)
 	}
+	// Gradient examples processed per round: sampled edges × clients ×
+	// local steps (tau1*tau2) × batch.
+	examples := spec.SampledEdges * spec.ClientsPerEdge * spec.Tau1 * spec.Tau2 * spec.BatchSize
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(examples*b.N)/sec, "examples/sec")
+	}
 }
 
 // BenchmarkSimnetRound measures one actor-engine round, including all

@@ -8,3 +8,9 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/simnet/... ./internal/obs/...
+
+# Performance gate (optional, ~1 min): CI_BENCH=1 ./ci.sh refreshes
+# BENCH_2.json via bench.sh so hot-path regressions show up in review.
+if [ "${CI_BENCH:-0}" = "1" ]; then
+	./bench.sh
+fi

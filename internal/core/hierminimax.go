@@ -7,9 +7,10 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/data"
 	"repro/internal/fl"
-	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/rng"
@@ -19,6 +20,16 @@ import (
 
 // Algorithm is the canonical name used in results and manifests.
 const Algorithm = "HierMinimax"
+
+// Cached metric handles: hot-path counters resolve the registry entry
+// once per hub instead of taking a read-locked map lookup per round.
+var (
+	slotsTotal     = obs.NewCounterHandle("core_slots_total")
+	slotsDropped   = obs.NewCounterHandle("core_slots_dropped_total")
+	gradEvals      = obs.NewCounterHandle("core_grad_evals_total")
+	lossEvals      = obs.NewCounterHandle("core_loss_evals_total")
+	examplesPerSec = obs.NewGaugeHandle("core_examples_per_sec")
+)
 
 // HierMinimax runs Algorithm 1 on the problem and returns the trained
 // result. Each round:
@@ -47,12 +58,65 @@ func HierMinimaxWithOptions(prob *fl.Problem, cfg fl.Config, opts fl.RunOptions)
 	}, opts)
 }
 
-// slotResult is the outcome of one sampled edge slot's ModelUpdate.
+// slotScratch holds every per-slot buffer of ModelUpdate. Instances
+// recycle through slotPool, so after the first few rounds Phase 1 runs
+// without allocating model-sized vectors.
+type slotScratch struct {
+	we, chkEdge, iterSum []float64
+	finals, chks, sums   [][]float64
+	bits                 []int64
+}
+
+var slotPool = sync.Pool{New: func() any { return new(slotScratch) }}
+
+func growVec(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}
+
+func growRows(rows [][]float64, n, d int) [][]float64 {
+	if cap(rows) < n {
+		grown := make([][]float64, n)
+		copy(grown, rows)
+		rows = grown
+	}
+	rows = rows[:n]
+	for i := range rows {
+		rows[i] = growVec(rows[i], d)
+	}
+	return rows
+}
+
+// getSlotScratch sizes a pooled scratch for a d-parameter model and n0
+// clients. iterSum starts zeroed; the other buffers are overwritten
+// before use.
+func getSlotScratch(d, n0 int, trackAverages bool) *slotScratch {
+	s := slotPool.Get().(*slotScratch)
+	s.we = growVec(s.we, d)
+	s.chkEdge = growVec(s.chkEdge, d)
+	s.finals = growRows(s.finals, n0, d)
+	s.chks = growRows(s.chks, n0, d)
+	if cap(s.bits) < n0 {
+		s.bits = make([]int64, n0)
+	}
+	s.bits = s.bits[:n0]
+	if trackAverages {
+		s.iterSum = growVec(s.iterSum, d)
+		tensor.Zero(s.iterSum)
+		s.sums = growRows(s.sums, n0, d)
+	}
+	return s
+}
+
+// slotResult is the outcome of one sampled edge slot's ModelUpdate. The
+// scratch (nil for dropped slots) carries the edge model, checkpoint and
+// iterate sum; Round returns it to the pool after aggregation.
 type slotResult struct {
-	wEdge, wChk []float64
-	iterSum     []float64
-	iterCount   float64
-	dropped     bool
+	scratch   *slotScratch
+	iterCount float64
+	dropped   bool
 }
 
 // Round advances one HierMinimax training round. Exported so the simnet
@@ -63,6 +127,7 @@ func Round(k int, st *fl.State, pool *fl.ModelPool) {
 	nE := prob.Fed.NumAreas()
 	dBytes := topology.ModelBytes(len(st.W))
 	kr := st.Root.ChildN('k', uint64(k))
+	hub := obs.Get()
 
 	p1 := obsSpan("phase1", k)
 
@@ -78,6 +143,7 @@ func Round(k int, st *fl.State, pool *fl.ModelPool) {
 	// Cloud broadcasts w^(k) and (c1, c2) to the sampled edges.
 	st.Ledger.RecordRound(topology.EdgeCloud, len(slots), dBytes)
 
+	t0 := obs.Now()
 	results := make([]slotResult, len(slots))
 	cfg.ForEach(len(slots), func(i int) {
 		sr := kr.ChildN(3, uint64(i))
@@ -85,10 +151,8 @@ func Round(k int, st *fl.State, pool *fl.ModelPool) {
 			results[i] = slotResult{dropped: true}
 			return
 		}
-		m := pool.Get()
-		defer pool.Put(m)
 		results[i] = ModelUpdate(modelUpdateArgs{
-			model: m, prob: prob, cfg: cfg,
+			pool: pool, prob: prob, cfg: cfg,
 			wStart: st.W, area: prob.Fed.Areas[slots[i]],
 			c1: c1, c2: c2, stream: sr, ledger: st.Ledger,
 		})
@@ -103,16 +167,21 @@ func Round(k int, st *fl.State, pool *fl.ModelPool) {
 			dropped++
 			continue
 		}
-		wVecs = append(wVecs, r.wEdge)
-		chkVecs = append(chkVecs, r.wChk)
+		wVecs = append(wVecs, r.scratch.we)
+		chkVecs = append(chkVecs, r.scratch.chkEdge)
 		if st.WSum != nil {
-			tensor.Axpy(1, r.iterSum, st.WSum)
+			tensor.Axpy(1, r.scratch.iterSum, st.WSum)
 			st.WCount += r.iterCount
 		}
 	}
-	if h := obs.Get(); h != nil {
-		h.Registry().Counter("core_slots_total").Add(int64(len(slots)))
-		h.Registry().Counter("core_slots_dropped_total").Add(int64(dropped))
+	slotsTotal.Add(int64(len(slots)))
+	slotsDropped.Add(int64(dropped))
+	if hub != nil && len(wVecs) > 0 {
+		if el := obs.Now().Sub(t0).Seconds(); el > 0 {
+			n0 := len(prob.Fed.Areas[0].Clients)
+			examples := len(wVecs) * cfg.SlotsPerRound() * n0 * cfg.BatchSize
+			examplesPerSec.Set(float64(examples) / el)
+		}
 	}
 	if len(wVecs) == 0 {
 		p1.End()
@@ -120,15 +189,20 @@ func Round(k int, st *fl.State, pool *fl.ModelPool) {
 	}
 	st.Ledger.RecordRound(topology.EdgeCloud, len(wVecs), 2*dBytes)
 	tensor.AverageInto(st.W, wVecs...)
-	t0 := obs.Now()
+	tp := obs.Now()
 	prob.W.Project(st.W)
-	obs.ObserveSince("core_projection_ms", t0)
+	obs.ObserveSince("core_projection_ms", tp)
 	wChk := make([]float64, len(st.W))
 	tensor.AverageInto(wChk, chkVecs...)
 	if cfg.CheckpointOff {
 		// A1 ablation: estimate the p-gradient at the end-of-round model
 		// instead of the unbiased random checkpoint.
 		copy(wChk, st.W)
+	}
+	for _, r := range results {
+		if r.scratch != nil {
+			slotPool.Put(r.scratch)
+		}
 	}
 	p1.End()
 
@@ -170,9 +244,9 @@ func phase2(k int, st *fl.State, pool *fl.ModelPool, wChk []float64, nE int, dBy
 		// mini-batch losses (client-edge traffic).
 		st.Ledger.RecordRound(topology.ClientEdge, len(area.Clients), dBytes)
 		m := pool.Get()
+		defer pool.Put(m)
 		losses[i] = fl.AreaLossEstimate(m, wChk, area, cfg.LossBatch, er)
-		pool.Put(m)
-		obs.Add("core_loss_evals_total", int64(len(area.Clients)*cfg.LossBatch))
+		lossEvals.Add(int64(len(area.Clients) * cfg.LossBatch))
 		st.Ledger.RecordRound(topology.ClientEdge, len(area.Clients), 8)
 	})
 	st.Ledger.RecordRound(topology.EdgeCloud, len(sampled), 8)
@@ -192,7 +266,7 @@ func phase2(k int, st *fl.State, pool *fl.ModelPool, wChk []float64, nE int, dBy
 
 // modelUpdateArgs bundles the inputs of one edge slot's ModelUpdate.
 type modelUpdateArgs struct {
-	model  model.Model
+	pool   *fl.ModelPool
 	prob   *fl.Problem
 	cfg    *fl.Config
 	wStart []float64
@@ -206,23 +280,21 @@ type modelUpdateArgs struct {
 // sampled edge slot: tau2 client-edge aggregation blocks, each consisting
 // of tau1 local SGD steps per client, with the (c2, c1) checkpoint
 // recorded in block c2 after c1 steps.
+//
+// Clients within a block are independent, so they run on tensor.ParallelFor
+// workers (sequentially under cfg.Sequential); every client writes only
+// its own result buffers and all reductions happen afterwards in client
+// order, keeping the trajectory identical in both modes.
 func ModelUpdate(a modelUpdateArgs) slotResult {
 	cfg := a.cfg
 	prob := a.prob
-	mdl := a.model
 	n0 := len(a.area.Clients)
 	dBytes := topology.ModelBytes(len(a.wStart))
 
-	we := append([]float64(nil), a.wStart...)
-	var chkEdge []float64
-	var iterSum []float64
+	s := getSlotScratch(len(a.wStart), n0, cfg.TrackAverages)
+	copy(s.we, a.wStart)
 	var iterCount float64
-	if cfg.TrackAverages {
-		iterSum = make([]float64, len(we))
-	}
 
-	finals := make([][]float64, n0)
-	chks := make([][]float64, n0)
 	for t2 := 0; t2 < cfg.Tau2; t2++ {
 		// Edge broadcasts w_e^(k,t2) to its clients.
 		a.ledger.RecordRound(topology.ClientEdge, n0, dBytes)
@@ -230,33 +302,47 @@ func ModelUpdate(a modelUpdateArgs) slotResult {
 		if t2 == a.c2 {
 			chkAt = a.c1
 		}
-		uplinkBytes := dBytes
-		for c := 0; c < n0; c++ {
-			r := a.stream.ChildN(uint64(t2), uint64(c))
-			// Per-client iterate sums reduced in client order, the same
-			// floating-point grouping the simnet engine uses, so both
-			// engines produce identical wHat accumulators.
-			var clientSum []float64
-			if cfg.TrackAverages {
-				clientSum = make([]float64, len(we))
-			}
-			wf, wc := fl.LocalSGD(mdl, we, a.area.Clients[c], cfg.Tau1, cfg.BatchSize, cfg.EtaW, prob.W, r, chkAt, clientSum)
-			if cfg.TrackAverages {
-				tensor.Axpy(1, clientSum, iterSum)
-				iterCount += float64(cfg.Tau1)
-			}
-			// Uplink quantization (A3 extension): clients upload
-			// compressed models; the edge reconstructs the dequantized
-			// values.
-			if cfg.Quantizer != nil {
-				bits := cfg.Quantizer.Quantize(wf, r.Child('q'))
-				uplinkBytes = (bits + 7) / 8
-				if wc != nil {
-					cfg.Quantizer.Quantize(wc, r.ChildN('q', 2))
+		runClients := func(lo, hi int) {
+			mdl := a.pool.Get()
+			defer a.pool.Put(mdl)
+			for c := lo; c < hi; c++ {
+				r := a.stream.ChildN(uint64(t2), uint64(c))
+				var clientSum []float64
+				if cfg.TrackAverages {
+					clientSum = s.sums[c]
+					tensor.Zero(clientSum)
+				}
+				wf := s.finals[c]
+				copy(wf, s.we)
+				chked := fl.LocalSGDInto(mdl, wf, a.area.Clients[c], cfg.Tau1, cfg.BatchSize, cfg.EtaW, prob.W, r, chkAt, clientSum, s.chks[c])
+				// Uplink quantization (A3 extension): clients upload
+				// compressed models; the edge reconstructs the
+				// dequantized values.
+				if cfg.Quantizer != nil {
+					s.bits[c] = cfg.Quantizer.Quantize(wf, r.Child('q'))
+					if chked {
+						cfg.Quantizer.Quantize(s.chks[c], r.ChildN('q', 2))
+					}
 				}
 			}
-			finals[c] = wf
-			chks[c] = wc
+		}
+		if cfg.Sequential {
+			runClients(0, n0)
+		} else {
+			tensor.ParallelFor(n0, 1, runClients)
+		}
+		// Per-client iterate sums reduced in client order, the same
+		// floating-point grouping the simnet engine uses, so both
+		// engines produce identical wHat accumulators.
+		if cfg.TrackAverages {
+			for c := 0; c < n0; c++ {
+				tensor.Axpy(1, s.sums[c], s.iterSum)
+				iterCount += float64(cfg.Tau1)
+			}
+		}
+		uplinkBytes := dBytes
+		if cfg.Quantizer != nil {
+			uplinkBytes = (s.bits[n0-1] + 7) / 8
 		}
 		// Clients upload their models (plus the checkpoint in block c2).
 		up := uplinkBytes
@@ -265,20 +351,19 @@ func ModelUpdate(a modelUpdateArgs) slotResult {
 		}
 		a.ledger.RecordRound(topology.ClientEdge, n0, up)
 		// Client-edge aggregation.
-		tensor.AverageInto(we, finals...)
-		prob.W.Project(we)
+		tensor.AverageInto(s.we, s.finals...)
+		prob.W.Project(s.we)
 		if t2 == a.c2 {
-			chkEdge = make([]float64, len(we))
-			tensor.AverageInto(chkEdge, chks...)
+			tensor.AverageInto(s.chkEdge, s.chks...)
 		}
 	}
 	// Edge uploads (w_e, chk_e) to the cloud; quantize if configured.
 	if cfg.Quantizer != nil {
-		cfg.Quantizer.Quantize(we, a.stream.ChildN('Q', 1))
-		cfg.Quantizer.Quantize(chkEdge, a.stream.ChildN('Q', 2))
+		cfg.Quantizer.Quantize(s.we, a.stream.ChildN('Q', 1))
+		cfg.Quantizer.Quantize(s.chkEdge, a.stream.ChildN('Q', 2))
 	}
 	// One SGD step evaluates BatchSize per-example gradients; the slot
 	// ran tau1*tau2 steps on each of its n0 clients.
-	obs.Add("core_grad_evals_total", int64(cfg.Tau1*cfg.Tau2*n0*cfg.BatchSize))
-	return slotResult{wEdge: we, wChk: chkEdge, iterSum: iterSum, iterCount: iterCount}
+	gradEvals.Add(int64(cfg.Tau1 * cfg.Tau2 * n0 * cfg.BatchSize))
+	return slotResult{scratch: s, iterCount: iterCount}
 }

@@ -39,17 +39,30 @@ func (s *Subset) Append(x []float64, y int) {
 // Sample draws a mini-batch of the given size uniformly with replacement
 // using stream r. It panics on an empty subset.
 func (s Subset) Sample(r *rng.Stream, batch int) ([][]float64, []int) {
+	xs := make([][]float64, batch)
+	ys := make([]int, batch)
+	s.SampleInto(r, xs, ys)
+	return xs, ys
+}
+
+// SampleInto fills xs and ys (which must have equal length, the batch
+// size) with a uniform with-replacement draw using stream r, consuming
+// exactly the same stream values as Sample. The allocation-free variant
+// for the training hot path: xs entries are aliases of the stored
+// feature vectors, not copies. It panics on an empty subset or length
+// mismatch.
+func (s Subset) SampleInto(r *rng.Stream, xs [][]float64, ys []int) {
 	if s.Len() == 0 {
 		panic("data: Sample from empty subset")
 	}
-	xs := make([][]float64, batch)
-	ys := make([]int, batch)
-	for i := 0; i < batch; i++ {
+	if len(xs) != len(ys) {
+		panic("data: SampleInto length mismatch")
+	}
+	for i := range xs {
 		j := r.Intn(s.Len())
 		xs[i] = s.Xs[j]
 		ys[i] = s.Ys[j]
 	}
-	return xs, ys
 }
 
 // LabelHistogram returns the per-class counts for classes in [0, numClasses).

@@ -411,3 +411,45 @@ func TestGenerateValidatesProfile(t *testing.T) {
 		}()
 	}
 }
+
+func TestSampleIntoMatchesSample(t *testing.T) {
+	var s Subset
+	for i := 0; i < 7; i++ {
+		s.Append([]float64{float64(i)}, i%3)
+	}
+	// Same seed: SampleInto must draw the identical index sequence as
+	// Sample (it is the allocation-free core Sample wraps).
+	xsA, ysA := s.Sample(rng.New(42), 25)
+	xsB := make([][]float64, 25)
+	ysB := make([]int, 25)
+	s.SampleInto(rng.New(42), xsB, ysB)
+	for i := range xsA {
+		if &xsA[i][0] != &xsB[i][0] || ysA[i] != ysB[i] {
+			t.Fatalf("SampleInto diverged from Sample at %d", i)
+		}
+	}
+}
+
+func TestSampleIntoZeroAllocs(t *testing.T) {
+	var s Subset
+	for i := 0; i < 5; i++ {
+		s.Append([]float64{float64(i)}, i%2)
+	}
+	r := rng.New(9)
+	xs := make([][]float64, 8)
+	ys := make([]int, 8)
+	if allocs := testing.AllocsPerRun(50, func() { s.SampleInto(r, xs, ys) }); allocs != 0 {
+		t.Fatalf("SampleInto allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestSampleIntoLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on xs/ys length mismatch")
+		}
+	}()
+	var s Subset
+	s.Append([]float64{1}, 0)
+	s.SampleInto(rng.New(1), make([][]float64, 3), make([]int, 2))
+}

@@ -35,6 +35,9 @@ type Config struct {
 	// false, independent slots run on parallel workers (identical
 	// results by the determinism contract).
 	Sequential bool
+	// Workers bounds the goroutines ForEach uses in parallel mode. 0
+	// (the default) means GOMAXPROCS; ignored when Sequential.
+	Workers int
 	// TrackAverages maintains the time-averaged iterates (wHat, pHat)
 	// that the convex analysis evaluates (Eq. 8). Costs one extra
 	// d-vector accumulation per local step.

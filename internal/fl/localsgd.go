@@ -1,6 +1,8 @@
 package fl
 
 import (
+	"sync"
+
 	"repro/internal/data"
 	"repro/internal/model"
 	"repro/internal/optim"
@@ -8,6 +10,30 @@ import (
 	"repro/internal/simplex"
 	"repro/internal/tensor"
 )
+
+// sgdScratch holds the per-call working buffers of LocalSGDInto and
+// AreaLossEstimate, recycled through a pool so steady-state training
+// steps allocate nothing.
+type sgdScratch struct {
+	grad []float64
+	xs   [][]float64
+	ys   []int
+}
+
+var sgdPool = sync.Pool{New: func() any { return new(sgdScratch) }}
+
+func (s *sgdScratch) size(dim, batch int) {
+	if cap(s.grad) < dim {
+		s.grad = make([]float64, dim)
+	}
+	s.grad = s.grad[:dim]
+	if cap(s.xs) < batch {
+		s.xs = make([][]float64, batch)
+		s.ys = make([]int, batch)
+	}
+	s.xs = s.xs[:batch]
+	s.ys = s.ys[:batch]
+}
 
 // LocalSGD runs `steps` projected SGD steps (Eq. 4) on one client's
 // shard, starting from a copy of w0 (w0 is not modified).
@@ -21,19 +47,37 @@ import (
 // convex analysis sums over.
 func LocalSGD(m model.Model, w0 []float64, shard data.Subset, steps, batch int, eta float64, W simplex.Set, r *rng.Stream, chkAt int, iterSum []float64) (wFinal, wChk []float64) {
 	w := append([]float64(nil), w0...)
-	grad := make([]float64, len(w0))
+	chk := make([]float64, len(w0))
+	if LocalSGDInto(m, w, shard, steps, batch, eta, W, r, chkAt, iterSum, chk) {
+		wChk = chk
+	}
+	return w, wChk
+}
+
+// LocalSGDInto is the allocation-free core of LocalSGD: it advances w in
+// place through `steps` projected SGD steps, drawing all working buffers
+// from an internal pool. If chkAt is in [1, steps], the iterate after
+// chkAt steps is copied into wChk and the function reports true;
+// otherwise wChk is untouched. The sampling, gradient and projection
+// sequence is identical to LocalSGD's.
+func LocalSGDInto(m model.Model, w []float64, shard data.Subset, steps, batch int, eta float64, W simplex.Set, r *rng.Stream, chkAt int, iterSum, wChk []float64) bool {
+	s := sgdPool.Get().(*sgdScratch)
+	s.size(len(w), batch)
+	checkpointed := false
 	for t := 0; t < steps; t++ {
 		if iterSum != nil {
 			tensor.Axpy(1, w, iterSum)
 		}
-		xs, ys := shard.Sample(r, batch)
-		m.Grad(w, grad, xs, ys)
-		optim.SGDStep(w, grad, eta, W)
+		shard.SampleInto(r, s.xs, s.ys)
+		m.Grad(w, s.grad, s.xs, s.ys)
+		optim.SGDStep(w, s.grad, eta, W)
 		if t+1 == chkAt {
-			wChk = append([]float64(nil), w...)
+			copy(wChk, w)
+			checkpointed = true
 		}
 	}
-	return w, wChk
+	sgdPool.Put(s)
+	return checkpointed
 }
 
 // AreaLossEstimate implements the LossEstimation procedure of Phase 2:
@@ -41,10 +85,13 @@ func LocalSGD(m model.Model, w0 []float64, shard data.Subset, steps, batch int, 
 // and the edge server averages the client estimates, yielding an
 // unbiased estimate of f_e(w).
 func AreaLossEstimate(m model.Model, w []float64, area data.AreaData, lossBatch int, r *rng.Stream) float64 {
+	s := sgdPool.Get().(*sgdScratch)
+	s.size(0, lossBatch)
 	total := 0.0
 	for c, shard := range area.Clients {
-		xs, ys := shard.Sample(r.Child(uint64(c)), lossBatch)
-		total += m.Loss(w, xs, ys)
+		shard.SampleInto(r.Child(uint64(c)), s.xs, s.ys)
+		total += m.Loss(w, s.xs, s.ys)
 	}
+	sgdPool.Put(s)
 	return total / float64(len(area.Clients))
 }

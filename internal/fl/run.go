@@ -2,7 +2,9 @@ package fl
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -161,23 +163,38 @@ func RunWithOptions(algorithm string, prob *Problem, cfg Config, roundFn RoundFu
 }
 
 // ForEach runs fn(i) for every i in [0, n): sequentially when
-// cfg.Sequential, otherwise one goroutine per index. fn must confine its
-// writes to index-i outputs and derive randomness from index-keyed
-// streams so both modes produce identical results.
+// cfg.Sequential, otherwise on a bounded pool of Workers goroutines
+// (default GOMAXPROCS) pulling indices from a shared counter. fn must
+// confine its writes to index-i outputs and derive randomness from
+// index-keyed streams so both modes produce identical results.
 func (c Config) ForEach(n int, fn func(i int)) {
-	if c.Sequential || n <= 1 {
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if c.Sequential || workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	wg.Add(n)
-	for i := 0; i < n; i++ {
-		go func(i int) {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
 			defer wg.Done()
-			fn(i)
-		}(i)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
 	}
 	wg.Wait()
 }

@@ -1,0 +1,168 @@
+// Package invariance_test pins the exact floating-point trajectories of
+// every training engine on the fltest fixtures. The goldens in testdata
+// were recorded before the batched-kernel rewrite; any change to the
+// arithmetic order of the hot path (kernels, batching, parallel
+// reductions) shows up here as a hash mismatch. Regenerate deliberately
+// with `go test ./internal/invariance -update` after an intentional
+// trajectory change.
+package invariance_test
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/fl"
+	"repro/internal/fl/fltest"
+	"repro/internal/simnet"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/trajectories.json from the current code")
+
+// hashResult digests everything trajectory-relevant in a Result: the
+// final model and edge weights, the time averages when tracked, and every
+// evaluation snapshot's weights and per-area accuracy.
+func hashResult(res *fl.Result) string {
+	h := sha256.New()
+	writeF := func(xs []float64) {
+		var buf [8]byte
+		for _, x := range xs {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+			h.Write(buf[:])
+		}
+	}
+	writeF(res.W)
+	writeF(res.PWeights)
+	writeF(res.WHat)
+	writeF(res.PHat)
+	for _, s := range res.History.Snapshots {
+		writeF(s.P)
+		writeF(s.Areas.Accuracy)
+		writeF([]float64{float64(s.Round), float64(s.Slots)})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cases enumerates the engine/config combinations whose trajectories are
+// pinned. Every case must be a pure function of its seed.
+func cases() map[string]func() (*fl.Result, error) {
+	seqCfg := fltest.ToyConfig()
+	seqCfg.Sequential = true
+
+	parCfg := fltest.ToyConfig()
+	parCfg.Sequential = false
+
+	avgCfg := fltest.ToyConfig()
+	avgCfg.TrackAverages = true
+
+	mlpCfg := fltest.ToyConfig()
+	mlpCfg.Rounds = 60
+
+	chkOff := fltest.ToyConfig()
+	chkOff.CheckpointOff = true
+
+	twoLayer := fltest.ToyConfig()
+	twoLayer.Tau2 = 1
+
+	aflCfg := twoLayer
+	aflCfg.Tau1 = 1
+
+	return map[string]func() (*fl.Result, error){
+		"hierminimax-seq": func() (*fl.Result, error) {
+			return core.HierMinimax(fltest.ToyProblem(3), seqCfg)
+		},
+		"hierminimax-par": func() (*fl.Result, error) {
+			return core.HierMinimax(fltest.ToyProblem(3), parCfg)
+		},
+		"hierminimax-avg": func() (*fl.Result, error) {
+			return core.HierMinimax(fltest.ToyProblem(3), avgCfg)
+		},
+		"hierminimax-chkoff": func() (*fl.Result, error) {
+			return core.HierMinimax(fltest.ToyProblem(3), chkOff)
+		},
+		"hierminimax-mlp": func() (*fl.Result, error) {
+			return core.HierMinimax(fltest.ToyMLPProblem(5), mlpCfg)
+		},
+		"hierminimax-simnet": func() (*fl.Result, error) {
+			res, _, err := simnet.HierMinimax(fltest.ToyProblem(3), fltest.ToyConfig())
+			return res, err
+		},
+		"fedavg": func() (*fl.Result, error) {
+			return baselines.FedAvg(fltest.ToyProblem(3), twoLayer)
+		},
+		"afl": func() (*fl.Result, error) {
+			return baselines.StochasticAFL(fltest.ToyProblem(3), aflCfg)
+		},
+		"drfa": func() (*fl.Result, error) {
+			return baselines.DRFA(fltest.ToyProblem(3), twoLayer)
+		},
+		"hierfavg": func() (*fl.Result, error) {
+			return baselines.HierFAvg(fltest.ToyProblem(3), fltest.ToyConfig())
+		},
+	}
+}
+
+const goldenPath = "testdata/trajectories.json"
+
+func TestTrajectoriesMatchGolden(t *testing.T) {
+	got := map[string]string{}
+	for name, run := range cases() {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got[name] = hashResult(res)
+	}
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ordered := make(map[string]string, len(got))
+		for _, k := range keys {
+			ordered[k] = got[k]
+		}
+		blob, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to record): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range got {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no golden recorded (run with -update)", name)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: trajectory hash %s != golden %s — the floating-point trajectory changed", name, g, w)
+		}
+	}
+}

@@ -11,10 +11,18 @@ import (
 // with W ∈ R^{C×D}, b ∈ R^C. Cross-entropy in these parameters is convex,
 // matching the convex-loss experiments of §6.1 (7850 parameters for
 // D=784, C=10, as in the paper's EMNIST setup).
+//
+// Loss and Grad process whole mini-batches as B×D matrices through the
+// blocked GEMM kernels; the activation scratch grows to the largest
+// batch chunk seen and is reused, so steady-state training allocates
+// nothing. The batched path is bitwise-identical to per-example
+// evaluation (see internal/tensor's determinism contract).
 type Linear struct {
 	in, classes int
-	// scratch
-	logits, dlogits []float64
+	// Per-example scratch (Predict).
+	logits []float64
+	// Batched scratch, reshaped per chunk.
+	z, dz tensor.Matrix
 }
 
 // NewLinear returns a logistic-regression model for inputDim features and
@@ -27,7 +35,6 @@ func NewLinear(inputDim, numClasses int) *Linear {
 		in:      inputDim,
 		classes: numClasses,
 		logits:  make([]float64, numClasses),
-		dlogits: make([]float64, numClasses),
 	}
 }
 
@@ -65,12 +72,17 @@ func (l *Linear) bias(w []float64) []float64 {
 	return w[l.classes*l.in:]
 }
 
-func (l *Linear) forward(w, x []float64) {
-	W := l.weights(w)
-	copy(l.logits, l.bias(w))
-	for c := 0; c < l.classes; c++ {
-		l.logits[c] += tensor.Dot(W.Row(c), x)
+// forwardChunk computes the logits of one batch chunk into l.z: each row
+// gets the bias, then one blocked X·Wᵀ product adds the weight terms,
+// reading the feature vectors in place (no gather copy).
+func (l *Linear) forwardChunk(w []float64, xs [][]float64) {
+	n := len(xs)
+	l.z.Reshape(n, l.classes)
+	b := l.bias(w)
+	for r := 0; r < n; r++ {
+		copy(l.z.Row(r), b)
 	}
+	tensor.GemmTR(1, xs, l.weights(w), 1, &l.z)
 }
 
 // Loss returns the mean cross-entropy over the batch.
@@ -80,9 +92,10 @@ func (l *Linear) Loss(w []float64, xs [][]float64, ys []int) float64 {
 		return 0
 	}
 	total := 0.0
-	for i, x := range xs {
-		l.forward(w, x)
-		total += tensor.LogSumExp(l.logits) - l.logits[ys[i]]
+	for lo := 0; lo < len(xs); lo += batchChunk {
+		hi := min(lo+batchChunk, len(xs))
+		l.forwardChunk(w, xs[lo:hi])
+		total = tensor.CrossEntropyLossRows(&l.z, ys[lo:hi], total)
 	}
 	return total / float64(len(xs))
 }
@@ -99,19 +112,28 @@ func (l *Linear) Grad(w, grad []float64, xs [][]float64, ys []int) float64 {
 	gb := l.bias(grad)
 	total := 0.0
 	inv := 1 / float64(len(xs))
-	for i, x := range xs {
-		l.forward(w, x)
-		total += crossEntropyFromLogits(l.dlogits, l.logits, ys[i])
-		// dW += inv * dlogits ⊗ x ; db += inv * dlogits
-		tensor.OuterAccum(inv, l.dlogits, x, gW)
-		tensor.Axpy(inv, l.dlogits, gb)
+	for lo := 0; lo < len(xs); lo += batchChunk {
+		hi := min(lo+batchChunk, len(xs))
+		n := hi - lo
+		l.forwardChunk(w, xs[lo:hi])
+		l.dz.Reshape(n, l.classes)
+		total = tensor.CrossEntropyRows(&l.dz, &l.z, ys[lo:hi], total)
+		// dW += inv * dlogitsᵀ X ; db += inv * column sums of dlogits.
+		tensor.GemmTNR(inv, &l.dz, xs[lo:hi], gW)
+		for r := 0; r < n; r++ {
+			tensor.Axpy(inv, l.dz.Row(r), gb)
+		}
 	}
 	return total * inv
 }
 
 // Predict returns the argmax class for x.
 func (l *Linear) Predict(w []float64, x []float64) int {
-	l.forward(w, x)
+	W := l.weights(w)
+	copy(l.logits, l.bias(w))
+	for c := 0; c < l.classes; c++ {
+		l.logits[c] += tensor.Dot(W.Row(c), x)
+	}
 	return tensor.ArgMax(l.logits)
 }
 

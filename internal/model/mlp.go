@@ -15,13 +15,21 @@ import (
 // Parameter layout (flat, in order):
 //
 //	W1 (H1×D) | b1 (H1) | W2 (H2×H1) | b2 (H2) | W3 (C×H2) | b3 (C)
+//
+// Loss and Grad run whole mini-batches through the blocked GEMM
+// kernels, chunked at batchChunk rows; the activation matrices are
+// reused across calls so the training hot path allocates nothing after
+// warm-up. The batched pass is bitwise-identical to per-example
+// evaluation — see the determinism contract in internal/tensor.
 type MLP struct {
 	in, h1, h2, classes int
 	// Slice offsets into the flat parameter vector.
 	oW1, ob1, oW2, ob2, oW3, ob3, dim int
-	// Scratch buffers for one forward/backward pass.
+	// Per-example scratch (Predict).
 	z1, a1, z2, a2, logits []float64
-	dlogits, d2, d1        []float64
+	// Batched scratch, reshaped per chunk.
+	bz1, ba1, bz2, ba2, bz3 tensor.Matrix
+	dz3, da2, da1           tensor.Matrix
 }
 
 // NewMLP returns an MLP with the given layer sizes.
@@ -42,9 +50,6 @@ func NewMLP(inputDim, hidden1, hidden2, numClasses int) *MLP {
 	m.z2 = make([]float64, hidden2)
 	m.a2 = make([]float64, hidden2)
 	m.logits = make([]float64, numClasses)
-	m.dlogits = make([]float64, numClasses)
-	m.d2 = make([]float64, hidden2)
-	m.d1 = make([]float64, hidden1)
 	return m
 }
 
@@ -102,6 +107,34 @@ func (m *MLP) forward(w, x []float64) {
 	tensor.Gemv(1, W3, m.a2, 1, m.logits)
 }
 
+// forwardChunk runs the batched forward pass for one chunk, leaving the
+// chunk's logits in m.bz3 and the pre/post activations in m.bz*/m.ba*.
+// The feature vectors are read in place (no gather copy); ReLU over the
+// flat backing array equals the row-wise application.
+func (m *MLP) forwardChunk(w []float64, xs [][]float64) {
+	W1, W2, W3, b1, b2, b3 := m.mats(w)
+	n := len(xs)
+	m.bz1.Reshape(n, m.h1)
+	m.ba1.Reshape(n, m.h1)
+	m.bz2.Reshape(n, m.h2)
+	m.ba2.Reshape(n, m.h2)
+	m.bz3.Reshape(n, m.classes)
+	for r := 0; r < n; r++ {
+		copy(m.bz1.Row(r), b1)
+	}
+	tensor.GemmTR(1, xs, W1, 1, &m.bz1)
+	tensor.ReLU(m.ba1.Data, m.bz1.Data)
+	for r := 0; r < n; r++ {
+		copy(m.bz2.Row(r), b2)
+	}
+	tensor.GemmT(1, &m.ba1, W2, 1, &m.bz2)
+	tensor.ReLU(m.ba2.Data, m.bz2.Data)
+	for r := 0; r < n; r++ {
+		copy(m.bz3.Row(r), b3)
+	}
+	tensor.GemmT(1, &m.ba2, W3, 1, &m.bz3)
+}
+
 // Loss returns the mean cross-entropy over the batch.
 func (m *MLP) Loss(w []float64, xs [][]float64, ys []int) float64 {
 	m.checkDim(w)
@@ -109,9 +142,10 @@ func (m *MLP) Loss(w []float64, xs [][]float64, ys []int) float64 {
 		return 0
 	}
 	total := 0.0
-	for i, x := range xs {
-		m.forward(w, x)
-		total += tensor.LogSumExp(m.logits) - m.logits[ys[i]]
+	for lo := 0; lo < len(xs); lo += batchChunk {
+		hi := min(lo+batchChunk, len(xs))
+		m.forwardChunk(w, xs[lo:hi])
+		total = tensor.CrossEntropyLossRows(&m.bz3, ys[lo:hi], total)
 	}
 	return total / float64(len(xs))
 }
@@ -128,23 +162,33 @@ func (m *MLP) Grad(w, grad []float64, xs [][]float64, ys []int) float64 {
 	gW1, gW2, gW3, gb1, gb2, gb3 := m.mats(grad)
 	total := 0.0
 	inv := 1 / float64(len(xs))
-	for i, x := range xs {
-		m.forward(w, x)
-		total += crossEntropyFromLogits(m.dlogits, m.logits, ys[i])
-		// Backprop. dlogits = softmax - onehot.
-		// Layer 3: gW3 += inv * dlogits ⊗ a2 ; gb3 += inv * dlogits.
-		tensor.OuterAccum(inv, m.dlogits, m.a2, gW3)
-		tensor.Axpy(inv, m.dlogits, gb3)
-		// d2 = (W3^T dlogits) ⊙ relu'(z2)
-		tensor.GemvT(1, W3, m.dlogits, 0, m.d2)
-		tensor.ReLUGrad(m.d2, m.d2, m.z2)
-		tensor.OuterAccum(inv, m.d2, m.a1, gW2)
-		tensor.Axpy(inv, m.d2, gb2)
-		// d1 = (W2^T d2) ⊙ relu'(z1)
-		tensor.GemvT(1, W2, m.d2, 0, m.d1)
-		tensor.ReLUGrad(m.d1, m.d1, m.z1)
-		tensor.OuterAccum(inv, m.d1, x, gW1)
-		tensor.Axpy(inv, m.d1, gb1)
+	for lo := 0; lo < len(xs); lo += batchChunk {
+		hi := min(lo+batchChunk, len(xs))
+		n := hi - lo
+		m.forwardChunk(w, xs[lo:hi])
+		m.dz3.Reshape(n, m.classes)
+		total = tensor.CrossEntropyRows(&m.dz3, &m.bz3, ys[lo:hi], total)
+		// Layer 3: gW3 += inv * dZ3ᵀ A2 ; gb3 += inv * column sums.
+		tensor.GemmTN(inv, &m.dz3, &m.ba2, gW3)
+		for r := 0; r < n; r++ {
+			tensor.Axpy(inv, m.dz3.Row(r), gb3)
+		}
+		// dA2 = dZ3 W3, masked by relu'(Z2).
+		m.da2.Reshape(n, m.h2)
+		tensor.Gemm(1, &m.dz3, W3, 0, &m.da2)
+		tensor.ReLUGrad(m.da2.Data, m.da2.Data, m.bz2.Data)
+		tensor.GemmTN(inv, &m.da2, &m.ba1, gW2)
+		for r := 0; r < n; r++ {
+			tensor.Axpy(inv, m.da2.Row(r), gb2)
+		}
+		// dA1 = dZ2 W2, masked by relu'(Z1).
+		m.da1.Reshape(n, m.h1)
+		tensor.Gemm(1, &m.da2, W2, 0, &m.da1)
+		tensor.ReLUGrad(m.da1.Data, m.da1.Data, m.bz1.Data)
+		tensor.GemmTNR(inv, &m.da1, xs[lo:hi], gW1)
+		for r := 0; r < n; r++ {
+			tensor.Axpy(inv, m.da1.Row(r), gb1)
+		}
 	}
 	return total * inv
 }

@@ -13,7 +13,6 @@ import (
 	"math"
 
 	"repro/internal/rng"
-	"repro/internal/tensor"
 )
 
 // Model is a supervised classifier with explicit parameters and manual
@@ -58,19 +57,11 @@ func Accuracy(m Model, w []float64, xs [][]float64, ys []int) float64 {
 	return float64(correct) / float64(len(xs))
 }
 
-// crossEntropyFromLogits computes the CE loss for the true class y and
-// writes dLoss/dLogits (softmax - onehot) into dlogits. logits and
-// dlogits may alias.
-func crossEntropyFromLogits(dlogits, logits []float64, y int) float64 {
-	lse := tensor.LogSumExp(logits)
-	loss := lse - logits[y]
-	// softmax - onehot
-	for i, v := range logits {
-		dlogits[i] = math.Exp(v - lse)
-	}
-	dlogits[y] -= 1
-	return loss
-}
+// batchChunk caps how many examples the models gather into one batched
+// GEMM pass. Losses chain across chunks in example order via the
+// running-total cross-entropy helpers, so the chunking is invisible in
+// the results while bounding the activation scratch.
+const batchChunk = 256
 
 // GradCheck compares m.Grad against central finite differences of m.Loss
 // at w on the given batch, probing nProbe randomly chosen coordinates. It

@@ -1,0 +1,182 @@
+package tensor
+
+import "repro/internal/obs"
+
+// Cache-blocked BLAS-3 kernels for the batched training path.
+//
+// Determinism contract: every kernel accumulates each output element in
+// a fixed index order identical to the per-example BLAS-1/2 path it
+// replaces — GemmT matches one Dot/Gemv per output element, Gemm matches
+// GemvT's k-ascending Axpy accumulation, and GemmTN matches a sequence
+// of OuterAccum calls in row order. Blocking only tiles the independent
+// output dimensions; the reduction order over k is never changed, so
+// switching the models from per-example to batched execution cannot
+// change a single bit of any training trajectory (pinned by the goldens
+// in internal/invariance).
+
+// gemmFlops counts multiply-add work (2*m*n*k per product) so profiles
+// and metric snapshots attribute time to the batched kernels.
+var gemmFlops = obs.NewCounterHandle("tensor_gemm_flops_total")
+
+// gemmPanel is the target cache footprint of one blocked panel, in
+// float64s (4096 floats = 32 KiB, one typical L1d).
+const gemmPanel = 4096
+
+// panelDim returns how many rows/columns of a depth-k operand fit in one
+// cache panel, at least 8 so tiny depths don't degenerate.
+func panelDim(k int) int {
+	if k <= 0 {
+		return gemmPanel
+	}
+	n := gemmPanel / k
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// Gemm computes C = alpha*A*B + beta*C, all row-major, blocked over
+// column panels of B. Each output element accumulates over k in
+// ascending order with coefficient alpha*A[i][k], exactly the
+// floating-point sequence GemvT produces column-wise — the batched
+// backprop through a weight matrix relies on that equivalence. Panics on
+// shape mismatch.
+func Gemm(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic("tensor: Gemm shape mismatch")
+	}
+	if beta == 0 {
+		Zero(c.Data)
+	} else if beta != 1 {
+		Scale(beta, c.Data)
+	}
+	nb := panelDim(a.Cols)
+	for j0 := 0; j0 < c.Cols; j0 += nb {
+		j1 := min(j0+nb, c.Cols)
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)[j0:j1]
+			for k, aik := range arow {
+				Axpy(alpha*aik, b.Row(k)[j0:j1], crow)
+			}
+		}
+	}
+	gemmFlops.Add(2 * int64(a.Rows) * int64(a.Cols) * int64(b.Cols))
+}
+
+// GemmT computes C = alpha*A*B^T + beta*C for row-major A (m×k), B (n×k)
+// and C (m×n), blocked so a panel of B rows stays cache-resident while
+// the rows of A stream past it. Every output element is one Dot of two
+// contiguous rows — bitwise-identical to the per-example Gemv forward
+// pass. Panics on shape mismatch.
+func GemmT(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic("tensor: GemmT shape mismatch")
+	}
+	nb := panelDim(a.Cols)
+	for j0 := 0; j0 < b.Rows; j0 += nb {
+		j1 := min(j0+nb, b.Rows)
+		for i := 0; i < a.Rows; i++ {
+			gemmTRow(alpha, a.Row(i), b, beta, c.Row(i), j0, j1)
+		}
+	}
+	gemmFlops.Add(2 * int64(a.Rows) * int64(a.Cols) * int64(b.Rows))
+}
+
+// GemmTR is GemmT with the left operand given as individual row slices
+// (C = alpha*X*B^T + beta*C with X's rows in xrows). The models pass
+// their mini-batch feature vectors directly, skipping the gather copy
+// into a contiguous matrix; results are identical to GemmT on the
+// gathered matrix. Panics on shape mismatch.
+func GemmTR(alpha float64, xrows [][]float64, b *Matrix, beta float64, c *Matrix) {
+	if c.Rows != len(xrows) || c.Cols != b.Rows {
+		panic("tensor: GemmTR shape mismatch")
+	}
+	nb := panelDim(b.Cols)
+	for j0 := 0; j0 < b.Rows; j0 += nb {
+		j1 := min(j0+nb, b.Rows)
+		for i, x := range xrows {
+			checkLen(len(x), b.Cols)
+			gemmTRow(alpha, x, b, beta, c.Row(i), j0, j1)
+		}
+	}
+	gemmFlops.Add(2 * int64(len(xrows)) * int64(b.Cols) * int64(b.Rows))
+}
+
+// gemmTRow fills crow[j] = alpha*Dot(x, B.Row(j)) + beta*crow[j] for j in
+// [j0, j1), batching two B rows per pass to share the loads of x. (Wider
+// fusion was measured slower: four concurrent 4-way dot accumulations
+// exceed the amd64 register file and spill.)
+func gemmTRow(alpha float64, x []float64, b *Matrix, beta float64, crow []float64, j0, j1 int) {
+	j := j0
+	for ; j+2 <= j1; j += 2 {
+		d0, d1 := dot2(x, b.Row(j), b.Row(j+1))
+		crow[j] = alpha*d0 + beta*crow[j]
+		crow[j+1] = alpha*d1 + beta*crow[j+1]
+	}
+	for ; j < j1; j++ {
+		crow[j] = alpha*Dot(x, b.Row(j)) + beta*crow[j]
+	}
+}
+
+// GemmTN accumulates C += alpha*A^T*B for row-major A (k×m), B (k×n) and
+// C (m×n): the batched weight-gradient kernel, where k indexes the
+// examples of a mini-batch. Row panels of B are blocked so they stay
+// cache-resident across the m output rows. Each output row accumulates
+// the examples in ascending order and skips zero coefficients — exactly
+// the floating-point sequence of OuterAccum(alpha, A.Row(0), B.Row(0), C),
+// OuterAccum(alpha, A.Row(1), B.Row(1), C), … Panics on shape mismatch.
+func GemmTN(alpha float64, a, b, c *Matrix) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic("tensor: GemmTN shape mismatch")
+	}
+	kb := panelDim(b.Cols)
+	for k0 := 0; k0 < a.Rows; k0 += kb {
+		k1 := min(k0+kb, a.Rows)
+		for i := 0; i < c.Rows; i++ {
+			crow := c.Row(i)
+			for k := k0; k < k1; k++ {
+				aki := a.Data[k*a.Cols+i]
+				if aki == 0 {
+					continue
+				}
+				Axpy(alpha*aki, b.Row(k), crow)
+			}
+		}
+	}
+	gemmFlops.Add(2 * int64(a.Rows) * int64(a.Cols) * int64(b.Cols))
+}
+
+// GemmTNR is GemmTN with the right operand given as individual row
+// slices: C += alpha*A^T*Y with Y's rows in yrows. The weight-gradient
+// kernel for an ungathered mini-batch; results are identical to GemmTN
+// on the gathered matrix. Panics on shape mismatch.
+func GemmTNR(alpha float64, a *Matrix, yrows [][]float64, c *Matrix) {
+	if a.Rows != len(yrows) || c.Rows != a.Cols {
+		panic("tensor: GemmTNR shape mismatch")
+	}
+	kb := panelDim(c.Cols)
+	for k0 := 0; k0 < a.Rows; k0 += kb {
+		k1 := min(k0+kb, a.Rows)
+		for i := 0; i < c.Rows; i++ {
+			crow := c.Row(i)
+			for k := k0; k < k1; k++ {
+				aki := a.Data[k*a.Cols+i]
+				if aki == 0 {
+					continue
+				}
+				Axpy(alpha*aki, yrows[k], crow)
+			}
+		}
+	}
+	gemmFlops.Add(2 * int64(a.Rows) * int64(a.Cols) * int64(c.Cols))
+}
+
+// dot2 computes the inner products of x against y0 and y1 in one pass,
+// sharing the loads of x. Each result accumulates in exactly Dot's
+// order (four partial sums combined after the unrolled loop, see
+// dot2Ref), so callers may mix dot2 and Dot freely without perturbing a
+// single bit.
+func dot2(x, y0, y1 []float64) (r0, r1 float64) {
+	return dot2Kernel(x, y0, y1)
+}

@@ -1,0 +1,54 @@
+package tensor
+
+import "testing"
+
+// Kernel microbenchmarks at the shapes the training hot path actually
+// hits: GemmT 4×48×10 is one Linear forward chunk on the smoke spec,
+// 64×784×10 a full-width MNIST-scale logreg chunk, and Axpy 48 the
+// weight-gradient accumulation row.
+
+func benchGemmT(b *testing.B, m, k, n int) {
+	A := NewMatrix(m, k)
+	B := NewMatrix(n, k)
+	C := NewMatrix(m, n)
+	for i := range A.Data {
+		A.Data[i] = float64(i%7) * 0.3
+	}
+	for i := range B.Data {
+		B.Data[i] = float64(i%5) * 0.2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmT(1, A, B, 1, C)
+	}
+}
+
+func BenchmarkGemmT4x48x10(b *testing.B)   { benchGemmT(b, 4, 48, 10) }
+func BenchmarkGemmT64x784x10(b *testing.B) { benchGemmT(b, 64, 784, 10) }
+
+func BenchmarkAxpy48(b *testing.B) {
+	x := make([]float64, 48)
+	y := make([]float64, 48)
+	for i := range x {
+		x[i] = float64(i) * 0.1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Axpy(0.5, x, y)
+	}
+}
+
+func BenchmarkDot48(b *testing.B) {
+	x := make([]float64, 48)
+	y := make([]float64, 48)
+	for i := range x {
+		x[i] = float64(i) * 0.1
+		y[i] = float64(i%5) * 0.2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkFloat = Dot(x, y)
+	}
+}
+
+var sinkFloat float64

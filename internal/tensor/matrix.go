@@ -70,27 +70,20 @@ func GemvT(alpha float64, a *Matrix, x []float64, beta float64, y []float64) {
 	}
 }
 
-// Gemm computes C = alpha*A*B + beta*C, all row-major. Panics on shape
-// mismatch.
-func Gemm(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
-	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
-		panic("tensor: Gemm shape mismatch")
+// Reshape resizes m to rows×cols, reusing (and growing when needed) the
+// backing buffer. The contents after a growing Reshape are unspecified;
+// callers overwrite them. It is the grow-only primitive behind the
+// models' batch-sized activation scratch.
+func (m *Matrix) Reshape(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative matrix dimension")
 	}
-	if beta == 0 {
-		Zero(c.Data)
-	} else if beta != 1 {
-		Scale(beta, c.Data)
+	need := rows * cols
+	if cap(m.Data) < need {
+		m.Data = make([]float64, need)
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		crow := c.Row(i)
-		for k, aik := range arow {
-			if aik == 0 {
-				continue
-			}
-			Axpy(alpha*aik, b.Row(k), crow)
-		}
-	}
+	m.Data = m.Data[:need]
+	m.Rows, m.Cols = rows, cols
 }
 
 // OuterAccum computes A += alpha * x * y^T where A is len(x) x len(y).

@@ -90,8 +90,10 @@ func TestGemmBetaPaths(t *testing.T) {
 	}
 }
 
-func TestGemmSkipsZeros(t *testing.T) {
-	// Sparse A row exercises the aik == 0 fast path.
+func TestGemmSparseRows(t *testing.T) {
+	// A sparse A row must contribute exact zeros (Gemm deliberately does
+	// NOT skip zero coefficients — its contract is GemvT's k-ascending
+	// accumulation, which always adds).
 	a := MatrixFrom([]float64{0, 2, 0, 0}, 2, 2)
 	b := MatrixFrom([]float64{1, 1, 1, 1}, 2, 2)
 	c := NewMatrix(2, 2)

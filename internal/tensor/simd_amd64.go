@@ -1,0 +1,20 @@
+//go:build amd64
+
+package tensor
+
+// SSE2 kernels (simd_amd64.s). SSE2 is part of the amd64 baseline, so
+// no runtime feature dispatch is needed. Each assembly routine performs
+// the identical IEEE-754 operations of its *Ref counterpart: the two
+// 128-bit accumulators hold the reference code's four partial sums lane
+// for lane, horizontal reduction follows the same left-to-right order,
+// and the tail loop is scalar — so the results are bitwise equal to the
+// pure-Go path on every input (see TestKernelsMatchReference).
+
+//go:noescape
+func dotKernel(x, y []float64) float64
+
+//go:noescape
+func axpyKernel(a float64, x, y []float64)
+
+//go:noescape
+func dot2Kernel(x, y0, y1 []float64) (r0, r1 float64)

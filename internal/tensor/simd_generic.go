@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package tensor
+
+func dotKernel(x, y []float64) float64 { return dotRef(x, y) }
+
+func axpyKernel(a float64, x, y []float64) { axpyRef(a, x, y) }
+
+func dot2Kernel(x, y0, y1 []float64) (r0, r1 float64) { return dot2Ref(x, y0, y1) }

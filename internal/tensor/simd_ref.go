@@ -1,0 +1,73 @@
+package tensor
+
+// Portable reference implementations of the BLAS-1 kernels. On amd64
+// the exported entry points dispatch to the SSE2 assembly in
+// simd_amd64.s instead; these bodies remain the semantic definition —
+// the assembly reproduces their floating-point operation order exactly,
+// lane for lane (asserted bitwise by TestKernelsMatchReference) — and
+// serve as the fallback for every other architecture.
+
+// dotRef is the scalar Dot kernel: four partial sums over a 4-way
+// unrolled loop, combined left-to-right, then a sequential tail.
+func dotRef(x, y []float64) float64 {
+	n := len(x)
+	y = y[:n] // lets the compiler drop the per-iteration bound checks
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < n; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// axpyRef is the scalar Axpy kernel: y += a*x, elementwise.
+func axpyRef(a float64, x, y []float64) {
+	n := len(x)
+	y = y[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// dot2Ref is the scalar fused two-output dot: both results accumulate
+// in exactly dotRef's order while sharing the loads of x.
+func dot2Ref(x, y0, y1 []float64) (r0, r1 float64) {
+	n := len(x)
+	y0 = y0[:n]
+	y1 = y1[:n]
+	var a0, a1, a2, a3 float64
+	var b0, b1, b2, b3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+		a0 += x0 * y0[i]
+		a1 += x1 * y0[i+1]
+		a2 += x2 * y0[i+2]
+		a3 += x3 * y0[i+3]
+		b0 += x0 * y1[i]
+		b1 += x1 * y1[i+1]
+		b2 += x2 * y1[i+2]
+		b3 += x3 * y1[i+3]
+	}
+	r0 = a0 + a1 + a2 + a3
+	r1 = b0 + b1 + b2 + b3
+	for ; i < n; i++ {
+		r0 += x[i] * y0[i]
+		r1 += x[i] * y1[i]
+	}
+	return r0, r1
+}

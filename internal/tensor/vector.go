@@ -11,31 +11,21 @@ package tensor
 
 import "math"
 
-// Dot returns the inner product of x and y. It panics on length mismatch.
+// Dot returns the inner product of x and y. It panics on length
+// mismatch. The four-way unrolled accumulation (partial sums combined
+// after the loop, see dotRef) is part of the package's determinism
+// contract: the blocked GEMM kernels and the SIMD implementations
+// reproduce exactly this order per output element.
 func Dot(x, y []float64) float64 {
 	checkLen(len(x), len(y))
-	var s0, s1, s2, s3 float64
-	n := len(x)
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		s0 += x[i] * y[i]
-		s1 += x[i+1] * y[i+1]
-		s2 += x[i+2] * y[i+2]
-		s3 += x[i+3] * y[i+3]
-	}
-	s := s0 + s1 + s2 + s3
-	for ; i < n; i++ {
-		s += x[i] * y[i]
-	}
-	return s
+	return dotKernel(x, y)
 }
 
-// Axpy computes y += a*x in place.
+// Axpy computes y += a*x in place (axpyRef order; elements are
+// independent, so vectorization changes no result bits).
 func Axpy(a float64, x, y []float64) {
 	checkLen(len(x), len(y))
-	for i, xi := range x {
-		y[i] += a * xi
-	}
+	axpyKernel(a, x, y)
 }
 
 // Scale computes x *= a in place.
