@@ -1,15 +1,19 @@
 #!/bin/sh
 # Performance gate: benchmarks the engine hot path and records the
-# numbers in BENCH_2.json so perf regressions are diffable in review.
+# numbers in BENCH_3.json so perf regressions are diffable in review.
 #
-#   ./bench.sh            # ~1 min, writes BENCH_2.json
+#   ./bench.sh            # ~1 min, writes BENCH_3.json
 #
-# BenchmarkEngineRound is the contract benchmark: one HierMinimax round
-# (Phase 1 + Phase 2) on the smoke workload. examples/sec counts gradient
-# examples (sampled edges x clients x tau1*tau2 x batch) per wall second.
+# BenchmarkEngineRound and BenchmarkSimnetRound are the contract
+# benchmarks: one HierMinimax round (Phase 1 + Phase 2) on the smoke
+# workload, in-process and over the actor message fabric respectively.
+# examples/sec counts gradient examples (sampled edges x clients x
+# tau1*tau2 x batch) per wall second; SimnetRound's B/op and allocs/op
+# are additionally gated by CI_BENCH=1 ./ci.sh against the recorded
+# values.
 set -eu
 
-OUT=${1:-BENCH_2.json}
+OUT=${1:-BENCH_3.json}
 COUNT=${BENCH_COUNT:-3}
 TIME=${BENCH_TIME:-2s}
 

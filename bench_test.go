@@ -165,7 +165,11 @@ func BenchmarkEngineRound(b *testing.B) {
 }
 
 // BenchmarkSimnetRound measures one actor-engine round, including all
-// message passing.
+// message passing. Its B/op and allocs/op are the contract numbers of
+// the zero-copy message fabric (recorded in BENCH_3.json and gated by
+// CI_BENCH=1 ./ci.sh): the steady state recirculates pooled payload
+// vectors and recycled message structs, so per-round allocation stays
+// near zero instead of scaling with messages x model dimension.
 func BenchmarkSimnetRound(b *testing.B) {
 	spec := benchBaseSpec()
 	spec.Engine = EngineSimNet
@@ -173,6 +177,10 @@ func BenchmarkSimnetRound(b *testing.B) {
 	spec.EvalEvery = 0
 	if _, err := Run(spec); err != nil {
 		b.Fatal(err)
+	}
+	examples := spec.SampledEdges * spec.ClientsPerEdge * spec.Tau1 * spec.Tau2 * spec.BatchSize
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(examples*b.N)/sec, "examples/sec")
 	}
 }
 

@@ -9,8 +9,41 @@ go vet ./...
 go test ./...
 go test -race ./internal/simnet/... ./internal/obs/...
 
-# Performance gate (optional, ~1 min): CI_BENCH=1 ./ci.sh refreshes
-# BENCH_2.json via bench.sh so hot-path regressions show up in review.
+# Performance gate (optional, ~1 min): CI_BENCH=1 ./ci.sh benchmarks the
+# hot path into a scratch file and fails if SimnetRound allocs/op
+# regressed more than 20% over the committed BENCH_3.json — the
+# zero-copy message fabric's contract number. Refresh the committed
+# record deliberately with ./bench.sh when the change is intended.
 if [ "${CI_BENCH:-0}" = "1" ]; then
-	./bench.sh
+	TMP_BENCH=$(mktemp /tmp/bench_ci.XXXXXX.json)
+	./bench.sh "$TMP_BENCH"
+	awk '
+	function allocs(file,   line, a) {
+		while ((getline line < file) > 0) {
+			if (line ~ /"name": "SimnetRound"/) {
+				match(line, /"allocs_per_op": [0-9]+/)
+				split(substr(line, RSTART, RLENGTH), a, ": ")
+				close(file)
+				return a[2] + 0
+			}
+		}
+		close(file)
+		return -1
+	}
+	BEGIN {
+		base = allocs("BENCH_3.json")
+		now = allocs(ARGV[1])
+		if (base < 0 || now < 0) {
+			print "ci: could not read SimnetRound allocs/op (base " base ", current " now ")"
+			exit 1
+		}
+		limit = base * 1.2
+		printf "ci: SimnetRound allocs/op %d (recorded %d, limit %.1f)\n", now, base, limit
+		if (now > limit) {
+			print "ci: SimnetRound allocs/op regressed beyond 20% of BENCH_3.json"
+			exit 1
+		}
+	}
+	' "$TMP_BENCH"
+	rm -f "$TMP_BENCH"
 fi

@@ -83,7 +83,10 @@ func main() {
 	fmt.Printf("edge weights p: %v\n", fmtWeights(rep.EdgeWeights))
 	fmt.Printf("traffic: cloud %.2f MB, total %.2f MB\n", float64(rep.CloudBytes)/1e6, float64(rep.TotalBytes)/1e6)
 	if spec.Engine == hierfair.EngineSimNet {
-		fmt.Printf("simnet: %d messages, simulated %.1f s\n", rep.MessagesSent, rep.SimulatedMs/1000)
+		fmt.Printf("simnet: %d messages (+%d control), simulated %.1f s\n",
+			rep.MessagesSent, rep.ControlMessages, rep.SimulatedMs/1000)
+		fmt.Printf("simnet pool: %d payload vectors allocated, %d recycled\n",
+			rep.PoolAllocated, rep.PoolRecycled)
 	}
 	if *saveModel != "" {
 		f, err := os.Create(*saveModel)

@@ -40,8 +40,14 @@ type Report struct {
 	CloudRounds, CloudBytes, TotalBytes int64
 	// SimulatedMs is the modeled wall-clock time (simnet engine only).
 	SimulatedMs float64
-	// MessagesSent counts protocol messages (simnet engine only).
-	MessagesSent int64
+	// MessagesSent counts protocol messages; ControlMessages counts the
+	// actor-lifecycle traffic kept out of that figure (simnet only).
+	MessagesSent    int64
+	ControlMessages int64
+	// PoolRecycled and PoolAllocated report how the payload arena served
+	// the run's weight traffic: recycled vectors vs fresh allocations
+	// (simnet engine only; allocated stays flat after warm-up).
+	PoolRecycled, PoolAllocated int64
 
 	mdl model.Model
 	w   []float64
@@ -103,15 +109,18 @@ func Run(spec Spec) (*Report, error) {
 	}
 
 	rep := &Report{
-		Algorithm:    res.Algorithm,
-		EdgeWeights:  append([]float64(nil), res.PWeights...),
-		CloudRounds:  res.Ledger.CloudRounds(),
-		CloudBytes:   res.Ledger.CloudBytes(),
-		TotalBytes:   res.Ledger.TotalBytes(),
-		SimulatedMs:  stats.SimulatedMs,
-		MessagesSent: stats.MessagesSent,
-		mdl:          prob.Model,
-		w:            res.W,
+		Algorithm:       res.Algorithm,
+		EdgeWeights:     append([]float64(nil), res.PWeights...),
+		CloudRounds:     res.Ledger.CloudRounds(),
+		CloudBytes:      res.Ledger.CloudBytes(),
+		TotalBytes:      res.Ledger.TotalBytes(),
+		SimulatedMs:     stats.SimulatedMs,
+		MessagesSent:    stats.MessagesSent,
+		ControlMessages: stats.ControlMessages,
+		PoolRecycled:    stats.PoolRecycled,
+		PoolAllocated:   stats.PoolAllocated,
+		mdl:             prob.Model,
+		w:               res.W,
 	}
 	for _, s := range res.History.Snapshots {
 		rep.History = append(rep.History, Point{

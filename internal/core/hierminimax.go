@@ -187,7 +187,12 @@ func Round(k int, st *fl.State, pool *fl.ModelPool) {
 		p1.End()
 		return // every sampled edge failed this round; w and p carry over
 	}
-	st.Ledger.RecordRound(topology.EdgeCloud, len(wVecs), 2*dBytes)
+	// Edges upload (w_e, chk_e) — and the iterate sum when tracking.
+	ecUp := 2 * dBytes
+	if cfg.TrackAverages {
+		ecUp += dBytes
+	}
+	st.Ledger.RecordRound(topology.EdgeCloud, len(wVecs), ecUp)
 	tensor.AverageInto(st.W, wVecs...)
 	tp := obs.Now()
 	prob.W.Project(st.W)
@@ -344,10 +349,14 @@ func ModelUpdate(a modelUpdateArgs) slotResult {
 		if cfg.Quantizer != nil {
 			uplinkBytes = (s.bits[n0-1] + 7) / 8
 		}
-		// Clients upload their models (plus the checkpoint in block c2).
+		// Clients upload their models (plus the checkpoint in block c2,
+		// plus the uncompressed iterate sum when tracking averages).
 		up := uplinkBytes
 		if t2 == a.c2 {
 			up *= 2
+		}
+		if cfg.TrackAverages {
+			up += dBytes
 		}
 		a.ledger.RecordRound(topology.ClientEdge, n0, up)
 		// Client-edge aggregation.

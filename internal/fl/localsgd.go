@@ -11,18 +11,22 @@ import (
 	"repro/internal/tensor"
 )
 
-// sgdScratch holds the per-call working buffers of LocalSGDInto and
-// AreaLossEstimate, recycled through a pool so steady-state training
-// steps allocate nothing.
-type sgdScratch struct {
+// Scratch holds the working buffers of a local-SGD block or a mini-batch
+// loss estimate: the gradient accumulator and the sampled batch views.
+// The zero value is ready to use; buffers grow on demand and are reused
+// across calls. Short-lived callers go through LocalSGDInto, which
+// recycles instances via an internal pool; long-lived single-owner
+// callers (the simnet client actors) keep one Scratch per actor so the
+// steady-state hot path never touches the shared pool.
+type Scratch struct {
 	grad []float64
 	xs   [][]float64
 	ys   []int
 }
 
-var sgdPool = sync.Pool{New: func() any { return new(sgdScratch) }}
+var sgdPool = sync.Pool{New: func() any { return new(Scratch) }}
 
-func (s *sgdScratch) size(dim, batch int) {
+func (s *Scratch) size(dim, batch int) {
 	if cap(s.grad) < dim {
 		s.grad = make([]float64, dim)
 	}
@@ -61,7 +65,16 @@ func LocalSGD(m model.Model, w0 []float64, shard data.Subset, steps, batch int, 
 // otherwise wChk is untouched. The sampling, gradient and projection
 // sequence is identical to LocalSGD's.
 func LocalSGDInto(m model.Model, w []float64, shard data.Subset, steps, batch int, eta float64, W simplex.Set, r *rng.Stream, chkAt int, iterSum, wChk []float64) bool {
-	s := sgdPool.Get().(*sgdScratch)
+	s := sgdPool.Get().(*Scratch)
+	checkpointed := LocalSGDScratch(m, w, shard, steps, batch, eta, W, r, chkAt, iterSum, wChk, s)
+	sgdPool.Put(s)
+	return checkpointed
+}
+
+// LocalSGDScratch is LocalSGDInto with a caller-owned Scratch instead of
+// the shared pool; actors that serve many requests keep one Scratch
+// resident and pass it here so the hot path is pool- and lock-free.
+func LocalSGDScratch(m model.Model, w []float64, shard data.Subset, steps, batch int, eta float64, W simplex.Set, r *rng.Stream, chkAt int, iterSum, wChk []float64, s *Scratch) bool {
 	s.size(len(w), batch)
 	checkpointed := false
 	for t := 0; t < steps; t++ {
@@ -76,8 +89,17 @@ func LocalSGDInto(m model.Model, w []float64, shard data.Subset, steps, batch in
 			checkpointed = true
 		}
 	}
-	sgdPool.Put(s)
 	return checkpointed
+}
+
+// ShardLossEstimate draws one mini-batch from the shard (consuming the
+// same stream values as Subset.Sample) and returns the model loss of w on
+// it, using the caller's Scratch for the batch views. It is the
+// allocation-free client half of the Phase-2 LossEstimation procedure.
+func ShardLossEstimate(m model.Model, w []float64, shard data.Subset, batch int, r *rng.Stream, s *Scratch) float64 {
+	s.size(0, batch)
+	shard.SampleInto(r, s.xs, s.ys)
+	return m.Loss(w, s.xs, s.ys)
 }
 
 // AreaLossEstimate implements the LossEstimation procedure of Phase 2:
@@ -85,12 +107,10 @@ func LocalSGDInto(m model.Model, w []float64, shard data.Subset, steps, batch in
 // and the edge server averages the client estimates, yielding an
 // unbiased estimate of f_e(w).
 func AreaLossEstimate(m model.Model, w []float64, area data.AreaData, lossBatch int, r *rng.Stream) float64 {
-	s := sgdPool.Get().(*sgdScratch)
-	s.size(0, lossBatch)
+	s := sgdPool.Get().(*Scratch)
 	total := 0.0
 	for c, shard := range area.Clients {
-		shard.SampleInto(r.Child(uint64(c)), s.xs, s.ys)
-		total += m.Loss(w, s.xs, s.ys)
+		total += ShardLossEstimate(m, w, shard, lossBatch, r.Child(uint64(c)), s)
 	}
 	sgdPool.Put(s)
 	return total / float64(len(area.Clients))

@@ -68,6 +68,14 @@ func (s *Stream) ChildN(keys ...uint64) *Stream {
 	return c
 }
 
+// ChildVal is Child returning the stream by value: same derivation, no
+// heap allocation. Hot paths that embed streams in recycled message
+// structs (internal/simnet) use it to keep per-message allocation at
+// zero; Child(k) and ChildVal(k) produce identical sequences.
+func (s Stream) ChildVal(key uint64) Stream {
+	return Stream{state: mix64(s.state ^ mix64(key^0xd1b54a32d192ed03))}
+}
+
 // Float64 returns a uniform value in [0, 1) with 53 random bits.
 func (s *Stream) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)

@@ -334,3 +334,35 @@ func BenchmarkNormFloat64(b *testing.B) {
 		_ = s.NormFloat64()
 	}
 }
+
+func TestChildValMatchesChild(t *testing.T) {
+	parent := New(99)
+	for _, key := range []uint64{0, 1, 'k', 1 << 40} {
+		ptr := parent.Child(key)
+		val := parent.ChildVal(key)
+		for i := 0; i < 16; i++ {
+			if a, b := ptr.Uint64(), val.Uint64(); a != b {
+				t.Fatalf("key %d draw %d: Child %d != ChildVal %d", key, i, a, b)
+			}
+		}
+	}
+	// Chained derivation matches ChildN.
+	want := New(5).ChildN(3, 7)
+	got := New(5).ChildVal(3).ChildVal(7)
+	if want.Uint64() != got.Uint64() {
+		t.Fatal("ChildVal chain diverges from ChildN")
+	}
+}
+
+func TestChildValDoesNotAllocate(t *testing.T) {
+	parent := New(4)
+	var sink uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		c := parent.ChildVal(11).ChildVal(12)
+		sink += c.Uint64()
+	})
+	if allocs != 0 {
+		t.Fatalf("ChildVal allocates %.1f objects per chain, want 0", allocs)
+	}
+	_ = sink
+}

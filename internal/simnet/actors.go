@@ -11,8 +11,12 @@ import (
 	"repro/internal/tensor"
 )
 
-// Protocol messages. Payload ownership transfers with the message: the
-// sender copies any buffer it keeps using.
+// Protocol messages. All payloads travel as pointers to structs recycled
+// through the typed pools below, and every []float64 inside them is
+// drawn from the network's vecPool: a Send transfers ownership of the
+// struct and its vectors to the receiver, which returns both after use
+// (single-owner discipline, DESIGN.md §9). Streams are embedded by value
+// so deriving a per-message stream allocates nothing.
 
 // trainReq asks a client to run local SGD from W.
 type trainReq struct {
@@ -21,7 +25,7 @@ type trainReq struct {
 	Batch  int
 	ChkAt  int
 	Eta    float64
-	Stream *rng.Stream
+	Stream rng.Stream
 	Client int // client index within its area
 }
 
@@ -37,7 +41,7 @@ type trainReply struct {
 type lossReq struct {
 	W      []float64
 	Batch  int
-	Stream *rng.Stream
+	Stream rng.Stream
 	Client int
 }
 
@@ -52,10 +56,11 @@ type edgeTrainReq struct {
 	W      []float64
 	C1, C2 int
 	Slot   int
-	Stream *rng.Stream
+	Stream rng.Stream
 }
 
-// edgeTrainReply returns the slot's aggregated edge model and checkpoint.
+// edgeTrainReply returns the slot's aggregated edge model, checkpoint,
+// and (when tracking) iterate sum.
 type edgeTrainReply struct {
 	Slot        int
 	WEdge, WChk []float64
@@ -68,7 +73,7 @@ type edgeLossReq struct {
 	W         []float64
 	Seq       int
 	LossBatch int
-	Stream    *rng.Stream
+	Stream    rng.Stream
 }
 
 // edgeLossReply returns the edge's averaged loss estimate.
@@ -77,48 +82,127 @@ type edgeLossReply struct {
 	Loss float64
 }
 
-// stopMsg terminates an actor loop.
+// stopMsg terminates an actor loop. It is the only by-value payload:
+// control traffic carries no pooled state.
 type stopMsg struct{}
 
+// Typed recycling pools for the message structs. Receivers put a struct
+// back as soon as they have taken ownership of its contents; the structs
+// are tiny, so sync.Pool's per-P caches make the steady-state cost of a
+// message two pointer swaps.
+var (
+	trainReqPool       = sync.Pool{New: func() any { return new(trainReq) }}
+	trainReplyPool     = sync.Pool{New: func() any { return new(trainReply) }}
+	lossReqPool        = sync.Pool{New: func() any { return new(lossReq) }}
+	lossReplyPool      = sync.Pool{New: func() any { return new(lossReply) }}
+	edgeTrainReqPool   = sync.Pool{New: func() any { return new(edgeTrainReq) }}
+	edgeTrainReplyPool = sync.Pool{New: func() any { return new(edgeTrainReply) }}
+	edgeLossReqPool    = sync.Pool{New: func() any { return new(edgeLossReq) }}
+	edgeLossReplyPool  = sync.Pool{New: func() any { return new(edgeLossReply) }}
+)
+
+// payloadBytes is the actual wire size of a set of payload vectors: 8
+// bytes per float64, nil vectors contribute nothing. All protocol
+// messages report their true transfer size so the per-link byte counters
+// and the latency model reflect what the round really moved.
+func payloadBytes(vecs ...[]float64) int64 {
+	var n int64
+	for _, v := range vecs {
+		n += int64(len(v)) * 8
+	}
+	return n
+}
+
 // clientActor owns one client's shard and model instance and serves
-// train and loss requests until stopped.
+// train and loss requests until stopped. Its SGD scratch (gradient
+// accumulator, batch views) is actor-resident: after the first request
+// the serving hot path allocates nothing.
 type clientActor struct {
-	id    NodeID
-	net   *Network
-	inbox <-chan Message
-	shard data.Subset
-	model model.Model
-	wSet  simplex.Set
-	track bool // accumulate iterates for wHat
+	id      NodeID
+	net     *Network
+	inbox   <-chan Message
+	shard   data.Subset
+	model   model.Model
+	wSet    simplex.Set
+	track   bool // accumulate iterates for wHat
+	scratch fl.Scratch
 }
 
 func (c *clientActor) run(wg *sync.WaitGroup) {
 	defer wg.Done()
+	pool := c.net.pool
 	for msg := range c.inbox {
 		switch req := msg.Payload.(type) {
-		case trainReq:
+		case *trainReq:
+			// The request's W is ours now; advance it in place and hand it
+			// back as the final model.
+			w := req.W
 			var iterSum []float64
 			if c.track {
-				iterSum = make([]float64, len(req.W))
+				iterSum = pool.get(len(w))
+				tensor.Zero(iterSum)
 			}
-			wf, wc := fl.LocalSGD(c.model, req.W, c.shard, req.Steps, req.Batch, req.Eta, c.wSet, req.Stream, req.ChkAt, iterSum)
-			c.net.Send(Message{
-				From: c.id, To: msg.From, Kind: "train-reply", Bytes: int64(len(wf)) * 8,
-				Payload: trainReply{Client: req.Client, WFinal: wf, WChk: wc, IterSum: iterSum},
+			var wChk []float64
+			if req.ChkAt > 0 {
+				wChk = pool.get(len(w))
+			}
+			chked := fl.LocalSGDScratch(c.model, w, c.shard, req.Steps, req.Batch, req.Eta, c.wSet, &req.Stream, req.ChkAt, iterSum, wChk, &c.scratch)
+			if !chked && wChk != nil {
+				pool.put(wChk)
+				wChk = nil
+			}
+			client := req.Client
+			trainReqPool.Put(req)
+			reply := trainReplyPool.Get().(*trainReply)
+			*reply = trainReply{Client: client, WFinal: w, WChk: wChk, IterSum: iterSum}
+			ok := c.net.Send(Message{
+				From: c.id, To: msg.From, Kind: "train-reply",
+				Bytes: payloadBytes(w, wChk, iterSum), Payload: reply,
 			})
-		case lossReq:
-			xs, ys := c.shard.Sample(req.Stream, req.Batch)
-			loss := c.model.Loss(req.W, xs, ys)
-			c.net.Send(Message{
-				From: c.id, To: msg.From, Kind: "loss-reply", Bytes: 8,
-				Payload: lossReply{Client: req.Client, Loss: loss},
-			})
+			if !ok {
+				reply.release(pool)
+			}
+		case *lossReq:
+			loss := fl.ShardLossEstimate(c.model, req.W, c.shard, req.Batch, &req.Stream, &c.scratch)
+			pool.put(req.W)
+			client := req.Client
+			lossReqPool.Put(req)
+			reply := lossReplyPool.Get().(*lossReply)
+			*reply = lossReply{Client: client, Loss: loss}
+			if !c.net.Send(Message{From: c.id, To: msg.From, Kind: "loss-reply", Bytes: 8, Payload: reply}) {
+				lossReplyPool.Put(reply)
+			}
 		case stopMsg:
 			return
 		default:
 			panic("simnet: client received unknown message kind " + msg.Kind)
 		}
 	}
+}
+
+// release returns a failed-send reply's payload to the pools (the sender
+// still owns everything when Send reports a drop).
+func (r *trainReply) release(pool *vecPool) {
+	pool.put(r.WFinal)
+	if r.WChk != nil {
+		pool.put(r.WChk)
+	}
+	if r.IterSum != nil {
+		pool.put(r.IterSum)
+	}
+	trainReplyPool.Put(r)
+}
+
+// release returns a failed-send edge reply's payload to the pools.
+func (r *edgeTrainReply) release(pool *vecPool) {
+	pool.put(r.WEdge)
+	if r.WChk != nil {
+		pool.put(r.WChk)
+	}
+	if r.IterSum != nil {
+		pool.put(r.IterSum)
+	}
+	edgeTrainReplyPool.Put(r)
 }
 
 // edgeActor owns one edge area: it fans ModelUpdate blocks out to its
@@ -128,6 +212,11 @@ func (c *clientActor) run(wg *sync.WaitGroup) {
 // Requests from the cloud arrive on the actor's main inbox; replies from
 // clients arrive on a dedicated reply port, so a second queued cloud
 // request can never be swallowed by a reply-await loop.
+//
+// The finals/chks/sums reply-gathering tables are actor-resident and
+// reused across blocks, slots and rounds; the entries they hold are
+// pool-owned vectors that pass through between a client reply and the
+// block's aggregation.
 type edgeActor struct {
 	id      NodeID
 	port    NodeID // reply port clients answer to
@@ -141,24 +230,41 @@ type edgeActor struct {
 	eta     float64
 	wSet    simplex.Set
 	track   bool
+	finals  [][]float64
+	chks    [][]float64
+	sums    [][]float64
 }
 
 func (e *edgeActor) run(wg *sync.WaitGroup) {
 	defer wg.Done()
+	n0 := len(e.clients)
+	e.finals = make([][]float64, n0)
+	e.chks = make([][]float64, n0)
+	e.sums = make([][]float64, n0)
 	for msg := range e.inbox {
 		switch req := msg.Payload.(type) {
-		case edgeTrainReq:
+		case *edgeTrainReq:
 			reply := e.modelUpdate(req)
-			e.net.Send(Message{
+			edgeTrainReqPool.Put(req)
+			ok := e.net.Send(Message{
 				From: e.id, To: msg.From, Kind: "edge-train-reply",
-				Bytes: int64(len(reply.WEdge)) * 16, Payload: reply,
+				Bytes: payloadBytes(reply.WEdge, reply.WChk, reply.IterSum), Payload: reply,
 			})
-		case edgeLossReq:
+			if !ok {
+				reply.release(e.net.pool)
+			}
+		case *edgeLossReq:
 			loss := e.lossEstimate(req)
-			e.net.Send(Message{
-				From: e.id, To: msg.From, Kind: "edge-loss-reply",
-				Bytes: 8, Payload: edgeLossReply{Seq: req.Seq, Loss: loss},
+			seq := req.Seq
+			edgeLossReqPool.Put(req)
+			reply := edgeLossReplyPool.Get().(*edgeLossReply)
+			*reply = edgeLossReply{Seq: seq, Loss: loss}
+			ok := e.net.Send(Message{
+				From: e.id, To: msg.From, Kind: "edge-loss-reply", Bytes: 8, Payload: reply,
 			})
+			if !ok {
+				edgeLossReplyPool.Put(reply)
+			}
 		case stopMsg:
 			return
 		default:
@@ -168,81 +274,115 @@ func (e *edgeActor) run(wg *sync.WaitGroup) {
 }
 
 // modelUpdate runs tau2 client-edge aggregation blocks by messaging the
-// area's clients.
-func (e *edgeActor) modelUpdate(req edgeTrainReq) edgeTrainReply {
+// area's clients. The returned reply owns three pooled vectors (edge
+// model, checkpoint, iterate sum); the cloud returns them after
+// aggregating.
+func (e *edgeActor) modelUpdate(req *edgeTrainReq) *edgeTrainReply {
 	n0 := len(e.clients)
+	pool := e.net.pool
 	we := req.W // ownership transferred with the message
+	d := len(we)
 	var chkEdge []float64
 	var iterSum []float64
 	var iterCount float64
 	if e.track {
-		iterSum = make([]float64, len(we))
+		iterSum = pool.get(d)
+		tensor.Zero(iterSum)
 	}
-	finals := make([][]float64, n0)
-	chks := make([][]float64, n0)
-	sums := make([][]float64, n0)
 	for t2 := 0; t2 < e.tau2; t2++ {
 		chkAt := 0
 		if t2 == req.C2 {
 			chkAt = req.C1
 		}
+		blockStream := req.Stream.ChildVal(uint64(t2))
 		for c := 0; c < n0; c++ {
-			w := append([]float64(nil), we...)
-			e.net.Send(Message{
-				From: e.port, To: e.clients[c], Kind: "train-req", Bytes: int64(len(w)) * 8,
-				Payload: trainReq{
-					W: w, Steps: e.tau1, Batch: e.batch, ChkAt: chkAt, Eta: e.eta,
-					Stream: req.Stream.ChildN(uint64(t2), uint64(c)),
-					Client: c,
-				},
+			w := pool.get(d)
+			copy(w, we)
+			tr := trainReqPool.Get().(*trainReq)
+			*tr = trainReq{
+				W: w, Steps: e.tau1, Batch: e.batch, ChkAt: chkAt, Eta: e.eta,
+				Stream: blockStream.ChildVal(uint64(c)),
+				Client: c,
+			}
+			ok := e.net.Send(Message{
+				From: e.port, To: e.clients[c], Kind: "train-req",
+				Bytes: payloadBytes(w), Payload: tr,
 			})
+			if !ok {
+				pool.put(w)
+				trainReqPool.Put(tr)
+			}
 		}
 		for recv := 0; recv < n0; recv++ {
 			msg := <-e.replies
-			r, ok := msg.Payload.(trainReply)
+			r, ok := msg.Payload.(*trainReply)
 			if !ok {
 				panic("simnet: edge expected train replies, got " + msg.Kind)
 			}
-			finals[r.Client] = r.WFinal
-			chks[r.Client] = r.WChk
-			sums[r.Client] = r.IterSum
+			e.finals[r.Client] = r.WFinal
+			e.chks[r.Client] = r.WChk
+			e.sums[r.Client] = r.IterSum
+			trainReplyPool.Put(r)
 		}
 		if e.track {
 			// Deterministic client-order reduction of the iterate sums.
 			for c := 0; c < n0; c++ {
-				tensor.Axpy(1, sums[c], iterSum)
+				tensor.Axpy(1, e.sums[c], iterSum)
 				iterCount += float64(e.tau1)
+				pool.put(e.sums[c])
+				e.sums[c] = nil
 			}
 		}
-		tensor.AverageInto(we, finals...)
+		tensor.AverageInto(we, e.finals...)
 		e.wSet.Project(we)
 		if t2 == req.C2 {
-			chkEdge = make([]float64, len(we))
-			tensor.AverageInto(chkEdge, chks...)
+			chkEdge = pool.get(d)
+			tensor.AverageInto(chkEdge, e.chks...)
+		}
+		for c := 0; c < n0; c++ {
+			pool.put(e.finals[c])
+			e.finals[c] = nil
+			if e.chks[c] != nil {
+				pool.put(e.chks[c])
+				e.chks[c] = nil
+			}
 		}
 	}
-	return edgeTrainReply{Slot: req.Slot, WEdge: we, WChk: chkEdge, IterSum: iterSum, IterCount: iterCount}
+	reply := edgeTrainReplyPool.Get().(*edgeTrainReply)
+	*reply = edgeTrainReply{Slot: req.Slot, WEdge: we, WChk: chkEdge, IterSum: iterSum, IterCount: iterCount}
+	return reply
 }
 
 // lossEstimate collects per-client mini-batch losses of req.W and
 // averages them, matching fl.AreaLossEstimate's stream keys.
-func (e *edgeActor) lossEstimate(req edgeLossReq) float64 {
+func (e *edgeActor) lossEstimate(req *edgeLossReq) float64 {
 	n0 := len(e.clients)
+	pool := e.net.pool
+	d := len(req.W)
 	for c := 0; c < n0; c++ {
-		w := append([]float64(nil), req.W...)
-		e.net.Send(Message{
-			From: e.port, To: e.clients[c], Kind: "loss-req", Bytes: int64(len(w)) * 8,
-			Payload: lossReq{W: w, Batch: req.LossBatch, Stream: req.Stream.Child(uint64(c)), Client: c},
+		w := pool.get(d)
+		copy(w, req.W)
+		lr := lossReqPool.Get().(*lossReq)
+		*lr = lossReq{W: w, Batch: req.LossBatch, Stream: req.Stream.ChildVal(uint64(c)), Client: c}
+		ok := e.net.Send(Message{
+			From: e.port, To: e.clients[c], Kind: "loss-req",
+			Bytes: payloadBytes(w), Payload: lr,
 		})
+		if !ok {
+			pool.put(w)
+			lossReqPool.Put(lr)
+		}
 	}
+	pool.put(req.W)
 	total := 0.0
 	for recv := 0; recv < n0; recv++ {
 		msg := <-e.replies
-		r, ok := msg.Payload.(lossReply)
+		r, ok := msg.Payload.(*lossReply)
 		if !ok {
 			panic("simnet: edge expected loss replies, got " + msg.Kind)
 		}
 		total += r.Loss
+		lossReplyPool.Put(r)
 	}
 	return total / float64(n0)
 }

@@ -49,8 +49,16 @@ type RunStats struct {
 	// SimulatedMs is the modeled wall-clock time of the whole run under
 	// the latency model (critical-path accounting).
 	SimulatedMs float64
-	// MessagesSent and MessagesLost count actual protocol messages.
+	// MessagesSent and MessagesLost count protocol messages only;
+	// ControlMessages counts the actor-lifecycle traffic excluded from
+	// them (see Network.Sent/Lost/Control).
 	MessagesSent, MessagesLost int64
+	ControlMessages            int64
+	// Payload-pool health: PoolOutstanding is the number of pooled
+	// vectors still checked out after shutdown (must be 0 — anything
+	// else is a payload leak); PoolRecycled and PoolAllocated show how
+	// much weight traffic was served by reuse vs fresh allocation.
+	PoolOutstanding, PoolRecycled, PoolAllocated int64
 }
 
 // HierMinimax runs Algorithm 1 as a message-passing distributed system:
@@ -73,10 +81,13 @@ func HierMinimax(prob *fl.Problem, cfg fl.Config, opts ...Option) (*fl.Result, R
 	if err := e.start(); err != nil {
 		return nil, RunStats{}, err
 	}
-	defer e.stop()
 	h := obs.Get()
 	t0 := obs.Now()
 	res, err := fl.Run("HierMinimax/simnet", prob, cfg, e.round)
+	// Stop on both paths, and read the stats only after the actors have
+	// drained: the control-message count and the pool's outstanding
+	// figure (the leak check) are final only once the fleet is down.
+	e.stop()
 	if err != nil {
 		return nil, RunStats{}, err
 	}
@@ -86,10 +97,15 @@ func HierMinimax(prob *fl.Problem, cfg fl.Config, opts ...Option) (*fl.Result, R
 		h.Registry().Gauge("simnet_simulated_ms").Set(e.simMs)
 		h.Registry().Gauge("simnet_wall_ms").Set(float64(time.Since(t0)) / float64(time.Millisecond))
 	}
+	pool := e.net.pool
 	return res, RunStats{
-		SimulatedMs:  e.simMs,
-		MessagesSent: e.net.Sent(),
-		MessagesLost: e.net.Lost(),
+		SimulatedMs:     e.simMs,
+		MessagesSent:    e.net.Sent(),
+		MessagesLost:    e.net.Lost(),
+		ControlMessages: e.net.Control(),
+		PoolOutstanding: pool.Outstanding(),
+		PoolRecycled:    pool.Recycled(),
+		PoolAllocated:   pool.Allocated(),
 	}, nil
 }
 
@@ -109,9 +125,21 @@ type engine struct {
 	// areaSlowest[e] is the slowest client speed factor in area e (the
 	// synchronous block time is gated by it).
 	areaSlowest []float64
+
+	// Round-resident scratch, sized on first use and reused every round
+	// so the cloud driver's steady state allocates no model-sized
+	// buffers (the payload vectors themselves live in net.pool).
+	results []*edgeTrainReply
+	wVecs   [][]float64
+	chkVecs [][]float64
+	wChk    []float64
+	losses  []float64
+	alive   []bool
+	v       []float64
 }
 
-// start builds the network and spawns every edge and client actor.
+// start builds the network, spawns every edge and client actor, and
+// seals the route table — after this Send is lock-free.
 func (e *engine) start() error {
 	if err := e.prob.Validate(); err != nil {
 		return err
@@ -174,6 +202,7 @@ func (e *engine) start() error {
 			go ca.run(&e.wg)
 		}
 	}
+	e.net.Seal()
 	return nil
 }
 
@@ -189,60 +218,102 @@ func (e *engine) stop() {
 	e.net.Close()
 }
 
+// sizeScratch readies the round-resident buffers for m slot/edge samples
+// over an nE-area federation with d model parameters.
+func (e *engine) sizeScratch(m, nE, d int) {
+	if cap(e.results) < m {
+		e.results = make([]*edgeTrainReply, m)
+		e.wVecs = make([][]float64, 0, m)
+		e.chkVecs = make([][]float64, 0, m)
+		e.losses = make([]float64, m)
+		e.alive = make([]bool, m)
+	}
+	e.results = e.results[:m]
+	e.losses = e.losses[:m]
+	e.alive = e.alive[:m]
+	if cap(e.wChk) < d {
+		e.wChk = make([]float64, d)
+	}
+	e.wChk = e.wChk[:d]
+	if cap(e.v) < nE {
+		e.v = make([]float64, nE)
+	}
+	e.v = e.v[:nE]
+}
+
 // round is the cloud-side protocol for one HierMinimax training round,
 // mirroring core.Round step for step.
 func (e *engine) round(k int, st *fl.State) {
 	cfg := &st.Cfg
 	prob := st.Prob
 	nE := prob.Fed.NumAreas()
-	dBytes := topology.ModelBytes(len(st.W))
-	kr := st.Root.ChildN('k', uint64(k))
+	d := len(st.W)
+	dBytes := topology.ModelBytes(d)
+	pool := e.net.pool
+	kr := st.Root.ChildVal('k').ChildVal(uint64(k))
 	cloudID := NodeID{Cloud, 0}
+	track := cfg.TrackAverages
 
 	// ---- Phase 1 ----
-	slots := kr.Child(1).SampleWeighted(cfg.SampledEdges, st.P)
-	cr := kr.Child(2)
+	s1 := kr.ChildVal(1)
+	slots := s1.SampleWeighted(cfg.SampledEdges, st.P)
+	cr := kr.ChildVal(2)
 	c2 := cr.Intn(cfg.Tau2)
 	c1 := 1 + cr.Intn(cfg.Tau1)
+	e.sizeScratch(cfg.SampledEdges, nE, d)
 
 	st.Ledger.RecordRound(topology.EdgeCloud, len(slots), dBytes)
+	slotStream := kr.ChildVal(3)
 	pending := 0
 	for i, edge := range slots {
-		w := append([]float64(nil), st.W...)
+		w := pool.get(d)
+		copy(w, st.W)
+		req := edgeTrainReqPool.Get().(*edgeTrainReq)
+		*req = edgeTrainReq{W: w, C1: c1, C2: c2, Slot: i, Stream: slotStream.ChildVal(uint64(i))}
 		ok := e.net.Send(Message{
-			From: cloudID, To: NodeID{Edge, edge}, Kind: "edge-train-req", Bytes: dBytes,
-			Payload: edgeTrainReq{W: w, C1: c1, C2: c2, Slot: i, Stream: kr.ChildN(3, uint64(i))},
+			From: cloudID, To: NodeID{Edge, edge}, Kind: "edge-train-req",
+			Bytes: payloadBytes(w), Payload: req,
 		})
 		if ok {
 			pending++
+		} else {
+			pool.put(w)
+			edgeTrainReqPool.Put(req)
 		}
 	}
-	results := make([]*edgeTrainReply, len(slots))
+	for i := range e.results {
+		e.results[i] = nil
+	}
 	for recv := 0; recv < pending; recv++ {
 		msg := <-e.inbox
-		r, ok := msg.Payload.(edgeTrainReply)
+		r, ok := msg.Payload.(*edgeTrainReply)
 		if !ok {
 			panic("simnet: cloud expected edge train replies, got " + msg.Kind)
 		}
-		rr := r
-		results[r.Slot] = &rr
+		e.results[r.Slot] = r
 	}
 	// Ledger entries for the client-edge traffic driven by the slots
 	// (recorded by the cloud on the actors' behalf; counts are exact
-	// because the protocol is deterministic).
+	// because the protocol is deterministic). Uplink bytes follow the
+	// actual reply payloads: every client uploads its model, plus the
+	// checkpoint in block c2, plus the iterate sum when tracking.
 	for range slots {
 		for t2 := 0; t2 < cfg.Tau2; t2++ {
 			st.Ledger.RecordRound(topology.ClientEdge, e.top.ClientsPerEdge, dBytes)
 			up := dBytes
 			if t2 == c2 {
-				up *= 2
+				up += dBytes
+			}
+			if track {
+				up += dBytes
 			}
 			st.Ledger.RecordRound(topology.ClientEdge, e.top.ClientsPerEdge, up)
 		}
 	}
 	// Simulated time: slots run in parallel (critical path = the slot on
 	// the slowest area); blocks inside a slot are sequential, and each
-	// block waits for its slowest client's tau1 local steps.
+	// block waits for its slowest client's tau1 local steps. Transfer
+	// costs use the actual per-block payload sizes.
 	slowest := 1.0
 	for _, edge := range slots {
 		if s := e.areaSlowest[edge]; s > slowest {
@@ -250,59 +321,97 @@ func (e *engine) round(k int, st *fl.State) {
 		}
 	}
 	blockCompute := float64(cfg.Tau1) * e.computeMs * slowest
-	e.simMs += e.lat.EdgeCloudCost(dBytes) +
-		float64(cfg.Tau2)*(2*e.lat.ClientEdgeCost(dBytes)+blockCompute) +
-		e.lat.EdgeCloudCost(2*dBytes)
+	ecUp := 2 * dBytes
+	if track {
+		ecUp += dBytes
+	}
+	phase1Ms := e.lat.EdgeCloudCost(dBytes) + e.lat.EdgeCloudCost(ecUp)
+	for t2 := 0; t2 < cfg.Tau2; t2++ {
+		up := dBytes
+		if t2 == c2 {
+			up += dBytes
+		}
+		if track {
+			up += dBytes
+		}
+		phase1Ms += e.lat.ClientEdgeCost(dBytes) + e.lat.ClientEdgeCost(up) + blockCompute
+	}
+	e.simMs += phase1Ms
 
-	var wVecs, chkVecs [][]float64
-	for _, r := range results {
+	e.wVecs = e.wVecs[:0]
+	e.chkVecs = e.chkVecs[:0]
+	for _, r := range e.results {
 		if r == nil {
 			continue
 		}
-		wVecs = append(wVecs, r.WEdge)
-		chkVecs = append(chkVecs, r.WChk)
+		e.wVecs = append(e.wVecs, r.WEdge)
+		e.chkVecs = append(e.chkVecs, r.WChk)
 		if st.WSum != nil {
 			tensor.Axpy(1, r.IterSum, st.WSum)
 			st.WCount += r.IterCount
 		}
 	}
-	if len(wVecs) == 0 {
+	if len(e.wVecs) == 0 {
 		return // all sampled edges unreachable this round
 	}
-	st.Ledger.RecordRound(topology.EdgeCloud, len(wVecs), 2*dBytes)
-	tensor.AverageInto(st.W, wVecs...)
+	st.Ledger.RecordRound(topology.EdgeCloud, len(e.wVecs), ecUp)
+	tensor.AverageInto(st.W, e.wVecs...)
 	prob.W.Project(st.W)
-	wChk := make([]float64, len(st.W))
-	tensor.AverageInto(wChk, chkVecs...)
+	tensor.AverageInto(e.wChk, e.chkVecs...)
 	if cfg.CheckpointOff {
-		copy(wChk, st.W)
+		copy(e.wChk, st.W)
+	}
+	// Aggregation done: the pooled reply payloads go back to the arena.
+	for i, r := range e.results {
+		if r == nil {
+			continue
+		}
+		pool.put(r.WEdge)
+		if r.WChk != nil {
+			pool.put(r.WChk)
+		}
+		if r.IterSum != nil {
+			pool.put(r.IterSum)
+		}
+		edgeTrainReplyPool.Put(r)
+		e.results[i] = nil
 	}
 
 	// ---- Phase 2 ----
-	ur := kr.Child(4)
+	ur := kr.ChildVal(4)
 	sampled := ur.SampleUniform(cfg.SampledEdges, nE)
 	st.Ledger.RecordRound(topology.EdgeCloud, len(sampled), dBytes)
+	lossStream := ur.ChildVal(5)
 	pending = 0
 	for i, edge := range sampled {
-		w := append([]float64(nil), wChk...)
+		w := pool.get(d)
+		copy(w, e.wChk)
+		req := edgeLossReqPool.Get().(*edgeLossReq)
+		*req = edgeLossReq{W: w, Seq: i, LossBatch: cfg.LossBatch, Stream: lossStream.ChildVal(uint64(i))}
 		ok := e.net.Send(Message{
-			From: cloudID, To: NodeID{Edge, edge}, Kind: "edge-loss-req", Bytes: dBytes,
-			Payload: edgeLossReq{W: w, Seq: i, LossBatch: cfg.LossBatch, Stream: ur.ChildN(5, uint64(i))},
+			From: cloudID, To: NodeID{Edge, edge}, Kind: "edge-loss-req",
+			Bytes: payloadBytes(w), Payload: req,
 		})
 		if ok {
 			pending++
+		} else {
+			pool.put(w)
+			edgeLossReqPool.Put(req)
 		}
 	}
-	losses := make([]float64, len(sampled))
-	alive := make([]bool, len(sampled))
+	for i := range e.alive {
+		e.losses[i] = 0
+		e.alive[i] = false
+	}
 	for recv := 0; recv < pending; recv++ {
 		msg := <-e.inbox
-		r, ok := msg.Payload.(edgeLossReply)
+		r, ok := msg.Payload.(*edgeLossReply)
 		if !ok {
 			panic("simnet: cloud expected edge loss replies, got " + msg.Kind)
 		}
-		losses[r.Seq] = r.Loss
-		alive[r.Seq] = true
+		e.losses[r.Seq] = r.Loss
+		e.alive[r.Seq] = true
+		edgeLossReplyPool.Put(r)
 	}
 	for range sampled {
 		st.Ledger.RecordRound(topology.ClientEdge, e.top.ClientsPerEdge, dBytes)
@@ -312,12 +421,12 @@ func (e *engine) round(k int, st *fl.State) {
 	e.simMs += e.lat.EdgeCloudCost(dBytes) + e.lat.ClientEdgeCost(dBytes) +
 		e.lat.ClientEdgeCost(8) + e.lat.EdgeCloudCost(8)
 
-	v := make([]float64, nE)
+	tensor.Zero(e.v)
 	scale := float64(nE) / float64(cfg.SampledEdges)
 	for i, edge := range sampled {
-		if alive[i] {
-			v[edge] += scale * losses[i]
+		if e.alive[i] {
+			e.v[edge] += scale * e.losses[i]
 		}
 	}
-	optim.AscentStep(st.P, v, cfg.EtaP*float64(cfg.SlotsPerRound()), prob.P)
+	optim.AscentStep(st.P, e.v, cfg.EtaP*float64(cfg.SlotsPerRound()), prob.P)
 }

@@ -60,10 +60,23 @@ type Message struct {
 	// hook and the statistics.
 	Kind string
 	// Payload is the message body; senders must not retain references to
-	// mutable payload state after sending (single-owner discipline).
+	// mutable payload state after a successful Send (single-owner
+	// discipline — pooled payload vectors transfer to the receiver). If
+	// Send returns false the sender still owns the payload and must
+	// release it.
 	Payload any
-	// Bytes is the simulated wire size used by the latency model.
+	// Bytes is the simulated wire size used by the latency model and the
+	// per-link byte counters: the actual payload bytes of the transfer.
 	Bytes int64
+}
+
+// control reports whether the message is control-plane traffic (actor
+// lifecycle) rather than a protocol step. Control messages are exempt
+// from the drop hook (the simulated failures model lossy data links, not
+// the simulation's own shutdown) and are excluded from Sent/Lost.
+func (m Message) control() bool {
+	_, ok := m.Payload.(stopMsg)
+	return ok
 }
 
 // DropFunc decides whether a message is lost in transit. It runs on the
@@ -74,23 +87,43 @@ type DropFunc func(Message) bool
 // buffered channels; Send never blocks the sender beyond the buffer,
 // so deadlock-free protocols only need bounded outstanding messages per
 // mailbox (the engines size buffers to their fan-out).
+//
+// A Network has two phases. During setup, Register and SetDrop build the
+// route table under a mutex. Seal freezes it: after Seal the table is
+// immutable, so Send reads it with no lock at all — the per-message hot
+// path is a plain map lookup plus one channel send. Register or SetDrop
+// after Seal panic, and Send before Seal panics: the phases may not
+// interleave, which is what makes the lock-free read sound.
 type Network struct {
 	mu     sync.Mutex
 	boxes  map[NodeID]chan Message
-	drop   DropFunc
+	drop   DropFunc // immutable after Seal
+	sealed atomic.Bool
+	closed atomic.Bool
 	sent   atomic.Int64
 	lost   atomic.Int64
+	ctrl   atomic.Int64
 	om     *netObs
-	closed bool
+	pool   *vecPool
 }
 
 // NewNetwork returns an empty network. Observability is bound here: if a
 // global obs hub is installed when the network is built, every Send
 // records per-link-class message counters and mailbox-depth high-water
-// marks into it (see netObs).
+// marks into it (see netObs), and the payload pool exports its
+// outstanding/recycled gauges.
 func NewNetwork() *Network {
-	return &Network{boxes: make(map[NodeID]chan Message), om: newNetObs(obs.Get())}
+	h := obs.Get()
+	return &Network{
+		boxes: make(map[NodeID]chan Message),
+		om:    newNetObs(h),
+		pool:  newVecPool(h),
+	}
 }
+
+// Pool returns the network's payload-vector pool. All protocol payload
+// vectors must be drawn from and returned to it (see vecPool).
+func (n *Network) Pool() *vecPool { return n.pool }
 
 // linkClass buckets a transfer by the hierarchy links it crosses,
 // matching the topology.Link classes the ledger uses. Reply ports are
@@ -148,12 +181,8 @@ func newNetObs(h *obs.Hub) *netObs {
 	return om
 }
 
-// observe records one Send outcome.
+// observe records one protocol Send outcome.
 func (om *netObs) observe(msg Message, queued int, dropped bool) {
-	if _, ok := msg.Payload.(stopMsg); ok {
-		om.control.Inc()
-		return
-	}
 	class := linkClass(msg.From.Kind, msg.To.Kind)
 	if dropped {
 		om.dropped[class].Inc()
@@ -164,18 +193,27 @@ func (om *netObs) observe(msg Message, queued int, dropped bool) {
 	om.depth[msg.To.Kind].SetMax(float64(queued))
 }
 
-// SetDrop installs the failure-injection hook (nil disables).
+// SetDrop installs the failure-injection hook (nil disables). Like
+// Register it is a setup-phase call: installing a hook after Seal
+// panics, because Send reads the hook without a lock.
 func (n *Network) SetDrop(f DropFunc) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.sealed.Load() {
+		panic("simnet: SetDrop after Seal")
+	}
 	n.drop = f
 }
 
 // Register creates the mailbox for id with the given buffer and returns
-// its receive side. Registering the same id twice panics.
+// its receive side. Registering the same id twice, or registering after
+// Seal, panics.
 func (n *Network) Register(id NodeID, buffer int) <-chan Message {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.sealed.Load() {
+		panic("simnet: Register after Seal")
+	}
 	if _, ok := n.boxes[id]; ok {
 		panic("simnet: duplicate registration of " + id.String())
 	}
@@ -184,24 +222,48 @@ func (n *Network) Register(id NodeID, buffer int) <-chan Message {
 	return ch
 }
 
+// Seal freezes the route table. After Seal the node set and drop hook
+// are immutable, which lets Send route with a plain (lock-free) map
+// read. Sealing twice panics: it indicates two parties believe they own
+// network setup.
+func (n *Network) Seal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.sealed.Load() {
+		panic("simnet: Seal of already-sealed network")
+	}
+	n.sealed.Store(true)
+}
+
 // Send delivers msg to its destination mailbox. It returns false if the
 // message was dropped by the failure hook (the sender is aware of the
-// loss, modeling a send-side link failure). Sending to an unregistered
-// node panics — that is a protocol bug, not a simulated failure.
+// loss, modeling a send-side link failure) — the sender then still owns
+// the payload and must release any pooled vectors in it. Sending to an
+// unregistered node panics — that is a protocol bug, not a simulated
+// failure — as does sending before Seal.
 func (n *Network) Send(msg Message) bool {
-	n.mu.Lock()
-	box, ok := n.boxes[msg.To]
-	drop := n.drop
-	closed := n.closed
-	n.mu.Unlock()
-	if closed {
+	if !n.sealed.Load() {
+		panic("simnet: Send before Seal — register every node, then Seal the network")
+	}
+	if n.closed.Load() {
 		return false
 	}
+	box, ok := n.boxes[msg.To]
 	if !ok {
 		panic("simnet: send to unregistered node " + msg.To.String())
 	}
+	if msg.control() {
+		// Control plane: reliable by construction, counted apart so the
+		// protocol counters reconcile with the topology.Ledger.
+		n.ctrl.Add(1)
+		box <- msg
+		if n.om != nil {
+			n.om.control.Inc()
+		}
+		return true
+	}
 	n.sent.Add(1)
-	if drop != nil && drop(msg) {
+	if n.drop != nil && n.drop(msg) {
 		n.lost.Add(1)
 		if n.om != nil {
 			n.om.observe(msg, 0, true)
@@ -219,16 +281,23 @@ func (n *Network) Send(msg Message) bool {
 // Close marks the network closed; subsequent Sends return false. It does
 // not close mailboxes (receivers drain and exit on their stop message).
 func (n *Network) Close() {
-	n.mu.Lock()
-	n.closed = true
-	n.mu.Unlock()
+	n.closed.Store(true)
 }
 
-// Sent returns the number of Send calls; Lost the number dropped.
+// Sent returns the number of protocol messages accepted by Send —
+// control-plane traffic (actor lifecycle, see Control) is excluded, so
+// Sent reconciles exactly with the topology.Ledger message totals of the
+// same run. Dropped messages are not counted here; see Lost.
 func (n *Network) Sent() int64 { return n.sent.Load() }
 
-// Lost returns the number of messages dropped by the failure hook.
+// Lost returns the number of protocol messages dropped by the failure
+// hook. Control messages are never dropped, so Lost counts protocol
+// traffic only, matching Sent's contract.
 func (n *Network) Lost() int64 { return n.lost.Load() }
+
+// Control returns the number of control-plane (actor lifecycle)
+// messages delivered, the traffic Sent and Lost exclude.
+func (n *Network) Control() int64 { return n.ctrl.Load() }
 
 // Latency is a per-link-class cost model used to estimate the simulated
 // wall-clock time of a run without sleeping: the engines accumulate the

@@ -44,8 +44,8 @@ func TestObsMessageCountersMatchLedger(t *testing.T) {
 	}
 
 	// The transport saw exactly the protocol messages (shutdown controls
-	// are counted apart; stats.MessagesSent is read before actor
-	// shutdown, so it excludes them too), and nothing was dropped.
+	// are counted apart — see Network.Control — and excluded from
+	// Sent/Lost by contract), and nothing was dropped.
 	if got := ce + ec + cc; got != stats.MessagesSent {
 		t.Fatalf("protocol messages: obs %d, runstats %d", got, stats.MessagesSent)
 	}
@@ -75,11 +75,33 @@ func TestObsMessageCountersMatchLedger(t *testing.T) {
 		}
 	}
 
-	// Byte counters reconcile on the cloud links, where message payloads
-	// carry exactly the bytes the ledger records.
+	// Byte counters reconcile on every link class: each message reports
+	// its actual payload bytes, and the ledger records the same actual
+	// sizes, so the two accounts agree to the byte.
 	ecBytes := counter(`simnet_bytes_sent_total{link="edge-cloud"}`)
 	if want := res.Ledger.Bytes[topology.EdgeCloud]; ecBytes != want {
 		t.Fatalf("edge-cloud bytes: obs %d, ledger %d", ecBytes, want)
+	}
+	ceBytes := counter(`simnet_bytes_sent_total{link="client-edge"}`)
+	if want := res.Ledger.Bytes[topology.ClientEdge]; ceBytes != want {
+		t.Fatalf("client-edge bytes: obs %d, ledger %d", ceBytes, want)
+	}
+
+	// Pool hygiene: the run leaked no payload vectors, and steady-state
+	// traffic was served by recycling, not allocation.
+	if stats.PoolOutstanding != 0 {
+		t.Fatalf("payload leak: %d pooled vectors outstanding after run", stats.PoolOutstanding)
+	}
+	if stats.PoolRecycled == 0 || stats.PoolAllocated == 0 {
+		t.Fatalf("pool counters not live: recycled=%d allocated=%d",
+			stats.PoolRecycled, stats.PoolAllocated)
+	}
+	if stats.PoolAllocated >= stats.PoolRecycled {
+		t.Fatalf("pool barely reused: allocated=%d recycled=%d",
+			stats.PoolAllocated, stats.PoolRecycled)
+	}
+	if stats.ControlMessages == 0 {
+		t.Fatal("control messages not counted in RunStats")
 	}
 }
 
@@ -93,6 +115,7 @@ func TestObsDropCounters(t *testing.T) {
 	n := NewNetwork()
 	n.Register(NodeID{Client, 0}, 4)
 	n.SetDrop(func(m Message) bool { return m.Kind == "lossy" })
+	n.Seal()
 	n.Send(Message{From: NodeID{Edge, 0}, To: NodeID{Client, 0}, Kind: "lossy", Bytes: 8})
 	n.Send(Message{From: NodeID{Edge, 0}, To: NodeID{Client, 0}, Kind: "fine", Bytes: 8})
 

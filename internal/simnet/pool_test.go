@@ -1,0 +1,192 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/fl/fltest"
+)
+
+// After any full run — including one with failure injection, which
+// exercises the sender-releases-on-drop path — every pooled payload
+// vector must be back in the arena: the single-owner protocol admits no
+// leaks.
+func TestPoolLeakFreeAfterRun(t *testing.T) {
+	cfg := fltest.ToyConfig()
+	cfg.Rounds = 30
+	cfg.TrackAverages = true // widest payload set: models, checkpoints, iterate sums
+	_, stats, err := HierMinimax(fltest.ToyProblem(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PoolOutstanding != 0 {
+		t.Fatalf("leak: %d vectors outstanding after clean run", stats.PoolOutstanding)
+	}
+	if stats.PoolRecycled == 0 {
+		t.Fatal("pool never recycled a vector across 30 rounds")
+	}
+
+	cfg = fltest.ToyConfig()
+	cfg.Rounds = 60
+	var mu sync.Mutex
+	count := 0
+	drop := func(m Message) bool {
+		if m.Kind != "edge-train-req" && m.Kind != "edge-loss-req" {
+			return false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		count++
+		return count%4 == 0
+	}
+	_, stats, err = HierMinimax(fltest.ToyProblem(1), cfg, WithDrop(drop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MessagesLost == 0 {
+		t.Fatal("drop hook never fired")
+	}
+	if stats.PoolOutstanding != 0 {
+		t.Fatalf("leak: %d vectors outstanding after lossy run", stats.PoolOutstanding)
+	}
+}
+
+// Returning the same vector twice without an intervening get means two
+// protocol parties both believed they owned it; the pool must catch that
+// immediately rather than let a later round read aliased memory.
+func TestPoolDoublePutPanics(t *testing.T) {
+	p := newVecPool(nil)
+	v := p.get(8)
+	p.put(v)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double put did not panic")
+		}
+	}()
+	p.put(v)
+}
+
+func TestPoolRejectsBadVectors(t *testing.T) {
+	p := newVecPool(nil)
+	t.Run("get non-positive", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("get(0) did not panic")
+			}
+		}()
+		p.get(0)
+	})
+	t.Run("put empty", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("put(nil) did not panic")
+			}
+		}()
+		p.put(nil)
+	})
+}
+
+func TestPoolReusesAndCounts(t *testing.T) {
+	p := newVecPool(nil)
+	a := p.get(4)
+	p.put(a)
+	b := p.get(4)
+	if &a[0] != &b[0] {
+		t.Fatal("pool did not recycle the freed vector")
+	}
+	if p.Allocated() != 1 || p.Recycled() != 1 || p.Outstanding() != 1 {
+		t.Fatalf("counters: allocated=%d recycled=%d outstanding=%d",
+			p.Allocated(), p.Recycled(), p.Outstanding())
+	}
+	p.put(b)
+	if p.Outstanding() != 0 {
+		t.Fatalf("outstanding=%d after final put", p.Outstanding())
+	}
+}
+
+// The seal contract: mutating the route table after Seal, sending before
+// Seal, and sealing twice are all protocol bugs that must fail loudly.
+func TestSealContract(t *testing.T) {
+	expectPanic := func(t *testing.T, what string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", what)
+			}
+		}()
+		f()
+	}
+	t.Run("register after seal", func(t *testing.T) {
+		n := NewNetwork()
+		n.Register(NodeID{Client, 0}, 1)
+		n.Seal()
+		expectPanic(t, "Register after Seal", func() { n.Register(NodeID{Client, 1}, 1) })
+	})
+	t.Run("setdrop after seal", func(t *testing.T) {
+		n := NewNetwork()
+		n.Seal()
+		expectPanic(t, "SetDrop after Seal", func() { n.SetDrop(func(Message) bool { return false }) })
+	})
+	t.Run("send before seal", func(t *testing.T) {
+		n := NewNetwork()
+		n.Register(NodeID{Client, 0}, 1)
+		expectPanic(t, "Send before Seal", func() {
+			n.Send(Message{To: NodeID{Client, 0}, Kind: "x"})
+		})
+	})
+	t.Run("double seal", func(t *testing.T) {
+		n := NewNetwork()
+		n.Seal()
+		expectPanic(t, "double Seal", func() { n.Seal() })
+	})
+}
+
+// Hammer the sealed route table from many senders at once (run under
+// ci.sh's -race pass): after Seal, Send's map read takes no lock, which
+// is only sound because the table is immutable.
+func TestSealedConcurrentSend(t *testing.T) {
+	n := NewNetwork()
+	const targets = 8
+	const senders = 16
+	const perSender = 500
+	boxes := make([]<-chan Message, targets)
+	for i := 0; i < targets; i++ {
+		boxes[i] = n.Register(NodeID{Client, i}, senders*perSender/targets)
+	}
+	n.SetDrop(func(m Message) bool { return m.Kind == "lossy" })
+	n.Seal()
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				kind := "fine"
+				if i%5 == 0 {
+					kind = "lossy"
+				}
+				n.Send(Message{
+					From: NodeID{Edge, s}, To: NodeID{Client, (s + i) % targets},
+					Kind: kind, Bytes: 8,
+				})
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	delivered := 0
+	for i := 0; i < targets; i++ {
+		delivered += len(boxes[i])
+	}
+	total := int64(senders * perSender)
+	if n.Sent() != total {
+		t.Fatalf("sent %d, want %d", n.Sent(), total)
+	}
+	if int64(delivered)+n.Lost() != total {
+		t.Fatalf("delivered %d + lost %d != sent %d", delivered, n.Lost(), total)
+	}
+	if n.Lost() != int64(senders*perSender/5) {
+		t.Fatalf("lost %d, want %d", n.Lost(), senders*perSender/5)
+	}
+}

@@ -13,6 +13,7 @@ import (
 func TestNetworkBasics(t *testing.T) {
 	n := NewNetwork()
 	box := n.Register(NodeID{Client, 0}, 1)
+	n.Seal()
 	ok := n.Send(Message{From: NodeID{Cloud, 0}, To: NodeID{Client, 0}, Kind: "x", Payload: 42})
 	if !ok {
 		t.Fatal("send failed")
@@ -39,6 +40,7 @@ func TestNetworkDuplicateRegistrationPanics(t *testing.T) {
 
 func TestNetworkSendToUnregisteredPanics(t *testing.T) {
 	n := NewNetwork()
+	n.Seal()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic")
@@ -51,6 +53,7 @@ func TestNetworkDrop(t *testing.T) {
 	n := NewNetwork()
 	n.Register(NodeID{Client, 0}, 4)
 	n.SetDrop(func(m Message) bool { return m.Kind == "lossy" })
+	n.Seal()
 	if n.Send(Message{To: NodeID{Client, 0}, Kind: "lossy"}) {
 		t.Fatal("dropped message reported delivered")
 	}
@@ -65,6 +68,7 @@ func TestNetworkDrop(t *testing.T) {
 func TestNetworkClose(t *testing.T) {
 	n := NewNetwork()
 	n.Register(NodeID{Client, 0}, 1)
+	n.Seal()
 	n.Close()
 	if n.Send(Message{To: NodeID{Client, 0}}) {
 		t.Fatal("send succeeded after close")
@@ -151,6 +155,61 @@ func TestSimnetTrackedAveragesMatchCore(t *testing.T) {
 	for i := range ref.PHat {
 		if ref.PHat[i] != sim.PHat[i] {
 			t.Fatalf("pHat diverges at %d", i)
+		}
+	}
+}
+
+// The strongest form of the equivalence: with per-round evaluation and
+// iterate tracking on, every history snapshot — model metrics, edge
+// weights, and the complete communication ledger (rounds, messages and
+// bytes on every link class) — must be identical between the two
+// engines, not just the final state.
+func TestSimnetFullTrajectoryMatchesCore(t *testing.T) {
+	cfg := fltest.ToyConfig()
+	cfg.Rounds = 20
+	cfg.EvalEvery = 1
+	cfg.TrackAverages = true
+
+	ref, err := core.HierMinimax(fltest.ToyProblem(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, _, err := HierMinimax(fltest.ToyProblem(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Ledger != sim.Ledger {
+		t.Fatalf("final ledgers differ:\ncore   %+v\nsimnet %+v", ref.Ledger, sim.Ledger)
+	}
+	if len(ref.History.Snapshots) != len(sim.History.Snapshots) {
+		t.Fatalf("snapshot counts differ: %d vs %d",
+			len(ref.History.Snapshots), len(sim.History.Snapshots))
+	}
+	for s, rs := range ref.History.Snapshots {
+		ss := sim.History.Snapshots[s]
+		if rs.Round != ss.Round || rs.Slots != ss.Slots {
+			t.Fatalf("snapshot %d round/slots differ", s)
+		}
+		if rs.Ledger != ss.Ledger {
+			t.Fatalf("snapshot %d ledgers differ:\ncore   %+v\nsimnet %+v", s, rs.Ledger, ss.Ledger)
+		}
+		if rs.Fair != ss.Fair {
+			t.Fatalf("snapshot %d fairness differs", s)
+		}
+		for i := range rs.P {
+			if rs.P[i] != ss.P[i] {
+				t.Fatalf("snapshot %d p[%d] differs: %v vs %v", s, i, rs.P[i], ss.P[i])
+			}
+		}
+		for a := range rs.Areas.Accuracy {
+			if rs.Areas.Accuracy[a] != ss.Areas.Accuracy[a] || rs.Areas.Loss[a] != ss.Areas.Loss[a] {
+				t.Fatalf("snapshot %d area %d metrics differ", s, a)
+			}
+		}
+	}
+	for i := range ref.WHat {
+		if ref.WHat[i] != sim.WHat[i] {
+			t.Fatalf("wHat diverges at %d", i)
 		}
 	}
 }
