@@ -9,6 +9,13 @@ go vet ./...
 go test ./...
 go test -race ./internal/simnet/... ./internal/obs/...
 
+# Short fuzz smoke on the simplex projections: a few seconds per target
+# re-explores the corpus plus fresh mutations of the feasibility,
+# non-negativity and idempotence contracts. Long exploratory sessions
+# stay manual (go test -fuzz=... -fuzztime=5m ./internal/simplex).
+go test -run '^$' -fuzz '^FuzzSimplexProject$' -fuzztime 5s ./internal/simplex
+go test -run '^$' -fuzz '^FuzzCappedSimplexProject$' -fuzztime 5s ./internal/simplex
+
 # Performance gate (optional, ~1 min): CI_BENCH=1 ./ci.sh benchmarks the
 # hot path into a scratch file and fails if SimnetRound allocs/op
 # regressed more than 20% over the committed BENCH_3.json — the

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3|fig4|table2|table1|rates|stationarity|ablations|all")
+	exp := flag.String("exp", "all", "experiment: fig3|fig4|table2|table1|rates|stationarity|ablations|chaos|all")
 	scaleName := flag.String("scale", "smoke", "scale: smoke|small|full")
 	seed := flag.Uint64("seed", 42, "random seed")
 	out := flag.String("out", "", "directory for CSV/JSON artifacts (empty = none)")
@@ -92,6 +92,9 @@ func main() {
 	}
 	if all || *exp == "ablations" {
 		run("ablations", func() (experiments.Artifact, error) { return experiments.Ablations(scale, *seed) })
+	}
+	if all || *exp == "chaos" {
+		run("chaos", func() (experiments.Artifact, error) { return experiments.ChaosSweep(scale, *seed) })
 	}
 	if err := obsDone(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments: observability teardown:", err)

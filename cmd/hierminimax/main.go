@@ -43,6 +43,14 @@ func main() {
 	flag.UintVar(&spec.QuantBits, "quant", 0, "uplink quantization bits (0 = exact)")
 	flag.Float64Var(&spec.DropoutProb, "dropout", 0, "per-slot dropout probability")
 	flag.Float64Var(&spec.PCap, "pcap", 0, "cap for the weight simplex (0 = none)")
+	flag.Float64Var(&spec.Chaos.CrashProb, "crash", 0, "per-round client crash probability (simnet)")
+	flag.Float64Var(&spec.Chaos.PartitionProb, "partition-prob", 0, "per-round edge partition probability (simnet)")
+	flag.Float64Var(&spec.Chaos.LossProb, "loss", 0, "per-transfer message loss probability (simnet)")
+	flag.Float64Var(&spec.Chaos.StragglerProb, "straggle", 0, "per-round client straggler probability (simnet)")
+	flag.Float64Var(&spec.Chaos.StragglerMs, "straggle-ms", 0, "simulated delay per straggler block, ms (simnet)")
+	flag.Float64Var(&spec.Chaos.TimeoutMs, "timeout-ms", 0, "fan-in deadline in simulated ms (0 = 250; simnet)")
+	flag.IntVar(&spec.Chaos.MaxRetries, "retries", 0, "retransmissions per lost message (simnet)")
+	flag.Uint64Var(&spec.Chaos.Seed, "chaos-seed", 0, "fault-schedule seed (0 = derive from -seed)")
 	flag.Uint64Var(&spec.Seed, "seed", 1, "random seed")
 	flag.IntVar(&spec.EvalEvery, "eval", 100, "evaluate every this many rounds")
 	saveModel := flag.String("savemodel", "", "write the trained model (gob) to this path")
@@ -87,6 +95,10 @@ func main() {
 			rep.MessagesSent, rep.ControlMessages, rep.SimulatedMs/1000)
 		fmt.Printf("simnet pool: %d payload vectors allocated, %d recycled\n",
 			rep.PoolAllocated, rep.PoolRecycled)
+		if rep.MessagesLost+rep.Timeouts+rep.Retries+rep.Crashes > 0 {
+			fmt.Printf("simnet faults: %d messages lost, %d timeouts, %d retries, %d client crashes\n",
+				rep.MessagesLost, rep.Timeouts, rep.Retries, rep.Crashes)
+		}
 	}
 	if *saveModel != "" {
 		f, err := os.Create(*saveModel)

@@ -44,6 +44,13 @@ type Report struct {
 	// actor-lifecycle traffic kept out of that figure (simnet only).
 	MessagesSent    int64
 	ControlMessages int64
+	// Fault outcomes under a Chaos plan (simnet only): messages lost in
+	// transit, fan-in deadlines that fired, retransmissions spent, and
+	// client-rounds lost to crashes. All zero on a fault-free run.
+	MessagesLost int64
+	Timeouts     int64
+	Retries      int64
+	Crashes      int64
 	// PoolRecycled and PoolAllocated report how the payload arena served
 	// the run's weight traffic: recycled vectors vs fresh allocations
 	// (simnet engine only; allocated stays flat after warm-up).
@@ -87,7 +94,11 @@ func Run(spec Spec) (*Report, error) {
 			Base: cfg, Branching: spec.Branching, Taus: spec.Taus,
 		})
 	case spec.Engine == EngineSimNet:
-		res, stats, err = simnet.HierMinimax(prob, cfg)
+		var opts []simnet.Option
+		if sched := spec.Chaos.schedule(spec.Seed); sched != nil {
+			opts = append(opts, simnet.WithChaos(sched))
+		}
+		res, stats, err = simnet.HierMinimax(prob, cfg, opts...)
 	default:
 		switch spec.Algorithm {
 		case AlgHierMinimax:
@@ -117,6 +128,10 @@ func Run(spec Spec) (*Report, error) {
 		SimulatedMs:     stats.SimulatedMs,
 		MessagesSent:    stats.MessagesSent,
 		ControlMessages: stats.ControlMessages,
+		MessagesLost:    stats.MessagesLost,
+		Timeouts:        stats.Timeouts,
+		Retries:         stats.Retries,
+		Crashes:         stats.Crashes,
 		PoolRecycled:    stats.PoolRecycled,
 		PoolAllocated:   stats.PoolAllocated,
 		mdl:             prob.Model,

@@ -72,6 +72,34 @@ func TestSimnetEngineMatchesInProcess(t *testing.T) {
 	}
 }
 
+func TestChaosSpecInjectsFaults(t *testing.T) {
+	spec := smokeSpec(AlgHierMinimax)
+	spec.Engine = EngineSimNet
+	spec.Rounds = 120
+	spec.Chaos = Chaos{CrashProb: 0.15, LossProb: 0.05, MaxRetries: 1}
+	rep, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes == 0 || rep.MessagesLost == 0 || rep.Timeouts == 0 || rep.Retries == 0 {
+		t.Fatalf("fault plan produced no fault activity: %+v", rep)
+	}
+	if rep.History[len(rep.History)-1].Round != spec.Rounds {
+		t.Fatal("faulted run stopped early")
+	}
+	if rep.FinalAverage < 0.5 {
+		t.Fatalf("faulted run collapsed: average %v", rep.FinalAverage)
+	}
+}
+
+func TestChaosRequiresSimnetEngine(t *testing.T) {
+	spec := smokeSpec(AlgHierMinimax)
+	spec.Chaos = Chaos{CrashProb: 0.1}
+	if _, err := Run(spec); err == nil {
+		t.Fatal("in-process engine accepted a chaos plan")
+	}
+}
+
 func TestSimnetRejectsBaselines(t *testing.T) {
 	spec := smokeSpec(AlgDRFA)
 	spec.Engine = EngineSimNet

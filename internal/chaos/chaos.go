@@ -1,0 +1,157 @@
+// Package chaos provides deterministic fault schedules for the simnet
+// engine: seeded, reproducible decisions about which clients crash,
+// which edges partition, which link transfers are lost and which
+// clients straggle in any given round.
+//
+// Every decision is a pure function of (Seed, identifiers): the
+// schedule holds no mutable state, so concurrent actors can consult it
+// without synchronization and two runs with the same seed observe the
+// same faults regardless of goroutine scheduling. Decisions derive from
+// an rng.Stream tree keyed by fault class ('C' crash, 'P' partition,
+// 'L' loss, 'S' straggle) and then by the entity's coordinates, using
+// the value-returning Root/ChildVal forms so a decision allocates
+// nothing.
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// DefaultTimeoutMs is the fan-in deadline used when a schedule does not
+// set TimeoutMs: how long (simulated milliseconds) an aggregator waits
+// for a missing reply before proceeding with the quorum that arrived.
+const DefaultTimeoutMs = 250
+
+// Schedule is a deterministic fault plan. The zero value injects no
+// faults. Probabilities are per decision: a client crashes for a whole
+// round with CrashProb, an edge partitions for a whole round with
+// PartitionProb, each individual link transfer is lost with LossProb,
+// and a client straggles (adding StragglerMs to each of its local-step
+// blocks) with StragglerProb.
+type Schedule struct {
+	// Seed drives every fault decision; independent of the training
+	// seed so fault plans can vary while the learning problem is fixed.
+	Seed uint64
+
+	// CrashProb is the per-round probability that a client crashes: it
+	// ignores work requests for that round (the edge aggregates the
+	// surviving quorum; the crashed client's iterate carries forward in
+	// the edge average implicitly).
+	CrashProb float64
+	// PartitionProb is the per-round probability that an edge server is
+	// unreachable: every message to or from it (and its reply port) is
+	// lost that round.
+	PartitionProb float64
+	// LossProb is the per-transfer probability that a protocol message
+	// is lost in transit (decided per link, per sequence number, so
+	// retransmissions reroll independently but deterministically).
+	LossProb float64
+	// StragglerProb and StragglerMs model slow clients: with
+	// StragglerProb a client adds StragglerMs of simulated time to each
+	// of its aggregation blocks in that round. Stragglers never change
+	// the trajectory, only the simulated clock.
+	StragglerProb float64
+	StragglerMs   float64
+
+	// TimeoutMs is the simulated fan-in deadline (0 = DefaultTimeoutMs):
+	// each aggregation level charges this much simulated time per
+	// fan-in that had to give up on a missing reply.
+	TimeoutMs float64
+	// MaxRetries is how many times a sender re-offers a lost protocol
+	// message before declaring the peer timed out (0 = no retries; each
+	// retry consumes a fresh loss decision and is counted in
+	// RunStats.Retries).
+	MaxRetries int
+}
+
+// Validate rejects schedules that cannot be interpreted.
+func (s *Schedule) Validate() error {
+	if s == nil {
+		return nil
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"CrashProb", s.CrashProb},
+		{"PartitionProb", s.PartitionProb},
+		{"LossProb", s.LossProb},
+		{"StragglerProb", s.StragglerProb},
+	} {
+		if p.v < 0 || p.v >= 1 {
+			return fmt.Errorf("chaos: %s %g outside [0,1)", p.name, p.v)
+		}
+	}
+	if s.StragglerMs < 0 {
+		return fmt.Errorf("chaos: StragglerMs %g negative", s.StragglerMs)
+	}
+	if s.TimeoutMs < 0 {
+		return fmt.Errorf("chaos: TimeoutMs %g negative", s.TimeoutMs)
+	}
+	if s.MaxRetries < 0 {
+		return fmt.Errorf("chaos: MaxRetries %d negative", s.MaxRetries)
+	}
+	return nil
+}
+
+// Enabled reports whether the schedule injects any fault at all.
+func (s *Schedule) Enabled() bool {
+	return s != nil &&
+		(s.CrashProb > 0 || s.PartitionProb > 0 || s.LossProb > 0 || s.StragglerProb > 0)
+}
+
+// Timeout returns the effective fan-in deadline in simulated ms.
+func (s *Schedule) Timeout() float64 {
+	if s == nil || s.TimeoutMs <= 0 {
+		return DefaultTimeoutMs
+	}
+	return s.TimeoutMs
+}
+
+// ClientCrashed reports whether the client (by global index) is down
+// for the whole round.
+func (s *Schedule) ClientCrashed(round, client int) bool {
+	if s == nil || s.CrashProb <= 0 {
+		return false
+	}
+	v := rng.Root(s.Seed).ChildVal('C').ChildVal(uint64(round)).ChildVal(uint64(client))
+	return v.Bernoulli(s.CrashProb)
+}
+
+// EdgePartitioned reports whether the edge server is unreachable for
+// the whole round.
+func (s *Schedule) EdgePartitioned(round, edge int) bool {
+	if s == nil || s.PartitionProb <= 0 {
+		return false
+	}
+	v := rng.Root(s.Seed).ChildVal('P').ChildVal(uint64(round)).ChildVal(uint64(edge))
+	return v.Bernoulli(s.PartitionProb)
+}
+
+// LinkLost reports whether transfer number seq over the directed link
+// (an opaque caller-stable key) is lost. Distinct (link, seq) pairs
+// decide independently, so a retry of the same logical message — which
+// consumes the next sequence number — rerolls the loss.
+func (s *Schedule) LinkLost(link, seq uint64) bool {
+	if s == nil || s.LossProb <= 0 {
+		return false
+	}
+	v := rng.Root(s.Seed).ChildVal('L').ChildVal(link).ChildVal(seq)
+	return v.Bernoulli(s.LossProb)
+}
+
+// StraggleMs returns the extra simulated milliseconds the client adds
+// to each of its aggregation blocks this round (0 when it is not
+// straggling).
+func (s *Schedule) StraggleMs(round, client int) float64 {
+	if s == nil || s.StragglerProb <= 0 || s.StragglerMs <= 0 {
+		return 0
+	}
+	v := rng.Root(s.Seed).ChildVal('S').ChildVal(uint64(round)).ChildVal(uint64(client))
+	if v.Bernoulli(s.StragglerProb) {
+		return s.StragglerMs
+	}
+	return 0
+}

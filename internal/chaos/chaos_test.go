@@ -1,0 +1,185 @@
+package chaos
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestZeroValueInjectsNothing(t *testing.T) {
+	var s Schedule
+	if s.Enabled() {
+		t.Fatal("zero schedule claims to be enabled")
+	}
+	for round := 0; round < 50; round++ {
+		for id := 0; id < 20; id++ {
+			if s.ClientCrashed(round, id) || s.EdgePartitioned(round, id) ||
+				s.LinkLost(uint64(id), uint64(round)) || s.StraggleMs(round, id) != 0 {
+				t.Fatal("zero schedule injected a fault")
+			}
+		}
+	}
+	var nilSched *Schedule
+	if nilSched.Enabled() || nilSched.ClientCrashed(1, 1) || nilSched.EdgePartitioned(1, 1) ||
+		nilSched.LinkLost(1, 1) || nilSched.StraggleMs(1, 1) != 0 {
+		t.Fatal("nil schedule injected a fault")
+	}
+	if nilSched.Timeout() != DefaultTimeoutMs {
+		t.Fatal("nil schedule timeout default wrong")
+	}
+	if err := nilSched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Decisions are pure functions of (Seed, coordinates): the same query
+// answers identically forever, and a fresh Schedule value with the same
+// seed agrees on everything.
+func TestDecisionsAreDeterministic(t *testing.T) {
+	a := &Schedule{Seed: 7, CrashProb: 0.3, PartitionProb: 0.2, LossProb: 0.1, StragglerProb: 0.4, StragglerMs: 30}
+	b := &Schedule{Seed: 7, CrashProb: 0.3, PartitionProb: 0.2, LossProb: 0.1, StragglerProb: 0.4, StragglerMs: 30}
+	for round := 0; round < 100; round++ {
+		for id := 0; id < 10; id++ {
+			if a.ClientCrashed(round, id) != b.ClientCrashed(round, id) {
+				t.Fatal("crash decision not deterministic")
+			}
+			if a.EdgePartitioned(round, id) != b.EdgePartitioned(round, id) {
+				t.Fatal("partition decision not deterministic")
+			}
+			if a.LinkLost(uint64(id), uint64(round)) != b.LinkLost(uint64(id), uint64(round)) {
+				t.Fatal("loss decision not deterministic")
+			}
+			if a.StraggleMs(round, id) != b.StraggleMs(round, id) {
+				t.Fatal("straggle decision not deterministic")
+			}
+			// Asking twice must not change the answer (no hidden state).
+			if a.ClientCrashed(round, id) != b.ClientCrashed(round, id) {
+				t.Fatal("crash decision changed on re-query")
+			}
+		}
+	}
+}
+
+// Fault classes draw from independent stream branches: two different
+// seeds, and two different classes under one seed, must not produce
+// identical decision tables.
+func TestSeedsAndClassesAreIndependent(t *testing.T) {
+	a := &Schedule{Seed: 1, CrashProb: 0.5, PartitionProb: 0.5}
+	b := &Schedule{Seed: 2, CrashProb: 0.5, PartitionProb: 0.5}
+	sameSeed, sameClass := 0, 0
+	const n = 400
+	for i := 0; i < n; i++ {
+		if a.ClientCrashed(i, 0) == b.ClientCrashed(i, 0) {
+			sameSeed++
+		}
+		if a.ClientCrashed(i, 0) == a.EdgePartitioned(i, 0) {
+			sameClass++
+		}
+	}
+	if sameSeed == n {
+		t.Fatal("two seeds produced identical crash tables")
+	}
+	if sameClass == n {
+		t.Fatal("crash and partition decisions are correlated")
+	}
+}
+
+// Marginal rates track the configured probabilities.
+func TestMarginalRates(t *testing.T) {
+	s := &Schedule{Seed: 11, CrashProb: 0.25, LossProb: 0.1}
+	crashes, losses := 0, 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if s.ClientCrashed(i/10, i%10) {
+			crashes++
+		}
+		if s.LinkLost(uint64(i%16), uint64(i)) {
+			losses++
+		}
+	}
+	if rate := float64(crashes) / n; math.Abs(rate-0.25) > 0.02 {
+		t.Fatalf("crash rate %v far from 0.25", rate)
+	}
+	if rate := float64(losses) / n; math.Abs(rate-0.1) > 0.02 {
+		t.Fatalf("loss rate %v far from 0.1", rate)
+	}
+}
+
+// Retries must be able to succeed: consecutive sequence numbers on one
+// link decide independently, so a lost transfer is not doomed forever.
+func TestRetriesReroll(t *testing.T) {
+	s := &Schedule{Seed: 3, LossProb: 0.5}
+	flips := 0
+	for seq := uint64(0); seq < 200; seq += 2 {
+		if s.LinkLost(42, seq) != s.LinkLost(42, seq+1) {
+			flips++
+		}
+	}
+	if flips == 0 {
+		t.Fatal("consecutive transfers on one link always decide identically")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Schedule{CrashProb: 0.5, LossProb: 0.999, TimeoutMs: 100, MaxRetries: 3}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []*Schedule{
+		{CrashProb: -0.1},
+		{CrashProb: 1.0},
+		{PartitionProb: 1.5},
+		{LossProb: -1},
+		{StragglerProb: 2},
+		{StragglerMs: -1},
+		{TimeoutMs: -1},
+		{MaxRetries: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("schedule %+v validated", bad)
+		}
+	}
+}
+
+func TestTimeoutDefault(t *testing.T) {
+	if (&Schedule{}).Timeout() != DefaultTimeoutMs {
+		t.Fatal("zero TimeoutMs should default")
+	}
+	if (&Schedule{TimeoutMs: 40}).Timeout() != 40 {
+		t.Fatal("explicit TimeoutMs ignored")
+	}
+}
+
+// The schedule is consulted concurrently by every actor in a simnet
+// run; decisions must be race-free and stable under contention (run
+// with -race in CI).
+func TestConcurrentQueriesAreStable(t *testing.T) {
+	s := &Schedule{Seed: 9, CrashProb: 0.3, PartitionProb: 0.3, LossProb: 0.3, StragglerProb: 0.3, StragglerMs: 10}
+	const rounds = 200
+	want := make([]bool, rounds)
+	for i := range want {
+		want[i] = s.ClientCrashed(i, 5)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if s.ClientCrashed(i, 5) != want[i] {
+					errs <- "crash decision unstable under concurrency"
+					return
+				}
+				s.EdgePartitioned(i, 3)
+				s.LinkLost(uint64(i), uint64(i))
+				s.StraggleMs(i, 2)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

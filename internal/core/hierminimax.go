@@ -147,7 +147,7 @@ func Round(k int, st *fl.State, pool *fl.ModelPool) {
 	results := make([]slotResult, len(slots))
 	cfg.ForEach(len(slots), func(i int) {
 		sr := kr.ChildN(3, uint64(i))
-		if cfg.DropoutProb > 0 && sr.Child('d').Bernoulli(cfg.DropoutProb) {
+		if fl.SlotDropped(sr, cfg.DropoutProb) {
 			results[i] = slotResult{dropped: true}
 			return
 		}
@@ -240,7 +240,7 @@ func phase2(k int, st *fl.State, pool *fl.ModelPool, wChk []float64, nE int, dBy
 	alive := make([]bool, len(sampled))
 	cfg.ForEach(len(sampled), func(i int) {
 		er := ur.ChildN(5, uint64(i))
-		if cfg.DropoutProb > 0 && er.Child('d').Bernoulli(cfg.DropoutProb) {
+		if fl.SlotDropped(er, cfg.DropoutProb) {
 			return
 		}
 		alive[i] = true

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/fl"
+	"repro/internal/simnet"
+)
+
+// ChaosRow is one crash rate's outcome in the fault-tolerance sweep.
+type ChaosRow struct {
+	CrashProb float64
+	Summary
+	// Fault activity observed by the run.
+	Crashes, Timeouts, Retries, MessagesLost int64
+	// SimulatedMs is the modeled wall-clock time; timeout charges make
+	// it grow with the crash rate.
+	SimulatedMs float64
+}
+
+// ChaosResult is the worst-group-accuracy-vs-crash-rate table: how
+// gracefully minimax fairness degrades when clients actually fail
+// mid-training instead of participating politely.
+type ChaosResult struct {
+	Rows []ChaosRow
+}
+
+// ChaosSweep trains HierMinimax on the simnet engine under increasing
+// client crash rates (with link loss and one retransmission riding
+// along, as real deployments would have) and records the fairness
+// outcome at each rate. All rates share one fault seed, so the crash
+// sets are nested: raising the probability only adds faults.
+func ChaosSweep(scale Scale, seed uint64) (*ChaosResult, error) {
+	setup := convexSetup(scale, seed)
+	res := &ChaosResult{}
+	for _, rate := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
+		prob := fl.NewProblem(setup.Fed, setup.Model.Clone())
+		cfg := setup.Base
+		var opts []simnet.Option
+		if rate > 0 {
+			opts = append(opts, simnet.WithChaos(&chaos.Schedule{
+				Seed:       seed + 7919,
+				CrashProb:  rate,
+				LossProb:   rate / 5,
+				MaxRetries: 1,
+			}))
+		}
+		out, stats, err := simnet.HierMinimax(prob, cfg, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: chaos sweep at crash=%.2f: %w", rate, err)
+		}
+		f := out.History.Final().Fair
+		res.Rows = append(res.Rows, ChaosRow{
+			CrashProb:    rate,
+			Summary:      Summary{Average: f.Average, Worst: f.Worst, Variance: f.Variance},
+			Crashes:      stats.Crashes,
+			Timeouts:     stats.Timeouts,
+			Retries:      stats.Retries,
+			MessagesLost: stats.MessagesLost,
+			SimulatedMs:  stats.SimulatedMs,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the fault-tolerance table.
+func (c *ChaosResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Fault tolerance (HierMinimax, simnet engine, convex workload) ==\n")
+	fmt.Fprintf(&b, "%9s %9s %9s %10s %9s %9s %9s %10s %10s\n",
+		"crash", "average", "worst", "variance", "crashes", "timeouts", "retries", "lost", "simSec")
+	for _, r := range c.Rows {
+		fmt.Fprintf(&b, "%9.2f %9.4f %9.4f %10.4f %9d %9d %9d %10d %10.1f\n",
+			r.CrashProb, r.Average, r.Worst, r.Variance,
+			r.Crashes, r.Timeouts, r.Retries, r.MessagesLost, r.SimulatedMs/1000)
+	}
+	return b.String()
+}
+
+// WriteFiles writes the sweep rows as CSV and JSON.
+func (c *ChaosResult) WriteFiles(dir, base string) error {
+	rows := make([][]string, 0, len(c.Rows))
+	for _, r := range c.Rows {
+		rows = append(rows, []string{
+			ftoa(r.CrashProb), ftoa(r.Average), ftoa(r.Worst), ftoa(r.Variance),
+			strconv.FormatInt(r.Crashes, 10), strconv.FormatInt(r.Timeouts, 10),
+			strconv.FormatInt(r.Retries, 10), strconv.FormatInt(r.MessagesLost, 10),
+			ftoa(r.SimulatedMs),
+		})
+	}
+	if err := writeCSV(filepath.Join(dir, base+".csv"),
+		[]string{"crash_prob", "average", "worst", "variance", "crashes", "timeouts", "retries", "messages_lost", "simulated_ms"}, rows); err != nil {
+		return err
+	}
+	return writeJSON(filepath.Join(dir, base+".json"), c)
+}

@@ -211,6 +211,56 @@ func TestAblationsShape(t *testing.T) {
 	}
 }
 
+func TestChaosSweepShape(t *testing.T) {
+	res, err := ChaosSweep(Smoke, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("expected 5 crash rates, got %d", len(res.Rows))
+	}
+	base := res.Rows[0]
+	if base.CrashProb != 0 || base.Crashes != 0 || base.Timeouts != 0 || base.MessagesLost != 0 {
+		t.Fatalf("fault-free row reports fault activity: %+v", base)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		prev, cur := res.Rows[i-1], res.Rows[i]
+		if cur.Crashes == 0 {
+			t.Fatalf("crash rate %v produced no crashes", cur.CrashProb)
+		}
+		// One shared fault seed makes the crash sets nested in the rate.
+		if cur.Crashes < prev.Crashes {
+			t.Fatalf("crashes not monotone in rate: %d at %v, %d at %v",
+				prev.Crashes, prev.CrashProb, cur.Crashes, cur.CrashProb)
+		}
+		if cur.SimulatedMs <= base.SimulatedMs {
+			t.Fatalf("timeout charges did not stretch simulated time at rate %v", cur.CrashProb)
+		}
+	}
+	// Graceful degradation: training still works at a 30% crash rate.
+	worstCase := res.Rows[len(res.Rows)-1]
+	if worstCase.Average < base.Average-0.15 {
+		t.Fatalf("average collapsed under faults: %v vs fault-free %v", worstCase.Average, base.Average)
+	}
+	if worstCase.Worst < 0.3 {
+		t.Fatalf("worst-group accuracy collapsed under faults: %v", worstCase.Worst)
+	}
+	if txt := res.Render(); !strings.Contains(txt, "crash") || !strings.Contains(txt, "timeouts") {
+		t.Fatal("Render incomplete")
+	}
+}
+
+func TestChaosExport(t *testing.T) {
+	dir := t.TempDir()
+	res := &ChaosResult{Rows: []ChaosRow{{
+		CrashProb: 0.1, Summary: Summary{Average: 0.9, Worst: 0.8, Variance: 1.5},
+		Crashes: 4, Timeouts: 2, Retries: 1, MessagesLost: 3, SimulatedMs: 1000,
+	}}}
+	if err := res.WriteFiles(dir, "chaos"); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestScaleAndAlgoHelpers(t *testing.T) {
 	if Smoke.String() != "smoke" || Small.String() != "small" || Full.String() != "full" {
 		t.Fatal("scale names")

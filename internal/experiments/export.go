@@ -26,6 +26,7 @@ var (
 	_ Artifact = (*Table2Result)(nil)
 	_ Artifact = (*TradeoffResult)(nil)
 	_ Artifact = (*AblationResult)(nil)
+	_ Artifact = (*ChaosResult)(nil)
 )
 
 // writeCSV creates path and streams rows through a csv.Writer.

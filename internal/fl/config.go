@@ -48,7 +48,10 @@ type Config struct {
 	Quantizer quant.Quantizer
 	// DropoutProb is the probability that a sampled slot (Phase 1) or
 	// sampled edge (Phase 2) silently fails for the round; failure
-	// injection for the robustness tests. 0 disables.
+	// injection for the robustness tests. 0 disables. Both engines
+	// decide through fl.SlotDropped, so core and simnet drop the same
+	// slots on the same seed; transport-level faults (loss, crashes,
+	// partitions) are the simnet engine's chaos.Schedule instead.
 	DropoutProb float64
 	// CheckpointOff replaces the random-checkpoint model of Phase 2 with
 	// the end-of-round model (the A1 ablation; breaks the unbiasedness

@@ -1,0 +1,20 @@
+package fl
+
+import "repro/internal/rng"
+
+// SlotDropped decides whether a sampled Phase-1 slot or Phase-2 edge
+// silently fails this round under Config.DropoutProb. Both engines
+// route their dropout decision through this one helper so the
+// derivation stays identical: the decision stream is a 'd'-keyed child
+// of the slot's stream and does not advance it, keeping the surviving
+// slots' randomness unchanged by the value of p.
+//
+// This is algorithm-level failure injection (the paper's partial
+// participation): the cloud still records the broadcast to the doomed
+// slot, receives no model back, and reweights over survivors. For
+// transport-level faults (message loss, crashes, partitions, timeouts)
+// the simnet engine layers internal/chaos on top; DropoutProb is the
+// single knob shared by both engines.
+func SlotDropped(s *rng.Stream, p float64) bool {
+	return p > 0 && s.Child('d').Bernoulli(p)
+}

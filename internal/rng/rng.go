@@ -32,6 +32,15 @@ func New(seed uint64) *Stream {
 	return &Stream{state: mix64(seed)}
 }
 
+// Root is New returning the stream by value: same derivation, no heap
+// allocation. Hot paths that re-derive a decision tree from a fixed
+// seed on every call (internal/chaos fault schedules) use it together
+// with ChildVal to stay allocation-free; New(seed) and Root(seed)
+// produce identical sequences.
+func Root(seed uint64) Stream {
+	return Stream{state: mix64(seed)}
+}
+
 // mix64 is the SplitMix64 output function, also used to hash seeds and
 // keys so that nearby seeds yield unrelated streams.
 func mix64(z uint64) uint64 {

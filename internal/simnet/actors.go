@@ -3,6 +3,7 @@ package simnet
 import (
 	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/data"
 	"repro/internal/fl"
 	"repro/internal/model"
@@ -17,6 +18,14 @@ import (
 // struct and its vectors to the receiver, which returns both after use
 // (single-owner discipline, DESIGN.md §9). Streams are embedded by value
 // so deriving a per-message stream allocates nothing.
+//
+// Fault handling rides on one invariant: every delivered request
+// produces exactly one inbound message at its requester — the real
+// reply, or a timeout nack (the same pooled reply struct with Failed
+// set, sent as control traffic, modeling the requester's simulated
+// fan-in deadline firing). Fan-ins therefore always count to the number
+// of requests they delivered and can never stall, no matter which
+// protocol messages the fault schedule eats (DESIGN.md §10).
 
 // trainReq asks a client to run local SGD from W.
 type trainReq struct {
@@ -30,11 +39,14 @@ type trainReq struct {
 }
 
 // trainReply returns the client's final model, optional checkpoint, and
-// (when iterate tracking is on) the sum of visited iterates.
+// (when iterate tracking is on) the sum of visited iterates. Failed
+// marks a timeout nack: the client crashed or its reply was lost — the
+// vectors are nil and the edge aggregates without this client.
 type trainReply struct {
 	Client       int
 	WFinal, WChk []float64
 	IterSum      []float64
+	Failed       bool
 }
 
 // lossReq asks a client for a mini-batch loss estimate of W.
@@ -45,27 +57,54 @@ type lossReq struct {
 	Client int
 }
 
-// lossReply returns the client's loss estimate.
+// lossReply returns the client's loss estimate (or a Failed nack).
 type lossReply struct {
 	Client int
 	Loss   float64
+	Failed bool
 }
 
+// slotAcct is one slot's client-edge delivery accounting, carried back
+// to the cloud on the (nack or real) edge reply: only traffic that was
+// actually delivered is recorded in the ledger, so under faults the
+// ledger, the obs transport counters and RunStats reconcile exactly.
+// TimeoutBlocks counts the aggregation blocks in which the edge's
+// fan-in deadline fired (at least one client missing).
+type slotAcct struct {
+	Blocks              int
+	DownMsgs, DownBytes int64
+	UpMsgs, UpBytes     int64
+	TimeoutBlocks       int
+}
+
+// add folds a delivered downlink or uplink transfer into the account.
+func (a *slotAcct) down(bytes int64) { a.DownMsgs++; a.DownBytes += bytes }
+func (a *slotAcct) up(bytes int64)   { a.UpMsgs++; a.UpBytes += bytes }
+
 // edgeTrainReq asks an edge server to run ModelUpdate for one slot.
+// Doomed marks algorithm-level dropout (Config.DropoutProb, decided by
+// fl.SlotDropped on the cloud): the edge fails the slot without
+// touching its clients, matching the in-process engine's accounting.
 type edgeTrainReq struct {
 	W      []float64
 	C1, C2 int
 	Slot   int
 	Stream rng.Stream
+	Doomed bool
 }
 
 // edgeTrainReply returns the slot's aggregated edge model, checkpoint,
-// and (when tracking) iterate sum.
+// and (when tracking) iterate sum. Failed marks a nack (doomed slot,
+// partitioned edge or lost uplink); Acct always carries the slot's
+// delivered client-edge traffic.
 type edgeTrainReply struct {
 	Slot        int
 	WEdge, WChk []float64
 	IterSum     []float64
 	IterCount   float64
+	Failed      bool
+	Doomed      bool
+	Acct        slotAcct
 }
 
 // edgeLossReq asks an edge server for its area loss estimate at W.
@@ -74,12 +113,19 @@ type edgeLossReq struct {
 	Seq       int
 	LossBatch int
 	Stream    rng.Stream
+	Doomed    bool
 }
 
-// edgeLossReply returns the edge's averaged loss estimate.
+// edgeLossReply returns the edge's averaged loss estimate. Failed means
+// no estimate (doomed edge, or every client of the area failed); the
+// cloud then leaves the slot out of the gradient estimate, exactly like
+// the in-process engine's dropped Phase-2 edges.
 type edgeLossReply struct {
-	Seq  int
-	Loss float64
+	Seq    int
+	Loss   float64
+	Failed bool
+	Doomed bool
+	Acct   slotAcct
 }
 
 // stopMsg terminates an actor loop. It is the only by-value payload:
@@ -113,10 +159,52 @@ func payloadBytes(vecs ...[]float64) int64 {
 	return n
 }
 
+// toNack releases the reply's pooled vectors back to the arena and
+// converts it into a timeout nack: the struct itself travels on as
+// control traffic (abandoned payloads must not leak — the vectors stay
+// home, only the Failed flag and the stats fields cross the wire).
+func (r *trainReply) toNack(pool *vecPool) {
+	if r.WFinal != nil {
+		pool.put(r.WFinal)
+		r.WFinal = nil
+	}
+	if r.WChk != nil {
+		pool.put(r.WChk)
+		r.WChk = nil
+	}
+	if r.IterSum != nil {
+		pool.put(r.IterSum)
+		r.IterSum = nil
+	}
+	r.Failed = true
+}
+
+// toNack releases the edge reply's pooled vectors and marks it failed;
+// the delivered-traffic account survives so the cloud's ledger stays
+// exact even when the model itself was lost.
+func (r *edgeTrainReply) toNack(pool *vecPool) {
+	if r.WEdge != nil {
+		pool.put(r.WEdge)
+		r.WEdge = nil
+	}
+	if r.WChk != nil {
+		pool.put(r.WChk)
+		r.WChk = nil
+	}
+	if r.IterSum != nil {
+		pool.put(r.IterSum)
+		r.IterSum = nil
+	}
+	r.IterCount = 0
+	r.Failed = true
+}
+
 // clientActor owns one client's shard and model instance and serves
 // train and loss requests until stopped. Its SGD scratch (gradient
 // accumulator, batch views) is actor-resident: after the first request
-// the serving hot path allocates nothing.
+// the serving hot path allocates nothing. Under a fault schedule the
+// client consults its per-round crash decision before doing any work;
+// a crashed client returns the request payload to the arena and nacks.
 type clientActor struct {
 	id      NodeID
 	net     *Network
@@ -126,6 +214,8 @@ type clientActor struct {
 	wSet    simplex.Set
 	track   bool // accumulate iterates for wHat
 	scratch fl.Scratch
+	chaos   *chaos.Schedule
+	retries int
 }
 
 func (c *clientActor) run(wg *sync.WaitGroup) {
@@ -134,6 +224,19 @@ func (c *clientActor) run(wg *sync.WaitGroup) {
 	for msg := range c.inbox {
 		switch req := msg.Payload.(type) {
 		case *trainReq:
+			if c.chaos.ClientCrashed(msg.Round, c.id.Index) {
+				pool.put(req.W)
+				client := req.Client
+				trainReqPool.Put(req)
+				c.net.noteCrash()
+				reply := trainReplyPool.Get().(*trainReply)
+				*reply = trainReply{Client: client, Failed: true}
+				c.net.Send(Message{
+					From: c.id, To: msg.From, Kind: "train-nack",
+					Round: msg.Round, Ctrl: true, Payload: reply,
+				})
+				continue
+			}
 			// The request's W is ours now; advance it in place and hand it
 			// back as the final model.
 			w := req.W
@@ -155,22 +258,48 @@ func (c *clientActor) run(wg *sync.WaitGroup) {
 			trainReqPool.Put(req)
 			reply := trainReplyPool.Get().(*trainReply)
 			*reply = trainReply{Client: client, WFinal: w, WChk: wChk, IterSum: iterSum}
-			ok := c.net.Send(Message{
+			ok := c.net.SendRetry(Message{
 				From: c.id, To: msg.From, Kind: "train-reply",
-				Bytes: payloadBytes(w, wChk, iterSum), Payload: reply,
-			})
+				Round: msg.Round, Bytes: payloadBytes(w, wChk, iterSum), Payload: reply,
+			}, c.retries)
 			if !ok {
-				reply.release(pool)
+				reply.toNack(pool)
+				c.net.Send(Message{
+					From: c.id, To: msg.From, Kind: "train-nack",
+					Round: msg.Round, Ctrl: true, Payload: reply,
+				})
 			}
 		case *lossReq:
+			if c.chaos.ClientCrashed(msg.Round, c.id.Index) {
+				pool.put(req.W)
+				client := req.Client
+				lossReqPool.Put(req)
+				c.net.noteCrash()
+				reply := lossReplyPool.Get().(*lossReply)
+				*reply = lossReply{Client: client, Failed: true}
+				c.net.Send(Message{
+					From: c.id, To: msg.From, Kind: "loss-nack",
+					Round: msg.Round, Ctrl: true, Payload: reply,
+				})
+				continue
+			}
 			loss := fl.ShardLossEstimate(c.model, req.W, c.shard, req.Batch, &req.Stream, &c.scratch)
 			pool.put(req.W)
 			client := req.Client
 			lossReqPool.Put(req)
 			reply := lossReplyPool.Get().(*lossReply)
 			*reply = lossReply{Client: client, Loss: loss}
-			if !c.net.Send(Message{From: c.id, To: msg.From, Kind: "loss-reply", Bytes: 8, Payload: reply}) {
-				lossReplyPool.Put(reply)
+			ok := c.net.SendRetry(Message{
+				From: c.id, To: msg.From, Kind: "loss-reply",
+				Round: msg.Round, Bytes: 8, Payload: reply,
+			}, c.retries)
+			if !ok {
+				reply.Loss = 0
+				reply.Failed = true
+				c.net.Send(Message{
+					From: c.id, To: msg.From, Kind: "loss-nack",
+					Round: msg.Round, Ctrl: true, Payload: reply,
+				})
 			}
 		case stopMsg:
 			return
@@ -180,34 +309,12 @@ func (c *clientActor) run(wg *sync.WaitGroup) {
 	}
 }
 
-// release returns a failed-send reply's payload to the pools (the sender
-// still owns everything when Send reports a drop).
-func (r *trainReply) release(pool *vecPool) {
-	pool.put(r.WFinal)
-	if r.WChk != nil {
-		pool.put(r.WChk)
-	}
-	if r.IterSum != nil {
-		pool.put(r.IterSum)
-	}
-	trainReplyPool.Put(r)
-}
-
-// release returns a failed-send edge reply's payload to the pools.
-func (r *edgeTrainReply) release(pool *vecPool) {
-	pool.put(r.WEdge)
-	if r.WChk != nil {
-		pool.put(r.WChk)
-	}
-	if r.IterSum != nil {
-		pool.put(r.IterSum)
-	}
-	edgeTrainReplyPool.Put(r)
-}
-
 // edgeActor owns one edge area: it fans ModelUpdate blocks out to its
 // client actors and aggregates their replies, mirroring core.ModelUpdate
-// exactly (same stream key derivations, same aggregation order).
+// exactly (same stream key derivations, same aggregation order) in the
+// fault-free case. Under faults it aggregates the quorum that arrived:
+// the block average reweights over surviving clients, and a block with
+// no survivors carries the edge model forward unchanged.
 //
 // Requests from the cloud arrive on the actor's main inbox; replies from
 // clients arrive on a dedicated reply port, so a second queued cloud
@@ -216,54 +323,97 @@ func (r *edgeTrainReply) release(pool *vecPool) {
 // The finals/chks/sums reply-gathering tables are actor-resident and
 // reused across blocks, slots and rounds; the entries they hold are
 // pool-owned vectors that pass through between a client reply and the
-// block's aggregation.
+// block's aggregation. live/liveChks are the per-block survivor views.
 type edgeActor struct {
-	id      NodeID
-	port    NodeID // reply port clients answer to
-	net     *Network
-	inbox   <-chan Message
-	replies <-chan Message
-	clients []NodeID
-	tau1    int
-	tau2    int
-	batch   int
-	eta     float64
-	wSet    simplex.Set
-	track   bool
-	finals  [][]float64
-	chks    [][]float64
-	sums    [][]float64
+	id       NodeID
+	port     NodeID // reply port clients answer to
+	net      *Network
+	inbox    <-chan Message
+	replies  <-chan Message
+	clients  []NodeID
+	tau1     int
+	tau2     int
+	batch    int
+	eta      float64
+	wSet     simplex.Set
+	track    bool
+	retries  int
+	finals   [][]float64
+	chks     [][]float64
+	sums     [][]float64
+	live     [][]float64
+	liveChks [][]float64
 }
 
 func (e *edgeActor) run(wg *sync.WaitGroup) {
 	defer wg.Done()
+	pool := e.net.pool
 	n0 := len(e.clients)
 	e.finals = make([][]float64, n0)
 	e.chks = make([][]float64, n0)
 	e.sums = make([][]float64, n0)
+	e.live = make([][]float64, 0, n0)
+	e.liveChks = make([][]float64, 0, n0)
 	for msg := range e.inbox {
 		switch req := msg.Payload.(type) {
 		case *edgeTrainReq:
-			reply := e.modelUpdate(req)
+			round := msg.Round
+			if req.Doomed {
+				// Algorithm-level dropout: the slot fails before any
+				// client-edge traffic, exactly like core's dropped slots.
+				pool.put(req.W)
+				slot := req.Slot
+				edgeTrainReqPool.Put(req)
+				reply := edgeTrainReplyPool.Get().(*edgeTrainReply)
+				*reply = edgeTrainReply{Slot: slot, Failed: true, Doomed: true}
+				e.net.Send(Message{
+					From: e.id, To: msg.From, Kind: "edge-train-nack",
+					Round: round, Ctrl: true, Payload: reply,
+				})
+				continue
+			}
+			reply := e.modelUpdate(req, round)
 			edgeTrainReqPool.Put(req)
-			ok := e.net.Send(Message{
-				From: e.id, To: msg.From, Kind: "edge-train-reply",
+			ok := e.net.SendRetry(Message{
+				From: e.id, To: msg.From, Kind: "edge-train-reply", Round: round,
 				Bytes: payloadBytes(reply.WEdge, reply.WChk, reply.IterSum), Payload: reply,
-			})
+			}, e.retries)
 			if !ok {
-				reply.release(e.net.pool)
+				reply.toNack(pool)
+				e.net.Send(Message{
+					From: e.id, To: msg.From, Kind: "edge-train-nack",
+					Round: round, Ctrl: true, Payload: reply,
+				})
 			}
 		case *edgeLossReq:
-			loss := e.lossEstimate(req)
+			round := msg.Round
+			var loss float64
+			var alive bool
+			var acct slotAcct
 			seq := req.Seq
+			if req.Doomed {
+				pool.put(req.W)
+			} else {
+				loss, alive, acct = e.lossEstimate(req, round)
+			}
+			doomed := req.Doomed
 			edgeLossReqPool.Put(req)
 			reply := edgeLossReplyPool.Get().(*edgeLossReply)
-			*reply = edgeLossReply{Seq: seq, Loss: loss}
-			ok := e.net.Send(Message{
-				From: e.id, To: msg.From, Kind: "edge-loss-reply", Bytes: 8, Payload: reply,
-			})
+			*reply = edgeLossReply{Seq: seq, Loss: loss, Failed: !alive, Doomed: doomed, Acct: acct}
+			// The scalar travels as a real 8-byte message even for doomed
+			// edges — core accounts a Phase-2 uplink for every sampled
+			// edge, dead or alive.
+			ok := e.net.SendRetry(Message{
+				From: e.id, To: msg.From, Kind: "edge-loss-reply",
+				Round: round, Bytes: 8, Payload: reply,
+			}, e.retries)
 			if !ok {
-				edgeLossReplyPool.Put(reply)
+				reply.Loss = 0
+				reply.Failed = true
+				e.net.Send(Message{
+					From: e.id, To: msg.From, Kind: "edge-loss-nack",
+					Round: round, Ctrl: true, Payload: reply,
+				})
 			}
 		case stopMsg:
 			return
@@ -276,8 +426,11 @@ func (e *edgeActor) run(wg *sync.WaitGroup) {
 // modelUpdate runs tau2 client-edge aggregation blocks by messaging the
 // area's clients. The returned reply owns three pooled vectors (edge
 // model, checkpoint, iterate sum); the cloud returns them after
-// aggregating.
-func (e *edgeActor) modelUpdate(req *edgeTrainReq) *edgeTrainReply {
+// aggregating. Missing clients (crash, lost request or lost reply after
+// retries) are handled per block: the fan-in counts delivered requests,
+// nacks fill the gap, the block average runs over survivors, and a
+// block with no survivors leaves the edge model unchanged.
+func (e *edgeActor) modelUpdate(req *edgeTrainReq, round int) *edgeTrainReply {
 	n0 := len(e.clients)
 	pool := e.net.pool
 	we := req.W // ownership transferred with the message
@@ -285,6 +438,7 @@ func (e *edgeActor) modelUpdate(req *edgeTrainReq) *edgeTrainReply {
 	var chkEdge []float64
 	var iterSum []float64
 	var iterCount float64
+	var acct slotAcct
 	if e.track {
 		iterSum = pool.get(d)
 		tensor.Zero(iterSum)
@@ -295,6 +449,7 @@ func (e *edgeActor) modelUpdate(req *edgeTrainReq) *edgeTrainReply {
 			chkAt = req.C1
 		}
 		blockStream := req.Stream.ChildVal(uint64(t2))
+		expected := 0
 		for c := 0; c < n0; c++ {
 			w := pool.get(d)
 			copy(w, we)
@@ -304,85 +459,156 @@ func (e *edgeActor) modelUpdate(req *edgeTrainReq) *edgeTrainReply {
 				Stream: blockStream.ChildVal(uint64(c)),
 				Client: c,
 			}
-			ok := e.net.Send(Message{
+			bytes := payloadBytes(w)
+			ok := e.net.SendRetry(Message{
 				From: e.port, To: e.clients[c], Kind: "train-req",
-				Bytes: payloadBytes(w), Payload: tr,
-			})
-			if !ok {
+				Round: round, Bytes: bytes, Payload: tr,
+			}, e.retries)
+			if ok {
+				expected++
+				acct.down(bytes)
+			} else {
 				pool.put(w)
 				trainReqPool.Put(tr)
+				e.net.noteTimeout()
 			}
 		}
-		for recv := 0; recv < n0; recv++ {
+		missing := n0 - expected
+		for recv := 0; recv < expected; recv++ {
 			msg := <-e.replies
 			r, ok := msg.Payload.(*trainReply)
 			if !ok {
 				panic("simnet: edge expected train replies, got " + msg.Kind)
 			}
+			if r.Failed {
+				missing++
+				e.net.noteTimeout()
+				trainReplyPool.Put(r)
+				continue
+			}
+			acct.up(msg.Bytes)
 			e.finals[r.Client] = r.WFinal
 			e.chks[r.Client] = r.WChk
 			e.sums[r.Client] = r.IterSum
 			trainReplyPool.Put(r)
 		}
+		if missing > 0 {
+			acct.TimeoutBlocks++
+		}
 		if e.track {
 			// Deterministic client-order reduction of the iterate sums.
 			for c := 0; c < n0; c++ {
+				if e.sums[c] == nil {
+					continue
+				}
 				tensor.Axpy(1, e.sums[c], iterSum)
 				iterCount += float64(e.tau1)
 				pool.put(e.sums[c])
 				e.sums[c] = nil
 			}
 		}
-		tensor.AverageInto(we, e.finals...)
-		e.wSet.Project(we)
+		// Aggregate the quorum that arrived, in client order. All present
+		// is the common case and reproduces core bit for bit; a partial
+		// quorum reweights the average over survivors, and an empty one
+		// carries the edge model forward unchanged.
+		live := e.live[:0]
+		for c := 0; c < n0; c++ {
+			if e.finals[c] != nil {
+				live = append(live, e.finals[c])
+			}
+		}
+		e.live = live
+		if len(live) > 0 {
+			tensor.AverageInto(we, live...)
+			e.wSet.Project(we)
+		}
 		if t2 == req.C2 {
 			chkEdge = pool.get(d)
-			tensor.AverageInto(chkEdge, e.chks...)
+			liveChks := e.liveChks[:0]
+			for c := 0; c < n0; c++ {
+				if e.chks[c] != nil {
+					liveChks = append(liveChks, e.chks[c])
+				}
+			}
+			e.liveChks = liveChks
+			if len(liveChks) > 0 {
+				tensor.AverageInto(chkEdge, liveChks...)
+			} else {
+				// No client reached the checkpoint: the edge's current
+				// model stands in, keeping Phase 2 well-defined.
+				copy(chkEdge, we)
+			}
 		}
 		for c := 0; c < n0; c++ {
-			pool.put(e.finals[c])
-			e.finals[c] = nil
+			if e.finals[c] != nil {
+				pool.put(e.finals[c])
+				e.finals[c] = nil
+			}
 			if e.chks[c] != nil {
 				pool.put(e.chks[c])
 				e.chks[c] = nil
 			}
 		}
 	}
+	acct.Blocks = e.tau2
 	reply := edgeTrainReplyPool.Get().(*edgeTrainReply)
-	*reply = edgeTrainReply{Slot: req.Slot, WEdge: we, WChk: chkEdge, IterSum: iterSum, IterCount: iterCount}
+	*reply = edgeTrainReply{Slot: req.Slot, WEdge: we, WChk: chkEdge, IterSum: iterSum, IterCount: iterCount, Acct: acct}
 	return reply
 }
 
 // lossEstimate collects per-client mini-batch losses of req.W and
-// averages them, matching fl.AreaLossEstimate's stream keys.
-func (e *edgeActor) lossEstimate(req *edgeLossReq) float64 {
+// averages them over the clients that answered, matching
+// fl.AreaLossEstimate's stream keys (and its 1/N0 average when everyone
+// does). ok is false when no client answered.
+func (e *edgeActor) lossEstimate(req *edgeLossReq, round int) (loss float64, ok bool, acct slotAcct) {
 	n0 := len(e.clients)
 	pool := e.net.pool
 	d := len(req.W)
+	acct.Blocks = 1
+	expected := 0
 	for c := 0; c < n0; c++ {
 		w := pool.get(d)
 		copy(w, req.W)
 		lr := lossReqPool.Get().(*lossReq)
 		*lr = lossReq{W: w, Batch: req.LossBatch, Stream: req.Stream.ChildVal(uint64(c)), Client: c}
-		ok := e.net.Send(Message{
+		bytes := payloadBytes(w)
+		sent := e.net.SendRetry(Message{
 			From: e.port, To: e.clients[c], Kind: "loss-req",
-			Bytes: payloadBytes(w), Payload: lr,
-		})
-		if !ok {
+			Round: round, Bytes: bytes, Payload: lr,
+		}, e.retries)
+		if sent {
+			expected++
+			acct.down(bytes)
+		} else {
 			pool.put(w)
 			lossReqPool.Put(lr)
+			e.net.noteTimeout()
 		}
 	}
 	pool.put(req.W)
 	total := 0.0
-	for recv := 0; recv < n0; recv++ {
+	got := 0
+	for recv := 0; recv < expected; recv++ {
 		msg := <-e.replies
-		r, ok := msg.Payload.(*lossReply)
-		if !ok {
+		r, isLoss := msg.Payload.(*lossReply)
+		if !isLoss {
 			panic("simnet: edge expected loss replies, got " + msg.Kind)
 		}
+		if r.Failed {
+			e.net.noteTimeout()
+			lossReplyPool.Put(r)
+			continue
+		}
+		acct.up(msg.Bytes)
 		total += r.Loss
+		got++
 		lossReplyPool.Put(r)
 	}
-	return total / float64(n0)
+	if got < n0 {
+		acct.TimeoutBlocks = 1
+	}
+	if got == 0 {
+		return 0, false, acct
+	}
+	return total / float64(got), true, acct
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/fl"
 	"repro/internal/obs"
 	"repro/internal/optim"
@@ -25,9 +26,22 @@ func WithLatency(l Latency) Option {
 
 // WithDrop installs a message-drop hook (failure injection). Dropped
 // requests simply exclude the target from the round's aggregation; the
-// run stays live.
+// run stays live. Composes with WithChaos: the schedule's faults are
+// applied first, then the hook.
 func WithDrop(f DropFunc) Option {
 	return func(e *engine) { e.drop = f }
+}
+
+// WithChaos installs a deterministic fault schedule: client crashes,
+// edge partitions, link loss and straggler delay, all derived from the
+// schedule's own seed (see chaos.Schedule). Every fan-in runs a
+// simulated-clock timeout, so the protocol aggregates whatever quorum
+// arrived and always completes; the schedule's MaxRetries and TimeoutMs
+// configure retransmissions and the per-miss deadline charge. nil (or a
+// zero schedule) injects nothing and leaves the trajectory
+// bitwise-identical to the fault-free run.
+func WithChaos(s *chaos.Schedule) Option {
+	return func(e *engine) { e.chaos = s }
 }
 
 // WithCompute models heterogeneous client compute (Castiglia et al.'s
@@ -47,13 +61,20 @@ func WithCompute(perStepMs, stragglerSigma float64) Option {
 // RunStats reports distributed-execution metrics of a simnet run.
 type RunStats struct {
 	// SimulatedMs is the modeled wall-clock time of the whole run under
-	// the latency model (critical-path accounting).
+	// the latency model (critical-path accounting), including timeout
+	// and straggler charges under a fault schedule.
 	SimulatedMs float64
 	// MessagesSent and MessagesLost count protocol messages only;
-	// ControlMessages counts the actor-lifecycle traffic excluded from
-	// them (see Network.Sent/Lost/Control).
+	// ControlMessages counts the actor-lifecycle and timeout-nack
+	// traffic excluded from them (see Network.Sent/Lost/Control).
 	MessagesSent, MessagesLost int64
 	ControlMessages            int64
+	// Fault-handling counters. Timeouts counts fan-in deadlines that
+	// fired (one per missing reply, at whichever aggregation level
+	// noticed the gap); Retries counts retransmissions of dropped
+	// protocol messages; Crashes counts work requests ignored by
+	// crashed clients.
+	Timeouts, Retries, Crashes int64
 	// Payload-pool health: PoolOutstanding is the number of pooled
 	// vectors still checked out after shutdown (must be 0 — anything
 	// else is a payload leak); PoolRecycled and PoolAllocated show how
@@ -63,20 +84,28 @@ type RunStats struct {
 
 // HierMinimax runs Algorithm 1 as a message-passing distributed system:
 // one goroutine per client, per edge server, and the cloud driver. With
-// no drop hook installed, the returned trajectory is bitwise-identical
-// to core.HierMinimax with the same problem and config (asserted in
-// tests). Config.Quantizer and Config.DropoutProb are not supported here
-// — use WithDrop for link-level failure injection instead.
+// no faults injected, the returned trajectory is bitwise-identical to
+// core.HierMinimax with the same problem and config (asserted in
+// tests); Config.DropoutProb drops the same slots as core does on the
+// same seed (both engines decide via fl.SlotDropped). Transport-level
+// faults — crashes, partitions, link loss, stragglers — come from
+// WithChaos. Config.Quantizer is not supported by the actor engine.
 func HierMinimax(prob *fl.Problem, cfg fl.Config, opts ...Option) (*fl.Result, RunStats, error) {
 	if cfg.Quantizer != nil {
 		return nil, RunStats{}, fmt.Errorf("simnet: quantization is not supported by the actor engine")
 	}
-	if cfg.DropoutProb != 0 {
-		return nil, RunStats{}, fmt.Errorf("simnet: use WithDrop for failure injection")
-	}
 	e := &engine{prob: prob, cfg: cfg.WithDefaults(), lat: DefaultLatency()}
 	for _, o := range opts {
 		o(e)
+	}
+	if err := e.chaos.Validate(); err != nil {
+		return nil, RunStats{}, err
+	}
+	// Timeout/retry policy: the schedule's when present, defaults
+	// otherwise (plain WithDrop losses are charged the default deadline).
+	e.timeoutMs = e.chaos.Timeout()
+	if e.chaos != nil {
+		e.retries = e.chaos.MaxRetries
 	}
 	if err := e.start(); err != nil {
 		return nil, RunStats{}, err
@@ -103,6 +132,9 @@ func HierMinimax(prob *fl.Problem, cfg fl.Config, opts ...Option) (*fl.Result, R
 		MessagesSent:    e.net.Sent(),
 		MessagesLost:    e.net.Lost(),
 		ControlMessages: e.net.Control(),
+		Timeouts:        e.net.Timeouts(),
+		Retries:         e.net.Retries(),
+		Crashes:         e.net.Crashes(),
 		PoolOutstanding: pool.Outstanding(),
 		PoolRecycled:    pool.Recycled(),
 		PoolAllocated:   pool.Allocated(),
@@ -115,6 +147,9 @@ type engine struct {
 	cfg            fl.Config
 	lat            Latency
 	drop           DropFunc
+	chaos          *chaos.Schedule
+	timeoutMs      float64
+	retries        int
 	computeMs      float64
 	stragglerSigma float64
 	net            *Network
@@ -146,7 +181,12 @@ func (e *engine) start() error {
 	}
 	e.top = e.prob.Topology()
 	e.net = NewNetwork()
-	e.net.SetDrop(e.drop)
+	if e.chaos.Enabled() || e.drop != nil {
+		// One hook composes the schedule's partitions and link loss with
+		// the user hook; when neither is active no hook is installed and
+		// Send keeps its zero-overhead fault-free path.
+		e.net.SetDrop(newFaultHook(e.chaos, e.drop, e.top).drop)
+	}
 	// Per-client speed factors (log-normal) reduced to the per-area
 	// slowest, which gates every synchronous block.
 	e.areaSlowest = make([]float64, e.top.NumEdges)
@@ -164,8 +204,14 @@ func (e *engine) start() error {
 		}
 		e.areaSlowest[edge] = slowest
 	}
-	// Cloud mailbox: phase fan-outs await at most SampledEdges replies.
+	// Cloud mailbox: phase fan-outs await at most SampledEdges replies
+	// (real or nack). Edge mailboxes must hold a whole phase's requests
+	// to one edge in the duplicate-slot worst case.
 	e.inbox = e.net.Register(NodeID{Cloud, 0}, 2*e.cfg.SampledEdges+4)
+	edgeBuf := e.cfg.SampledEdges + 2
+	if edgeBuf < 4 {
+		edgeBuf = 4
+	}
 	for edge := 0; edge < e.top.NumEdges; edge++ {
 		id := NodeID{Edge, edge}
 		port := NodeID{ReplyPort, edge}
@@ -173,7 +219,7 @@ func (e *engine) start() error {
 			id:      id,
 			port:    port,
 			net:     e.net,
-			inbox:   e.net.Register(id, 4),
+			inbox:   e.net.Register(id, edgeBuf),
 			replies: e.net.Register(port, e.top.ClientsPerEdge+1),
 			tau1:    e.cfg.Tau1,
 			tau2:    e.cfg.Tau2,
@@ -181,6 +227,7 @@ func (e *engine) start() error {
 			eta:     e.cfg.EtaW,
 			wSet:    e.prob.W,
 			track:   e.cfg.TrackAverages,
+			retries: e.retries,
 		}
 		for c := 0; c < e.top.ClientsPerEdge; c++ {
 			a.clients = append(a.clients, NodeID{Client, e.top.ClientID(edge, c)})
@@ -190,13 +237,15 @@ func (e *engine) start() error {
 		for c := 0; c < e.top.ClientsPerEdge; c++ {
 			cid := NodeID{Client, e.top.ClientID(edge, c)}
 			ca := &clientActor{
-				id:    cid,
-				net:   e.net,
-				inbox: e.net.Register(cid, 2),
-				shard: e.prob.Fed.Areas[edge].Clients[c],
-				model: e.prob.Model.Clone(),
-				wSet:  e.prob.W,
-				track: e.cfg.TrackAverages,
+				id:      cid,
+				net:     e.net,
+				inbox:   e.net.Register(cid, 2),
+				shard:   e.prob.Fed.Areas[edge].Clients[c],
+				model:   e.prob.Model.Clone(),
+				wSet:    e.prob.W,
+				track:   e.cfg.TrackAverages,
+				chaos:   e.chaos,
+				retries: e.retries,
 			}
 			e.wg.Add(1)
 			go ca.run(&e.wg)
@@ -241,8 +290,32 @@ func (e *engine) sizeScratch(m, nE, d int) {
 	e.v = e.v[:nE]
 }
 
+// maxStraggleMs returns the largest per-slot straggler delay across the
+// clients of the given areas in round k (synchronous blocks wait for
+// their slowest client, so only the maximum matters). 0 without an
+// active straggler schedule.
+func (e *engine) maxStraggleMs(k int, areas []int) float64 {
+	if e.chaos == nil || e.chaos.StragglerProb <= 0 {
+		return 0
+	}
+	maxMs := 0.0
+	for _, area := range areas {
+		for c := 0; c < e.top.ClientsPerEdge; c++ {
+			if ms := e.chaos.StraggleMs(k, e.top.ClientID(area, c)); ms > maxMs {
+				maxMs = ms
+			}
+		}
+	}
+	return maxMs
+}
+
 // round is the cloud-side protocol for one HierMinimax training round,
-// mirroring core.Round step for step.
+// mirroring core.Round step for step. Fault handling follows the
+// one-inbound-per-delivered-request invariant (see actors.go): the
+// fan-ins always count to the number of requests that were delivered,
+// failed slots are excluded from the aggregation exactly like core's
+// dropped slots, and the ledger records only traffic that actually
+// happened (the per-slot accounting rides back on each reply).
 func (e *engine) round(k int, st *fl.State) {
 	cfg := &st.Cfg
 	prob := st.Prob
@@ -262,58 +335,79 @@ func (e *engine) round(k int, st *fl.State) {
 	c1 := 1 + cr.Intn(cfg.Tau1)
 	e.sizeScratch(cfg.SampledEdges, nE, d)
 
-	st.Ledger.RecordRound(topology.EdgeCloud, len(slots), dBytes)
 	slotStream := kr.ChildVal(3)
 	pending := 0
+	delivered := 0
+	cloudMiss := false
 	for i, edge := range slots {
+		// Same dropout stream derivation as core: Child peeks without
+		// advancing, so the slot's work stream is unchanged by the check.
+		ss := slotStream.ChildVal(uint64(i))
+		doomed := cfg.DropoutProb > 0 && fl.SlotDropped(&ss, cfg.DropoutProb)
 		w := pool.get(d)
 		copy(w, st.W)
 		req := edgeTrainReqPool.Get().(*edgeTrainReq)
-		*req = edgeTrainReq{W: w, C1: c1, C2: c2, Slot: i, Stream: slotStream.ChildVal(uint64(i))}
-		ok := e.net.Send(Message{
+		*req = edgeTrainReq{W: w, C1: c1, C2: c2, Slot: i, Stream: ss, Doomed: doomed}
+		ok := e.net.SendRetry(Message{
 			From: cloudID, To: NodeID{Edge, edge}, Kind: "edge-train-req",
-			Bytes: payloadBytes(w), Payload: req,
-		})
+			Round: k, Bytes: payloadBytes(w), Payload: req,
+		}, e.retries)
 		if ok {
 			pending++
+			delivered++
 		} else {
 			pool.put(w)
 			edgeTrainReqPool.Put(req)
+			e.net.noteTimeout()
+			cloudMiss = true
 		}
 	}
+	st.Ledger.RecordRound(topology.EdgeCloud, delivered, dBytes)
 	for i := range e.results {
 		e.results[i] = nil
 	}
+	// Fan in: every delivered request yields exactly one reply or nack.
+	// The client-edge traffic each slot actually drove rides back on the
+	// reply's account and lands in the ledger as one bulk write.
+	var ceRounds int
+	var ceMsgs, ceBytes int64
+	maxTB := 0
 	for recv := 0; recv < pending; recv++ {
 		msg := <-e.inbox
 		r, ok := msg.Payload.(*edgeTrainReply)
 		if !ok {
 			panic("simnet: cloud expected edge train replies, got " + msg.Kind)
 		}
+		ceRounds += 2 * r.Acct.Blocks
+		ceMsgs += r.Acct.DownMsgs + r.Acct.UpMsgs
+		ceBytes += r.Acct.DownBytes + r.Acct.UpBytes
+		if r.Acct.TimeoutBlocks > maxTB {
+			maxTB = r.Acct.TimeoutBlocks
+		}
+		if r.Failed {
+			if !r.Doomed {
+				// Lost uplink or partitioned edge: the cloud's own
+				// deadline fired. (Doomed slots are algorithm-level
+				// dropout, not a transport fault.)
+				e.net.noteTimeout()
+				cloudMiss = true
+			}
+			edgeTrainReplyPool.Put(r)
+			continue
+		}
 		e.results[r.Slot] = r
 	}
-	// Ledger entries for the client-edge traffic driven by the slots
-	// (recorded by the cloud on the actors' behalf; counts are exact
-	// because the protocol is deterministic). Uplink bytes follow the
-	// actual reply payloads: every client uploads its model, plus the
-	// checkpoint in block c2, plus the iterate sum when tracking.
-	for range slots {
-		for t2 := 0; t2 < cfg.Tau2; t2++ {
-			st.Ledger.RecordRound(topology.ClientEdge, e.top.ClientsPerEdge, dBytes)
-			up := dBytes
-			if t2 == c2 {
-				up += dBytes
-			}
-			if track {
-				up += dBytes
-			}
-			st.Ledger.RecordRound(topology.ClientEdge, e.top.ClientsPerEdge, up)
-		}
+	if ceRounds > 0 || ceMsgs > 0 {
+		st.Ledger.RecordBulk(topology.ClientEdge, ceRounds, ceMsgs, ceBytes)
 	}
 	// Simulated time: slots run in parallel (critical path = the slot on
 	// the slowest area); blocks inside a slot are sequential, and each
 	// block waits for its slowest client's tau1 local steps. Transfer
-	// costs use the actual per-block payload sizes.
+	// costs use the actual per-block payload sizes. Fault charges ride
+	// on top: every block whose edge deadline fired costs one timeout
+	// window (the deepest such slot gates the phase), a cloud-level miss
+	// costs one more, and active stragglers stretch every block by the
+	// slowest delayed client.
 	slowest := 1.0
 	for _, edge := range slots {
 		if s := e.areaSlowest[edge]; s > slowest {
@@ -336,6 +430,15 @@ func (e *engine) round(k int, st *fl.State) {
 		}
 		phase1Ms += e.lat.ClientEdgeCost(dBytes) + e.lat.ClientEdgeCost(up) + blockCompute
 	}
+	if maxTB > 0 {
+		phase1Ms += e.timeoutMs * float64(maxTB)
+	}
+	if cloudMiss {
+		phase1Ms += e.timeoutMs
+	}
+	if straggle := e.maxStraggleMs(k, slots); straggle > 0 {
+		phase1Ms += float64(cfg.Tau2) * straggle
+	}
 	e.simMs += phase1Ms
 
 	e.wVecs = e.wVecs[:0]
@@ -352,7 +455,7 @@ func (e *engine) round(k int, st *fl.State) {
 		}
 	}
 	if len(e.wVecs) == 0 {
-		return // all sampled edges unreachable this round
+		return // every sampled slot failed this round; w and p carry over
 	}
 	st.Ledger.RecordRound(topology.EdgeCloud, len(e.wVecs), ecUp)
 	tensor.AverageInto(st.W, e.wVecs...)
@@ -380,46 +483,83 @@ func (e *engine) round(k int, st *fl.State) {
 	// ---- Phase 2 ----
 	ur := kr.ChildVal(4)
 	sampled := ur.SampleUniform(cfg.SampledEdges, nE)
-	st.Ledger.RecordRound(topology.EdgeCloud, len(sampled), dBytes)
 	lossStream := ur.ChildVal(5)
 	pending = 0
+	delivered = 0
+	cloudMiss = false
 	for i, edge := range sampled {
+		es := lossStream.ChildVal(uint64(i))
+		doomed := cfg.DropoutProb > 0 && fl.SlotDropped(&es, cfg.DropoutProb)
 		w := pool.get(d)
 		copy(w, e.wChk)
 		req := edgeLossReqPool.Get().(*edgeLossReq)
-		*req = edgeLossReq{W: w, Seq: i, LossBatch: cfg.LossBatch, Stream: lossStream.ChildVal(uint64(i))}
-		ok := e.net.Send(Message{
+		*req = edgeLossReq{W: w, Seq: i, LossBatch: cfg.LossBatch, Stream: es, Doomed: doomed}
+		ok := e.net.SendRetry(Message{
 			From: cloudID, To: NodeID{Edge, edge}, Kind: "edge-loss-req",
-			Bytes: payloadBytes(w), Payload: req,
-		})
+			Round: k, Bytes: payloadBytes(w), Payload: req,
+		}, e.retries)
 		if ok {
 			pending++
+			delivered++
 		} else {
 			pool.put(w)
 			edgeLossReqPool.Put(req)
+			e.net.noteTimeout()
+			cloudMiss = true
 		}
 	}
+	st.Ledger.RecordRound(topology.EdgeCloud, delivered, dBytes)
 	for i := range e.alive {
 		e.losses[i] = 0
 		e.alive[i] = false
 	}
+	// Fan in. Doomed edges answer with a real (8-byte, Failed) scalar —
+	// core accounts a Phase-2 uplink for every sampled edge, dead or
+	// alive — so arrived counts everything that crossed the wire while
+	// alive tracks usable estimates only.
+	arrived := 0
+	ceRounds, ceMsgs, ceBytes = 0, 0, 0
+	maxTB = 0
 	for recv := 0; recv < pending; recv++ {
 		msg := <-e.inbox
 		r, ok := msg.Payload.(*edgeLossReply)
 		if !ok {
 			panic("simnet: cloud expected edge loss replies, got " + msg.Kind)
 		}
-		e.losses[r.Seq] = r.Loss
-		e.alive[r.Seq] = true
+		ceRounds += 2 * r.Acct.Blocks
+		ceMsgs += r.Acct.DownMsgs + r.Acct.UpMsgs
+		ceBytes += r.Acct.DownBytes + r.Acct.UpBytes
+		if r.Acct.TimeoutBlocks > maxTB {
+			maxTB = r.Acct.TimeoutBlocks
+		}
+		if msg.Ctrl {
+			e.net.noteTimeout()
+			cloudMiss = true
+		} else {
+			arrived++
+		}
+		if !r.Failed {
+			e.losses[r.Seq] = r.Loss
+			e.alive[r.Seq] = true
+		}
 		edgeLossReplyPool.Put(r)
 	}
-	for range sampled {
-		st.Ledger.RecordRound(topology.ClientEdge, e.top.ClientsPerEdge, dBytes)
-		st.Ledger.RecordRound(topology.ClientEdge, e.top.ClientsPerEdge, 8)
+	if ceRounds > 0 || ceMsgs > 0 {
+		st.Ledger.RecordBulk(topology.ClientEdge, ceRounds, ceMsgs, ceBytes)
 	}
-	st.Ledger.RecordRound(topology.EdgeCloud, len(sampled), 8)
-	e.simMs += e.lat.EdgeCloudCost(dBytes) + e.lat.ClientEdgeCost(dBytes) +
+	st.Ledger.RecordRound(topology.EdgeCloud, arrived, 8)
+	phase2Ms := e.lat.EdgeCloudCost(dBytes) + e.lat.ClientEdgeCost(dBytes) +
 		e.lat.ClientEdgeCost(8) + e.lat.EdgeCloudCost(8)
+	if maxTB > 0 {
+		phase2Ms += e.timeoutMs * float64(maxTB)
+	}
+	if cloudMiss {
+		phase2Ms += e.timeoutMs
+	}
+	if straggle := e.maxStraggleMs(k, sampled); straggle > 0 {
+		phase2Ms += straggle
+	}
+	e.simMs += phase2Ms
 
 	tensor.Zero(e.v)
 	scale := float64(nE) / float64(cfg.SampledEdges)

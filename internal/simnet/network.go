@@ -68,13 +68,25 @@ type Message struct {
 	// Bytes is the simulated wire size used by the latency model and the
 	// per-link byte counters: the actual payload bytes of the transfer.
 	Bytes int64
+	// Round is the training round the message belongs to; the fault
+	// schedule keys per-round decisions (crashes, partitions) on it.
+	Round int
+	// Ctrl marks simulation-internal control traffic: timeout nacks and
+	// lifecycle messages. Control traffic is reliable by construction
+	// (see control) — a nack models the receiver-side deadline firing,
+	// which no network fault can prevent.
+	Ctrl bool
 }
 
 // control reports whether the message is control-plane traffic (actor
-// lifecycle) rather than a protocol step. Control messages are exempt
-// from the drop hook (the simulated failures model lossy data links, not
-// the simulation's own shutdown) and are excluded from Sent/Lost.
+// lifecycle, timeout nacks) rather than a protocol step. Control
+// messages are exempt from the drop hook (the simulated failures model
+// lossy data links, not the simulation's own bookkeeping) and are
+// excluded from Sent/Lost and the link-class counters.
 func (m Message) control() bool {
+	if m.Ctrl {
+		return true
+	}
 	_, ok := m.Payload.(stopMsg)
 	return ok
 }
@@ -95,16 +107,19 @@ type DropFunc func(Message) bool
 // after Seal panic, and Send before Seal panics: the phases may not
 // interleave, which is what makes the lock-free read sound.
 type Network struct {
-	mu     sync.Mutex
-	boxes  map[NodeID]chan Message
-	drop   DropFunc // immutable after Seal
-	sealed atomic.Bool
-	closed atomic.Bool
-	sent   atomic.Int64
-	lost   atomic.Int64
-	ctrl   atomic.Int64
-	om     *netObs
-	pool   *vecPool
+	mu       sync.Mutex
+	boxes    map[NodeID]chan Message
+	drop     DropFunc // immutable after Seal
+	sealed   atomic.Bool
+	closed   atomic.Bool
+	sent     atomic.Int64
+	lost     atomic.Int64
+	ctrl     atomic.Int64
+	timeouts atomic.Int64
+	retries  atomic.Int64
+	crashes  atomic.Int64
+	om       *netObs
+	pool     *vecPool
 }
 
 // NewNetwork returns an empty network. Observability is bound here: if a
@@ -151,11 +166,14 @@ func linkClass(from, to NodeKind) string {
 // counted apart from protocol traffic so the link-class counters
 // reconcile exactly with the topology.Ledger totals (asserted in tests).
 type netObs struct {
-	sent    map[string]*obs.Counter
-	dropped map[string]*obs.Counter
-	bytes   map[string]*obs.Counter
-	depth   map[NodeKind]*obs.Gauge
-	control *obs.Counter
+	sent     map[string]*obs.Counter
+	dropped  map[string]*obs.Counter
+	bytes    map[string]*obs.Counter
+	depth    map[NodeKind]*obs.Gauge
+	control  *obs.Counter
+	timeouts *obs.Counter
+	retries  *obs.Counter
+	crashes  *obs.Counter
 }
 
 func newNetObs(h *obs.Hub) *netObs {
@@ -164,11 +182,14 @@ func newNetObs(h *obs.Hub) *netObs {
 	}
 	reg := h.Registry()
 	om := &netObs{
-		sent:    make(map[string]*obs.Counter),
-		dropped: make(map[string]*obs.Counter),
-		bytes:   make(map[string]*obs.Counter),
-		depth:   make(map[NodeKind]*obs.Gauge),
-		control: reg.Counter("simnet_control_messages_total"),
+		sent:     make(map[string]*obs.Counter),
+		dropped:  make(map[string]*obs.Counter),
+		bytes:    make(map[string]*obs.Counter),
+		depth:    make(map[NodeKind]*obs.Gauge),
+		control:  reg.Counter("simnet_control_messages_total"),
+		timeouts: reg.Counter("simnet_timeouts_total"),
+		retries:  reg.Counter("simnet_retries_total"),
+		crashes:  reg.Counter("simnet_client_crashes_total"),
 	}
 	for _, class := range []string{"client-edge", "edge-cloud", "client-cloud", "unknown"} {
 		om.sent[class] = reg.Counter(`simnet_messages_sent_total{link="` + class + `"}`)
@@ -278,6 +299,55 @@ func (n *Network) Send(msg Message) bool {
 	return true
 }
 
+// SendRetry is Send with up to maxRetries re-offers after a drop. Each
+// attempt consumes a fresh loss decision from the fault schedule (the
+// per-link sequence number advances), so a retry can genuinely succeed
+// and the whole exchange stays deterministic. Retransmissions beyond
+// the first attempt are counted in Retries; with maxRetries 0 this is
+// exactly Send.
+func (n *Network) SendRetry(msg Message, maxRetries int) bool {
+	for attempt := 0; ; attempt++ {
+		if n.Send(msg) {
+			n.noteRetries(attempt)
+			return true
+		}
+		if attempt >= maxRetries {
+			n.noteRetries(attempt)
+			return false
+		}
+	}
+}
+
+// noteTimeout records one fan-in giving up on a missing reply: an
+// aggregator's simulated deadline fired and it proceeded with the
+// quorum that arrived.
+func (n *Network) noteTimeout() {
+	n.timeouts.Add(1)
+	if n.om != nil {
+		n.om.timeouts.Inc()
+	}
+}
+
+// noteRetries records the retransmissions one SendRetry spent.
+func (n *Network) noteRetries(attempts int) {
+	if attempts <= 0 {
+		return
+	}
+	n.retries.Add(int64(attempts))
+	if n.om != nil {
+		n.om.retries.Add(int64(attempts))
+	}
+}
+
+// noteCrash records one client ignoring a round's work (fault schedule
+// crash).
+func (n *Network) noteCrash() {
+	n.crashes.Add(1)
+	if n.om != nil {
+		n.om.crashes.Inc()
+	}
+}
+
 // Close marks the network closed; subsequent Sends return false. It does
 // not close mailboxes (receivers drain and exit on their stop message).
 func (n *Network) Close() {
@@ -295,9 +365,21 @@ func (n *Network) Sent() int64 { return n.sent.Load() }
 // traffic only, matching Sent's contract.
 func (n *Network) Lost() int64 { return n.lost.Load() }
 
-// Control returns the number of control-plane (actor lifecycle)
-// messages delivered, the traffic Sent and Lost exclude.
+// Control returns the number of control-plane (actor lifecycle and
+// timeout-nack) messages delivered, the traffic Sent and Lost exclude.
 func (n *Network) Control() int64 { return n.ctrl.Load() }
+
+// Timeouts returns the number of fan-ins that gave up on a missing
+// reply (every aggregation level counts its own misses).
+func (n *Network) Timeouts() int64 { return n.timeouts.Load() }
+
+// Retries returns the number of retransmissions senders spent
+// re-offering dropped protocol messages.
+func (n *Network) Retries() int64 { return n.retries.Load() }
+
+// Crashes returns the number of work requests ignored by crashed
+// clients under the fault schedule.
+func (n *Network) Crashes() int64 { return n.crashes.Load() }
 
 // Latency is a per-link-class cost model used to estimate the simulated
 // wall-clock time of a run without sleeping: the engines accumulate the

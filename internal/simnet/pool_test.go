@@ -4,7 +4,9 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/chaos"
 	"repro/internal/fl/fltest"
+	"repro/internal/topology"
 )
 
 // After any full run — including one with failure injection, which
@@ -188,5 +190,69 @@ func TestSealedConcurrentSend(t *testing.T) {
 	}
 	if n.Lost() != int64(senders*perSender/5) {
 		t.Fatalf("lost %d, want %d", n.Lost(), senders*perSender/5)
+	}
+}
+
+// The same hammer with a live fault schedule installed (run under
+// ci.sh's -race pass): the faultHook's pure schedule queries and its
+// per-link atomic sequence counters must be sound under concurrent
+// senders, and losses must stay within the sent/lost/delivered
+// conservation law.
+func TestSealedConcurrentSendUnderFaults(t *testing.T) {
+	top := topology.New(4, 4)
+	n := NewNetwork()
+	const senders = 16
+	const perSender = 400
+	cloud := NodeID{Cloud, 0}
+	n.Register(cloud, senders*perSender)
+	boxes := make([]<-chan Message, top.NumEdges)
+	for e := 0; e < top.NumEdges; e++ {
+		boxes[e] = n.Register(NodeID{Edge, e}, senders*perSender)
+	}
+	sched := &chaos.Schedule{Seed: 42, PartitionProb: 0.2, LossProb: 0.1, CrashProb: 0.3}
+	user := func(m Message) bool { return m.Kind == "doomed-anyway" }
+	n.SetDrop(newFaultHook(sched, user, top).drop)
+	n.Seal()
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				kind := "edge-train-req"
+				if i%7 == 0 {
+					kind = "doomed-anyway"
+				}
+				msg := Message{
+					From: cloud, To: NodeID{Edge, (s + i) % top.NumEdges},
+					Kind: kind, Round: i % 11, Bytes: 8,
+				}
+				if i%3 == 0 {
+					n.SendRetry(msg, 2)
+				} else {
+					n.Send(msg)
+				}
+				// Concurrent pure-schedule queries from the sender side,
+				// mimicking actors consulting crash/straggle decisions.
+				sched.ClientCrashed(i%11, top.ClientID((s+i)%top.NumEdges, i%top.ClientsPerEdge))
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	delivered := 0
+	for e := 0; e < top.NumEdges; e++ {
+		delivered += len(boxes[e])
+	}
+	if int64(delivered)+n.Lost() != n.Sent() {
+		t.Fatalf("conservation violated: delivered %d + lost %d != sent %d",
+			delivered, n.Lost(), n.Sent())
+	}
+	if n.Lost() == 0 {
+		t.Fatal("fault schedule never dropped anything")
+	}
+	if n.Retries() == 0 {
+		t.Fatal("SendRetry under loss never recorded a retransmission")
 	}
 }

@@ -1,0 +1,116 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/fl"
+	"repro/internal/fl/fltest"
+	"repro/internal/obs"
+	"repro/internal/topology"
+)
+
+// Under every fault scenario the three accounts of a run's traffic —
+// the topology.Ledger (the protocol's logical view), the obs transport
+// counters (the network's view) and RunStats (the engine's view) —
+// must reconcile exactly: delivery-driven ledger recording means a
+// message is either counted everywhere or nowhere. The payload pool
+// must come back empty in all of them.
+func TestFaultAccountingReconciles(t *testing.T) {
+	cases := []struct {
+		name  string
+		sched *chaos.Schedule
+		cfg   func(*fl.Config)
+	}{
+		{name: "fault-free", sched: nil},
+		{name: "dropout", cfg: func(c *fl.Config) { c.DropoutProb = 0.3 }},
+		{name: "crashes", sched: &chaos.Schedule{Seed: 21, CrashProb: 0.2}},
+		{name: "link-loss", sched: &chaos.Schedule{Seed: 22, LossProb: 0.08}},
+		{name: "partitions", sched: &chaos.Schedule{Seed: 23, PartitionProb: 0.1}},
+		{name: "loss-with-retries", sched: &chaos.Schedule{Seed: 24, LossProb: 0.1, MaxRetries: 3}},
+		{
+			name:  "everything-at-once",
+			sched: &chaos.Schedule{Seed: 25, CrashProb: 0.15, PartitionProb: 0.05, LossProb: 0.05, MaxRetries: 1},
+			cfg:   func(c *fl.Config) { c.DropoutProb = 0.1; c.TrackAverages = true },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hub := obs.New()
+			prev := obs.SetGlobal(hub)
+			defer obs.SetGlobal(prev)
+
+			cfg := fltest.ToyConfig()
+			cfg.Rounds = 40
+			if tc.cfg != nil {
+				tc.cfg(&cfg)
+			}
+			var opts []Option
+			if tc.sched != nil {
+				opts = append(opts, WithChaos(tc.sched))
+			}
+			res, stats, err := HierMinimax(fltest.ToyProblem(4), cfg, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.History.Final().Round; got != cfg.Rounds {
+				t.Fatalf("run stopped early: final snapshot at round %d of %d", got, cfg.Rounds)
+			}
+
+			reg := hub.Registry()
+			counter := func(name string) int64 { return reg.Counter(name).Value() }
+
+			// Ledger vs transport, per link class, messages and bytes.
+			var sent, dropped int64
+			for class, link := range map[string]topology.Link{
+				"client-edge":  topology.ClientEdge,
+				"edge-cloud":   topology.EdgeCloud,
+				"client-cloud": topology.ClientCloud,
+			} {
+				s := counter(`simnet_messages_sent_total{link="` + class + `"}`)
+				b := counter(`simnet_bytes_sent_total{link="` + class + `"}`)
+				sent += s
+				dropped += counter(`simnet_messages_dropped_total{link="` + class + `"}`)
+				if want := res.Ledger.Messages[link]; s != want {
+					t.Errorf("%s messages: obs %d, ledger %d", class, s, want)
+				}
+				if want := res.Ledger.Bytes[link]; b != want {
+					t.Errorf("%s bytes: obs %d, ledger %d", class, b, want)
+				}
+			}
+			// Transport vs RunStats: Sent counts offers, the sent counters
+			// count deliveries, the gap is exactly the losses.
+			if sent != stats.MessagesSent-stats.MessagesLost {
+				t.Errorf("delivered messages: obs %d, runstats %d-%d",
+					sent, stats.MessagesSent, stats.MessagesLost)
+			}
+			if dropped != stats.MessagesLost {
+				t.Errorf("dropped messages: obs %d, runstats %d", dropped, stats.MessagesLost)
+			}
+			// Fault counters agree between the obs registry and RunStats.
+			if got := counter("simnet_timeouts_total"); got != stats.Timeouts {
+				t.Errorf("timeouts: obs %d, runstats %d", got, stats.Timeouts)
+			}
+			if got := counter("simnet_retries_total"); got != stats.Retries {
+				t.Errorf("retries: obs %d, runstats %d", got, stats.Retries)
+			}
+			if got := counter("simnet_client_crashes_total"); got != stats.Crashes {
+				t.Errorf("crashes: obs %d, runstats %d", got, stats.Crashes)
+			}
+			// Faults must never leak payload vectors.
+			if stats.PoolOutstanding != 0 {
+				t.Errorf("payload leak: %d pooled vectors outstanding", stats.PoolOutstanding)
+			}
+			// Scenario sanity: the faults we asked for actually happened.
+			if tc.sched != nil && tc.sched.CrashProb > 0 && stats.Crashes == 0 {
+				t.Error("crash schedule never fired")
+			}
+			if tc.sched != nil && (tc.sched.LossProb > 0 || tc.sched.PartitionProb > 0) && stats.MessagesLost == 0 {
+				t.Error("loss/partition schedule never fired")
+			}
+			if tc.sched != nil && tc.sched.MaxRetries > 0 && tc.sched.LossProb > 0 && stats.Retries == 0 {
+				t.Error("retries never spent despite lossy links")
+			}
+		})
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/fl/fltest"
+	"repro/internal/quant"
 	"repro/internal/tensor"
 	"repro/internal/topology"
 )
@@ -257,9 +259,14 @@ func TestSimnetSurvivesMessageLoss(t *testing.T) {
 
 func TestSimnetRejectsUnsupportedConfig(t *testing.T) {
 	cfg := fltest.ToyConfig()
-	cfg.DropoutProb = 0.5
+	cfg.Quantizer = quant.Uniform{Bits: 8}
 	if _, _, err := HierMinimax(fltest.ToyProblem(1), cfg); err == nil {
-		t.Fatal("DropoutProb accepted")
+		t.Fatal("Quantizer accepted")
+	}
+	cfg = fltest.ToyConfig()
+	bad := &chaos.Schedule{CrashProb: 1.5}
+	if _, _, err := HierMinimax(fltest.ToyProblem(1), cfg, WithChaos(bad)); err == nil {
+		t.Fatal("invalid chaos schedule accepted")
 	}
 }
 

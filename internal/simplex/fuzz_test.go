@@ -1,0 +1,133 @@
+package simplex
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeVector turns raw fuzz bytes into a float64 vector, 8 bytes per
+// coordinate, clamping pathological magnitudes into a range where the
+// feasibility checks below are meaningful (the projection itself must
+// also survive the raw values — see the degenerate-input tests in
+// set_test.go for NaN/Inf handling).
+func decodeVector(data []byte) []float64 {
+	n := len(data) / 8
+	if n == 0 {
+		return nil
+	}
+	if n > 256 {
+		n = 256
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var bits uint64
+		for b := 0; b < 8; b++ {
+			bits = bits<<8 | uint64(data[i*8+b])
+		}
+		v := math.Float64frombits(bits)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		// Keep magnitudes where sums are exact enough to check feasibility
+		// to the tolerance below; the algorithm is scale-sensitive only
+		// through float cancellation.
+		if v > 1e8 {
+			v = 1e8
+		} else if v < -1e8 {
+			v = -1e8
+		}
+		x[i] = v
+	}
+	return x
+}
+
+// feasTol returns the feasibility tolerance for a projection of x: the
+// sort-and-threshold and bisection algorithms subtract a threshold of
+// the input's magnitude from each coordinate, so the unit-sum property
+// holds to ~n units in the last place of the largest input (exact for
+// unit-scale inputs, looser for 1e8-scale ones).
+func feasTol(x []float64) float64 {
+	m := 1.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	ulp := math.Nextafter(m, math.Inf(1)) - m
+	return float64(len(x)+1) * ulp
+}
+
+// FuzzSimplexProject checks the three contract properties of the
+// simplex projection on arbitrary inputs: the output is a valid
+// distribution (non-negative, sums to 1) and the projection is
+// idempotent (projecting a projected point changes nothing).
+func FuzzSimplexProject(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 8))
+	f.Add(make([]byte, 64))
+	f.Add([]byte{0x3f, 0xf0, 0, 0, 0, 0, 0, 0, 0xbf, 0xf0, 0, 0, 0, 0, 0, 0}) // [1, -1]
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x := decodeVector(data)
+		if len(x) == 0 {
+			return
+		}
+		s := Simplex{Dim: len(x)}
+		tol := feasTol(x)
+		s.Project(x)
+		if !s.Contains(x, tol) {
+			sum := 0.0
+			for _, v := range x {
+				sum += v
+			}
+			t.Fatalf("projection infeasible: sum=%v x=%v", sum, x)
+		}
+		for _, v := range x {
+			if v < 0 {
+				t.Fatalf("negative coordinate %v after projection", v)
+			}
+		}
+		y := append([]float64(nil), x...)
+		s.Project(y)
+		for i := range x {
+			if math.Abs(y[i]-x[i]) > tol {
+				t.Fatalf("projection not idempotent at %d: %v -> %v", i, x[i], y[i])
+			}
+		}
+	})
+}
+
+// FuzzCappedSimplexProject checks the capped variant: output in
+// [0, Cap], sums to 1, idempotent. The cap is fuzzed too (first byte),
+// always kept feasible (n*Cap >= 1).
+func FuzzCappedSimplexProject(f *testing.F) {
+	f.Add(uint8(0), make([]byte, 32))
+	f.Add(uint8(128), make([]byte, 64))
+	f.Add(uint8(255), []byte{0x40, 0x08, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, capByte uint8, data []byte) {
+		x := decodeVector(data)
+		if len(x) == 0 {
+			return
+		}
+		n := len(x)
+		// Cap in [1/n, 1.5/n + ...]: from the barycenter-only point up to
+		// a loose cap, always feasible.
+		minCap := 1 / float64(n)
+		c := CappedSimplex{Dim: n, Cap: minCap * (1 + float64(capByte)/100)}
+		tol := feasTol(x)
+		c.Project(x)
+		if !c.Contains(x, tol) {
+			sum := 0.0
+			for _, v := range x {
+				sum += v
+			}
+			t.Fatalf("capped projection infeasible: cap=%v sum=%v x=%v", c.Cap, sum, x)
+		}
+		y := append([]float64(nil), x...)
+		c.Project(y)
+		for i := range x {
+			if math.Abs(y[i]-x[i]) > tol {
+				t.Fatalf("capped projection not idempotent at %d: %v -> %v", i, x[i], y[i])
+			}
+		}
+	})
+}

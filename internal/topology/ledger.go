@@ -67,6 +67,20 @@ func (l *Ledger) RecordRound(link Link, nMessages int, bytesEach int64) {
 	l.bytes[link] += int64(nMessages) * bytesEach
 }
 
+// RecordBulk records rounds synchronization passes comprising messages
+// transfers of bytes total over the link class in one consistent write.
+// The simnet engine uses it to apply the delivery accounting carried by
+// aggregated replies: under fault injection a round's client-edge
+// traffic is only known after the fan-in, and partial rounds record
+// only the transfers that actually happened.
+func (l *Ledger) RecordBulk(link Link, rounds int, messages, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.rounds[link] += int64(rounds)
+	l.messages[link] += messages
+	l.bytes[link] += bytes
+}
+
 // RecordMessage records a single transfer that does not open a new
 // round (e.g. a retransmission in failure-injection tests).
 func (l *Ledger) RecordMessage(link Link, bytes int64) {

@@ -14,6 +14,7 @@ package hierfair
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/data"
 	"repro/internal/fl"
 	"repro/internal/model"
@@ -143,16 +144,66 @@ type Spec struct {
 	Taus      []int
 
 	// Extensions and constraints.
-	QuantBits   uint    // >0: stochastic uniform uplink quantization
-	DropoutProb float64 // in-process engine failure injection
+	QuantBits uint // >0: stochastic uniform uplink quantization
+	// DropoutProb drops each sampled client slot for a whole round with
+	// this probability. It is one knob for both engines: the in-process
+	// and simnet runs make identical seeded drop decisions, so their
+	// trajectories stay bitwise equal. For transport-level faults
+	// (crashes, partitions, message loss) see Chaos.
+	DropoutProb float64
 	PCap        float64 // >0: P = capped simplex {p : p_e <= PCap}
 	// CheckpointOff replaces the Phase-2 random checkpoint with the
 	// end-of-round model (the A1 ablation; HierMinimax only).
 	CheckpointOff bool
 
+	// Chaos injects deterministic transport faults (simnet engine only):
+	// crashes, partitions, link loss, stragglers. The zero value injects
+	// nothing. See DESIGN.md §10 for the fault model.
+	Chaos Chaos
+
 	Seed          uint64
 	EvalEvery     int
 	TrackAverages bool
+}
+
+// Chaos is a deterministic fault plan for the simnet engine. All
+// decisions are pure functions of (Seed, round, entity), so the same
+// plan reproduces the same faulted run exactly; a run with all
+// probabilities zero is bitwise identical to a fault-free one.
+type Chaos struct {
+	CrashProb     float64 // per-round probability a client ignores its work requests
+	PartitionProb float64 // per-round probability an edge server is unreachable
+	LossProb      float64 // per-transfer probability a protocol message is lost
+	StragglerProb float64 // per-round probability a client delays each block ...
+	StragglerMs   float64 // ... by this much simulated time (trajectory unchanged)
+	TimeoutMs     float64 // fan-in deadline in simulated ms (0 = 250)
+	MaxRetries    int     // retransmissions per lost protocol message
+	Seed          uint64  // fault seed (0 = derived from Spec.Seed)
+}
+
+// schedule converts the facade plan into the internal schedule, or nil
+// when no fault injection was requested.
+func (c Chaos) schedule(trainSeed uint64) *chaos.Schedule {
+	if c == (Chaos{}) {
+		return nil
+	}
+	seed := c.Seed
+	if seed == 0 {
+		// Decoupled from the training stream tree by construction (the
+		// schedule roots its own tree), offset only so the two seeds
+		// differ visibly in logs.
+		seed = trainSeed + 7919
+	}
+	return &chaos.Schedule{
+		Seed:          seed,
+		CrashProb:     c.CrashProb,
+		PartitionProb: c.PartitionProb,
+		LossProb:      c.LossProb,
+		StragglerProb: c.StragglerProb,
+		StragglerMs:   c.StragglerMs,
+		TimeoutMs:     c.TimeoutMs,
+		MaxRetries:    c.MaxRetries,
+	}
 }
 
 // DefaultSpec returns the paper's §6.1 convex configuration (EMNIST
@@ -199,6 +250,9 @@ func (s *Spec) normalize() error {
 	}
 	if s.Engine == EngineSimNet && s.Algorithm != AlgHierMinimax {
 		return fmt.Errorf("hierfair: the simnet engine only runs %s", AlgHierMinimax)
+	}
+	if s.Chaos != (Chaos{}) && s.Engine != EngineSimNet {
+		return fmt.Errorf("hierfair: Spec.Chaos fault injection requires Engine == %q", EngineSimNet)
 	}
 	if s.Dataset == "" {
 		s.Dataset = DatasetEMNIST
