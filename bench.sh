@@ -1,23 +1,25 @@
 #!/bin/sh
-# Performance gate: benchmarks the engine hot path and records the
-# numbers in BENCH_3.json so perf regressions are diffable in review.
+# Performance gate: benchmarks the engine hot path and the sweep
+# scheduler and records the numbers in BENCH_5.json so perf regressions
+# are diffable in review.
 #
-#   ./bench.sh            # ~1 min, writes BENCH_3.json
+#   ./bench.sh            # ~2 min, writes BENCH_5.json
 #
-# BenchmarkEngineRound and BenchmarkSimnetRound are the contract
-# benchmarks: one HierMinimax round (Phase 1 + Phase 2) on the smoke
-# workload, in-process and over the actor message fabric respectively.
-# examples/sec counts gradient examples (sampled edges x clients x
-# tau1*tau2 x batch) per wall second; SimnetRound's B/op and allocs/op
-# are additionally gated by CI_BENCH=1 ./ci.sh against the recorded
-# values.
+# BenchmarkEngineRound and BenchmarkSimnetRound are the round-level
+# contract benchmarks: one HierMinimax round (Phase 1 + Phase 2) on the
+# smoke workload, in-process and over the actor message fabric
+# respectively (examples/sec counts gradient examples per wall second).
+# BenchmarkSweep is the run-level contract: the smoke Fig. 3 grid on the
+# work-stealing pool with a hot dataset cache, reporting runs/sec and
+# allocs/run. SimnetRound allocs/op (vs the BENCH_3.json record) and
+# Sweep allocs/run (vs BENCH_5.json) are gated by CI_BENCH=1 ./ci.sh.
 set -eu
 
-OUT=${1:-BENCH_3.json}
+OUT=${1:-BENCH_5.json}
 COUNT=${BENCH_COUNT:-3}
 TIME=${BENCH_TIME:-2s}
 
-RAW=$(go test -run '^$' -bench 'BenchmarkEngineRound$|BenchmarkSimnetRound$' \
+RAW=$(go test -run '^$' -bench 'BenchmarkEngineRound$|BenchmarkSimnetRound$|BenchmarkSweep$' \
 	-benchmem -benchtime "$TIME" -count "$COUNT" .)
 echo "$RAW"
 
@@ -31,10 +33,13 @@ echo "$RAW" | awk -v out="$OUT" '
 			# keep the best (min) of the repeated runs
 			ns[name] = $i + 0
 			bytes[name] = 0; allocs[name] = 0; eps[name] = 0
+			rps[name] = 0; apr[name] = 0
 			for (j = 2; j < NF; j++) {
 				if ($(j+1) == "B/op") bytes[name] = $j + 0
 				if ($(j+1) == "allocs/op") allocs[name] = $j + 0
 				if ($(j+1) == "examples/sec") eps[name] = $j + 0
+				if ($(j+1) == "runs/sec") rps[name] = $j + 0
+				if ($(j+1) == "allocs/run") apr[name] = $j + 0
 			}
 		}
 	}
@@ -44,8 +49,8 @@ END {
 	printf "{\n  \"benchmarks\": [\n" > out
 	for (i = 1; i <= n; i++) {
 		name = order[i]
-		printf "    {\"name\": \"%s\", \"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f, \"examples_per_sec\": %.0f}%s\n", \
-			name, ns[name], bytes[name], allocs[name], eps[name], (i < n ? "," : "") > out
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f, \"examples_per_sec\": %.0f, \"runs_per_sec\": %.2f, \"allocs_per_run\": %.0f}%s\n", \
+			name, ns[name], bytes[name], allocs[name], eps[name], rps[name], apr[name], (i < n ? "," : "") > out
 	}
 	printf "  ]\n}\n" > out
 }

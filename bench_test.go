@@ -10,9 +10,11 @@ package hierfair
 // EXPERIMENTS.md; regenerate them with cmd/experiments.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/sched"
 )
 
 // reportFig attaches figure metrics for one algorithm's series.
@@ -34,7 +36,7 @@ func BenchmarkFig3(b *testing.B) {
 			var last *experiments.FigResult
 			for i := 0; i < b.N; i++ {
 				setupSeed := uint64(42 + i)
-				res, err := experiments.RunFigure(figSetup3(setupSeed), []experiments.AlgorithmName{algo})
+				res, err := experiments.RunFigure(nil, func() experiments.FigSetup { return figSetup3(setupSeed) }, []experiments.AlgorithmName{algo})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -53,7 +55,8 @@ func BenchmarkFig4(b *testing.B) {
 		b.Run(string(algo), func(b *testing.B) {
 			var last *experiments.FigResult
 			for i := 0; i < b.N; i++ {
-				res, err := experiments.RunFigure(figSetup4(uint64(42+i)), []experiments.AlgorithmName{algo})
+				seed := uint64(42 + i)
+				res, err := experiments.RunFigure(nil, func() experiments.FigSetup { return figSetup4(seed) }, []experiments.AlgorithmName{algo})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -70,7 +73,7 @@ func BenchmarkFig4(b *testing.B) {
 func BenchmarkTable2(b *testing.B) {
 	var last *experiments.Table2Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table2(experiments.Smoke, uint64(42+i))
+		res, err := experiments.Table2(nil, experiments.Smoke, uint64(42+i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +93,7 @@ func BenchmarkTable2(b *testing.B) {
 func BenchmarkTable1Tradeoff(b *testing.B) {
 	var last *experiments.TradeoffResult
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Tradeoff(experiments.Smoke, uint64(42+i))
+		res, err := experiments.Tradeoff(nil, experiments.Smoke, uint64(42+i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -182,6 +185,39 @@ func BenchmarkSimnetRound(b *testing.B) {
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(examples*b.N)/sec, "examples/sec")
 	}
+}
+
+// BenchmarkSweep measures run-level throughput of the parallel sweep
+// scheduler: the smoke-scale Fig. 3 grid (five algorithms) executed as
+// independent jobs on a GOMAXPROCS-worker pool. The fixed seed keeps
+// the shared dataset cache hot across iterations — exactly the steady
+// state of a real sweep — so "allocs/run" is the per-run footprint of
+// training itself, not dataset generation. Its allocs/run and runs/sec
+// are recorded in BENCH_5.json and gated by CI_BENCH=1 ./ci.sh.
+func BenchmarkSweep(b *testing.B) {
+	pool := sched.New(0)
+	const grid = 42
+	// Warm the dataset cache so the measured region sees only hits.
+	if _, err := experiments.Fig3(pool, experiments.Smoke, grid); err != nil {
+		b.Fatal(err)
+	}
+	runsPer := len(experiments.AllAlgorithms)
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(pool, experiments.Smoke, grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	runs := runsPer * b.N
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(runs)/sec, "runs/sec")
+	}
+	b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(runs), "allocs/run")
 }
 
 // --- helpers ---

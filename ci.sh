@@ -1,13 +1,15 @@
 #!/bin/sh
 # Full local CI gate: tier-1 build+test, vet, and race detection on the
-# concurrency-heavy packages (the simnet actor engine and the obs
-# registry's lock-free instruments).
+# concurrency-heavy packages (the simnet actor engine, the obs
+# registry's lock-free instruments, the sweep scheduler — whose test
+# suite hammers two faulted sweeps concurrently — and the shared
+# dataset cache).
 set -eux
 
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/simnet/... ./internal/obs/...
+go test -race ./internal/simnet/... ./internal/obs/... ./internal/sched/... ./internal/data/...
 
 # Short fuzz smoke on the simplex projections: a few seconds per target
 # re-explores the corpus plus fresh mutations of the feasibility,
@@ -16,19 +18,22 @@ go test -race ./internal/simnet/... ./internal/obs/...
 go test -run '^$' -fuzz '^FuzzSimplexProject$' -fuzztime 5s ./internal/simplex
 go test -run '^$' -fuzz '^FuzzCappedSimplexProject$' -fuzztime 5s ./internal/simplex
 
-# Performance gate (optional, ~1 min): CI_BENCH=1 ./ci.sh benchmarks the
-# hot path into a scratch file and fails if SimnetRound allocs/op
-# regressed more than 20% over the committed BENCH_3.json — the
-# zero-copy message fabric's contract number. Refresh the committed
-# record deliberately with ./bench.sh when the change is intended.
+# Performance gate (optional, ~2 min): CI_BENCH=1 ./ci.sh benchmarks the
+# hot path into a scratch file and fails if SimnetRound allocs/op (the
+# zero-copy message fabric's contract, recorded in BENCH_3.json) or
+# Sweep allocs/run (the run-level scheduler's contract, recorded in
+# BENCH_5.json) regressed more than 20% over the committed records.
+# Refresh the records deliberately with ./bench.sh when the change is
+# intended.
 if [ "${CI_BENCH:-0}" = "1" ]; then
 	TMP_BENCH=$(mktemp /tmp/bench_ci.XXXXXX.json)
 	./bench.sh "$TMP_BENCH"
 	awk '
-	function allocs(file,   line, a) {
+	function metric(file, name, field,   line, a, pat) {
+		pat = "\"name\": \"" name "\""
 		while ((getline line < file) > 0) {
-			if (line ~ /"name": "SimnetRound"/) {
-				match(line, /"allocs_per_op": [0-9]+/)
+			if (index(line, pat)) {
+				match(line, "\"" field "\": [0-9]+")
 				split(substr(line, RSTART, RLENGTH), a, ": ")
 				close(file)
 				return a[2] + 0
@@ -37,19 +42,24 @@ if [ "${CI_BENCH:-0}" = "1" ]; then
 		close(file)
 		return -1
 	}
-	BEGIN {
-		base = allocs("BENCH_3.json")
-		now = allocs(ARGV[1])
+	function gate(label, base, now,   limit) {
 		if (base < 0 || now < 0) {
-			print "ci: could not read SimnetRound allocs/op (base " base ", current " now ")"
-			exit 1
+			print "ci: could not read " label " (base " base ", current " now ")"
+			return 1
 		}
 		limit = base * 1.2
-		printf "ci: SimnetRound allocs/op %d (recorded %d, limit %.1f)\n", now, base, limit
+		printf "ci: %s %d (recorded %d, limit %.1f)\n", label, now, base, limit
 		if (now > limit) {
-			print "ci: SimnetRound allocs/op regressed beyond 20% of BENCH_3.json"
-			exit 1
+			print "ci: " label " regressed beyond 20% of the committed record"
+			return 1
 		}
+		return 0
+	}
+	BEGIN {
+		fails = 0
+		fails += gate("SimnetRound allocs/op", metric("BENCH_3.json", "SimnetRound", "allocs_per_op"), metric(ARGV[1], "SimnetRound", "allocs_per_op"))
+		fails += gate("Sweep allocs/run", metric("BENCH_5.json", "Sweep", "allocs_per_run"), metric(ARGV[1], "Sweep", "allocs_per_run"))
+		exit fails
 	}
 	' "$TMP_BENCH"
 	rm -f "$TMP_BENCH"

@@ -5,7 +5,12 @@
 //	experiments -exp table2 -scale small   # Table 2 (fairness across datasets)
 //	experiments -exp table1 -scale small   # Table 1 companion (alpha sweep)
 //	experiments -exp ablations -scale smoke
-//	experiments -exp all -scale smoke
+//	experiments -exp all -scale smoke -jobs 8
+//
+// -jobs N runs the independent training runs inside each experiment on
+// N workers (default GOMAXPROCS). Artifacts are bitwise identical for
+// every N: the scheduler commits results in submission order and every
+// run derives its randomness from the spec, never from the interleaving.
 package main
 
 import (
@@ -14,14 +19,23 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/data"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/sched"
 )
+
+// knownExps is the -exp vocabulary (beyond "all").
+var knownExps = map[string]bool{
+	"fig3": true, "fig4": true, "table2": true, "table1": true,
+	"rates": true, "stationarity": true, "ablations": true, "chaos": true,
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig3|fig4|table2|table1|rates|stationarity|ablations|chaos|all")
 	scaleName := flag.String("scale", "smoke", "scale: smoke|small|full")
 	seed := flag.Uint64("seed", 42, "random seed")
+	jobs := flag.Int("jobs", 0, "concurrent training runs (0 = GOMAXPROCS); any value yields identical artifacts")
 	out := flag.String("out", "", "directory for CSV/JSON artifacts (empty = none)")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus-text metrics here at exit (plus a .json snapshot beside it)")
 	traceOut := flag.String("trace-out", "", "stream a JSONL span/event trace journal to this path")
@@ -40,6 +54,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scaleName)
 		os.Exit(1)
 	}
+	if *exp != "all" && !knownExps[*exp] {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want fig3|fig4|table2|table1|rates|stationarity|ablations|chaos|all)\n", *exp)
+		os.Exit(1)
+	}
 
 	obsDone, err := obs.Setup(*metricsOut, *traceOut, *pprofDir)
 	if err != nil {
@@ -51,53 +69,88 @@ func main() {
 	if !obs.Enabled() {
 		obs.SetGlobal(obs.New())
 	}
-	fail := func(format string, args ...any) {
-		obsDone()
-		fmt.Fprintf(os.Stderr, format, args...)
-		os.Exit(1)
+
+	pool := sched.New(*jobs)
+	progress := func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r[sweep %d/%d runs, %d workers]", done, total, pool.Workers())
+	}
+	pool.SetProgress(progress)
+	clearProgress := func() {
+		if done, _ := pool.Done(); done > 0 {
+			fmt.Fprint(os.Stderr, "\r\033[K")
+		}
 	}
 
+	// An experiment failure no longer aborts the invocation: the
+	// remaining experiments still run and the combined failures produce
+	// one non-zero exit at the end.
+	var failures []string
+	start := time.Now()
 	run := func(name string, fn func() (experiments.Artifact, error)) {
 		fmt.Printf("[%s started at scale %s]\n", name, scale)
 		sp := obs.Start("experiment-phase", obs.Str("phase", name), obs.Str("scale", scale.String()))
 		res, err := fn()
+		clearProgress()
 		if err != nil {
-			fail("experiments: %s: %v\n", name, err)
+			sp.End()
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			failures = append(failures, fmt.Sprintf("%s: %v", name, err))
+			return
 		}
 		if err := experiments.Export(res, os.Stdout, *out, name+"-"+scale.String()); err != nil {
-			fail("experiments: export %s: %v\n", name, err)
+			sp.End()
+			fmt.Fprintf(os.Stderr, "experiments: export %s: %v\n", name, err)
+			failures = append(failures, fmt.Sprintf("export %s: %v", name, err))
+			return
 		}
 		fmt.Printf("[%s completed in %v at scale %s]\n\n", name, sp.End().Round(time.Millisecond), scale)
 	}
 
 	all := *exp == "all"
 	if all || *exp == "fig3" {
-		run("fig3", func() (experiments.Artifact, error) { return experiments.Fig3(scale, *seed) })
+		run("fig3", func() (experiments.Artifact, error) { return experiments.Fig3(pool, scale, *seed) })
 	}
 	if all || *exp == "fig4" {
-		run("fig4", func() (experiments.Artifact, error) { return experiments.Fig4(scale, *seed) })
+		run("fig4", func() (experiments.Artifact, error) { return experiments.Fig4(pool, scale, *seed) })
 	}
 	if all || *exp == "table2" {
-		run("table2", func() (experiments.Artifact, error) { return experiments.Table2(scale, *seed) })
+		run("table2", func() (experiments.Artifact, error) { return experiments.Table2(pool, scale, *seed) })
 	}
 	if all || *exp == "table1" {
-		run("table1", func() (experiments.Artifact, error) { return experiments.Tradeoff(scale, *seed) })
+		run("table1", func() (experiments.Artifact, error) { return experiments.Tradeoff(pool, scale, *seed) })
 	}
 	if all || *exp == "rates" {
-		run("rates-alpha0", func() (experiments.Artifact, error) { return experiments.ConvergenceRate(scale, 0, *seed) })
-		run("rates-alpha05", func() (experiments.Artifact, error) { return experiments.ConvergenceRate(scale, 0.5, *seed) })
+		run("rates-alpha0", func() (experiments.Artifact, error) { return experiments.ConvergenceRate(pool, scale, 0, *seed) })
+		run("rates-alpha05", func() (experiments.Artifact, error) { return experiments.ConvergenceRate(pool, scale, 0.5, *seed) })
 	}
 	if all || *exp == "stationarity" {
-		run("stationarity", func() (experiments.Artifact, error) { return experiments.Stationarity(scale, *seed) })
+		run("stationarity", func() (experiments.Artifact, error) { return experiments.Stationarity(pool, scale, *seed) })
 	}
 	if all || *exp == "ablations" {
-		run("ablations", func() (experiments.Artifact, error) { return experiments.Ablations(scale, *seed) })
+		run("ablations", func() (experiments.Artifact, error) { return experiments.Ablations(pool, scale, *seed) })
 	}
 	if all || *exp == "chaos" {
-		run("chaos", func() (experiments.Artifact, error) { return experiments.ChaosSweep(scale, *seed) })
+		run("chaos", func() (experiments.Artifact, error) { return experiments.ChaosSweep(pool, scale, *seed) })
 	}
+
+	done, _ := pool.Done()
+	wall := time.Since(start)
+	hits, misses := data.CacheStats()
+	if done > 0 {
+		fmt.Printf("[sweep: %d runs on %d workers in %v (%.2f runs/sec), dataset cache %d hits / %d misses]\n",
+			done, pool.Workers(), wall.Round(time.Millisecond),
+			float64(done)/wall.Seconds(), hits, misses)
+	}
+
 	if err := obsDone(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments: observability teardown:", err)
+		os.Exit(1)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed:\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  - %s\n", f)
+		}
 		os.Exit(1)
 	}
 }

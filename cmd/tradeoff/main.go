@@ -10,11 +10,13 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/sched"
 )
 
 func main() {
 	scaleName := flag.String("scale", "smoke", "scale: smoke|small|full")
 	seed := flag.Uint64("seed", 42, "random seed")
+	jobs := flag.Int("jobs", 0, "concurrent alpha runs (0 = GOMAXPROCS); any value yields identical output")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -29,7 +31,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tradeoff: unknown scale %q\n", *scaleName)
 		os.Exit(1)
 	}
-	res, err := experiments.Tradeoff(scale, *seed)
+	res, err := experiments.Tradeoff(sched.New(*jobs), scale, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tradeoff:", err)
 		os.Exit(1)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/multilayer"
 	"repro/internal/quant"
+	"repro/internal/sched"
 	"repro/internal/simplex"
 	"repro/internal/topology"
 )
@@ -37,120 +38,124 @@ type AblationResult struct {
 //	A3 quantization: exact vs 8-bit vs 4-bit stochastic uplinks
 //	A4 constraint:   P = capped simplex with caps {1.0, 0.5, 0.2}
 //	A5 depth:        3-layer vs 4-layer trees at equal total SGD slots
-func Ablations(scale Scale, seed uint64) (*AblationResult, error) {
-	setup := convexSetup(scale, seed)
-	res := &AblationResult{}
+//
+// Every variant is one scheduler job; jobs rebuild the convex workload
+// themselves (a shared-dataset-cache hit) so they stay pure, and the
+// committed row order matches the sequential study order exactly.
+func Ablations(pool *sched.Pool, scale Scale, seed uint64) (*AblationResult, error) {
+	// The A2 grid filter needs the federation size before the jobs are
+	// laid out; this inline construction warms the same cache entry the
+	// jobs will hit.
+	numAreas := convexSetup(scale, seed).Fed.NumAreas()
 
-	run := func(study, variant string, mutate func(*fl.Problem, *fl.Config)) error {
-		prob := fl.NewProblem(setup.Fed, setup.Model.Clone())
-		cfg := setup.Base
-		mutate(prob, &cfg)
-		out, err := core.HierMinimax(prob, cfg)
-		if err != nil {
-			return fmt.Errorf("experiments: ablation %s/%s: %w", study, variant, err)
+	// hmRun builds one HierMinimax variant job on the convex workload.
+	hmRun := func(study, variant string, mutate func(*fl.Problem, *fl.Config)) func() (AblationRow, error) {
+		return func() (AblationRow, error) {
+			setup := convexSetup(scale, seed)
+			prob := fl.NewProblem(setup.Fed, setup.Model.Clone())
+			cfg := setup.Base
+			mutate(prob, &cfg)
+			out, err := core.HierMinimax(prob, cfg)
+			if err != nil {
+				return AblationRow{}, fmt.Errorf("experiments: ablation %s/%s: %w", study, variant, err)
+			}
+			f := out.History.Final().Fair
+			return AblationRow{
+				Study:       study,
+				Variant:     variant,
+				Summary:     Summary{Average: f.Average, Worst: f.Worst, Variance: f.Variance},
+				CloudRounds: out.Ledger.CloudRounds(),
+				UplinkMB:    float64(out.Ledger.Bytes[topology.ClientEdge]) / 1e6,
+			}, nil
 		}
-		f := out.History.Final().Fair
-		res.Rows = append(res.Rows, AblationRow{
-			Study:       study,
-			Variant:     variant,
-			Summary:     Summary{Average: f.Average, Worst: f.Worst, Variance: f.Variance},
-			CloudRounds: out.Ledger.CloudRounds(),
-			UplinkMB:    float64(out.Ledger.Bytes[topology.ClientEdge]) / 1e6,
-		})
-		return nil
 	}
+
+	var jobs []func() (AblationRow, error)
 
 	// A1: checkpoint mechanism.
-	if err := run("A1-checkpoint", "random-checkpoint", func(p *fl.Problem, c *fl.Config) {}); err != nil {
-		return nil, err
-	}
-	if err := run("A1-checkpoint", "end-of-round", func(p *fl.Problem, c *fl.Config) { c.CheckpointOff = true }); err != nil {
-		return nil, err
-	}
+	jobs = append(jobs,
+		hmRun("A1-checkpoint", "random-checkpoint", func(p *fl.Problem, c *fl.Config) {}),
+		hmRun("A1-checkpoint", "end-of-round", func(p *fl.Problem, c *fl.Config) { c.CheckpointOff = true }))
 
 	// A2: partial participation.
 	for _, mE := range []int{1, 2, 5, 10} {
 		mE := mE
-		if mE > setup.Fed.NumAreas() {
+		if mE > numAreas {
 			continue
 		}
-		if err := run("A2-participation", fmt.Sprintf("mE=%d", mE), func(p *fl.Problem, c *fl.Config) { c.SampledEdges = mE }); err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, hmRun("A2-participation", fmt.Sprintf("mE=%d", mE), func(p *fl.Problem, c *fl.Config) { c.SampledEdges = mE }))
 	}
 
 	// A3: uplink quantization.
-	if err := run("A3-quantization", "exact", func(p *fl.Problem, c *fl.Config) {}); err != nil {
-		return nil, err
-	}
+	jobs = append(jobs, hmRun("A3-quantization", "exact", func(p *fl.Problem, c *fl.Config) {}))
 	for _, bits := range []uint{8, 4} {
 		bits := bits
-		if err := run("A3-quantization", fmt.Sprintf("%dbit", bits), func(p *fl.Problem, c *fl.Config) {
+		jobs = append(jobs, hmRun("A3-quantization", fmt.Sprintf("%dbit", bits), func(p *fl.Problem, c *fl.Config) {
 			c.Quantizer = quant.Uniform{Bits: bits}
-		}); err != nil {
-			return nil, err
-		}
+		}))
 	}
 
 	// A4: constraint set P.
 	for _, cap := range []float64{1.0, 0.5, 0.2} {
 		cap := cap
-		if err := run("A4-constraint", fmt.Sprintf("cap=%.1f", cap), func(p *fl.Problem, c *fl.Config) {
+		jobs = append(jobs, hmRun("A4-constraint", fmt.Sprintf("cap=%.1f", cap), func(p *fl.Problem, c *fl.Config) {
 			p.P = simplex.CappedSimplex{Dim: p.Fed.NumAreas(), Cap: cap}
-		}); err != nil {
-			return nil, err
-		}
+		}))
 	}
 
-	// A5: tree depth at equal total SGD slots. A dedicated federation
-	// with 4 clients per area supports both the 3-layer tree (4 clients
-	// per edge) and the 4-layer tree (2 mid-tier nodes x 2 clients).
-	if err := depthAblation(scale, seed, res); err != nil {
+	// A5: tree depth at equal total SGD slots (see depthJob).
+	for _, variant := range []string{"3-layer", "4-layer"} {
+		jobs = append(jobs, depthJob(scale, seed, variant))
+	}
+
+	rows, err := sched.Map(pool, "ablations", len(jobs), func(i int) (AblationRow, error) {
+		return jobs[i]()
+	})
+	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	return &AblationResult{Rows: rows}, nil
 }
 
-// depthAblation runs A5: the multi-layer generalization at depths 3 and
-// 4 with the same total slot budget; the deeper tree halves the number
-// of rounds (8 slots per round instead of 4), so the root link carries
-// half the synchronization passes.
-func depthAblation(scale Scale, seed uint64, res *AblationResult) error {
-	p := convexParamsFor(scale)
-	profile := data.EMNISTDigitsLike()
-	profile.Dim = p.dim
-	train, test := profile.Generate(p.perTrain, p.perTest, seed)
-	fed := data.OneClassPerArea(train, test, 4, seed+1)
-	totalSlots := p.rounds * 4
+// depthJob builds one A5 variant: the multi-layer generalization at
+// depth 3 or 4 with the same total slot budget; the deeper tree halves
+// the number of rounds (8 slots per round instead of 4), so the root
+// link carries half the synchronization passes. A dedicated federation
+// with 4 clients per area supports both the 3-layer tree (4 clients per
+// edge) and the 4-layer tree (2 mid-tier nodes x 2 clients).
+func depthJob(scale Scale, seed uint64, variant string) func() (AblationRow, error) {
+	return func() (AblationRow, error) {
+		p := convexParamsFor(scale)
+		profile := data.EMNISTDigitsLike()
+		profile.Dim = p.dim
+		train, test := profile.GenerateShared(p.perTrain, p.perTest, seed)
+		fed := data.OneClassPerArea(train, test, 4, seed+1)
+		totalSlots := p.rounds * 4
 
-	runDepth := func(variant string, cfg multilayer.Config) error {
+		cfg := multilayer.Config{}
+		base := p.base(seed)
+		switch variant {
+		case "3-layer":
+			base.Rounds = totalSlots / 4
+			cfg = multilayer.Config{Base: base, Branching: []int{4, 10}, Taus: []int{2, 2}}
+		default: // 4-layer
+			base.Rounds = totalSlots / 8
+			cfg = multilayer.Config{Base: base, Branching: []int{2, 2, 10}, Taus: []int{2, 2, 2}}
+		}
 		prob := fl.NewProblem(fed, model.NewLinear(p.dim, profile.Classes))
 		out, err := multilayer.HierMinimax(prob, cfg)
 		if err != nil {
-			return fmt.Errorf("experiments: ablation A5-depth/%s: %w", variant, err)
+			return AblationRow{}, fmt.Errorf("experiments: ablation A5-depth/%s: %w", variant, err)
 		}
 		f := out.History.Final().Fair
-		res.Rows = append(res.Rows, AblationRow{
+		return AblationRow{
 			Study:       "A5-depth",
 			Variant:     variant,
 			Summary:     Summary{Average: f.Average, Worst: f.Worst, Variance: f.Variance},
 			CloudRounds: out.Ledger.CloudRounds(),
 			UplinkMB:    float64(out.Ledger.Bytes[topology.ClientEdge]+out.Ledger.Bytes[topology.MidTier]) / 1e6,
-		})
-		return nil
+		}, nil
 	}
-	base := p.base(seed)
-	base.Rounds = totalSlots / 4
-	if err := runDepth("3-layer", multilayer.Config{
-		Base: base, Branching: []int{4, 10}, Taus: []int{2, 2},
-	}); err != nil {
-		return err
-	}
-	base4 := p.base(seed)
-	base4.Rounds = totalSlots / 8
-	return runDepth("4-layer", multilayer.Config{
-		Base: base4, Branching: []int{2, 2, 10}, Taus: []int{2, 2, 2},
-	})
 }
 
 // Render prints the ablation table.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/fl"
+	"repro/internal/sched"
 	"repro/internal/simnet"
 )
 
@@ -29,15 +30,19 @@ type ChaosResult struct {
 	Rows []ChaosRow
 }
 
+// chaosRates is the swept client crash-probability grid.
+var chaosRates = []float64{0, 0.05, 0.1, 0.2, 0.3}
+
 // ChaosSweep trains HierMinimax on the simnet engine under increasing
 // client crash rates (with link loss and one retransmission riding
 // along, as real deployments would have) and records the fairness
 // outcome at each rate. All rates share one fault seed, so the crash
-// sets are nested: raising the probability only adds faults.
-func ChaosSweep(scale Scale, seed uint64) (*ChaosResult, error) {
-	setup := convexSetup(scale, seed)
-	res := &ChaosResult{}
-	for _, rate := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
+// sets are nested: raising the probability only adds faults. Each rate
+// is an independent scheduler job over the shared cached workload.
+func ChaosSweep(pool *sched.Pool, scale Scale, seed uint64) (*ChaosResult, error) {
+	rows, err := sched.Map(pool, "chaos", len(chaosRates), func(i int) (ChaosRow, error) {
+		rate := chaosRates[i]
+		setup := convexSetup(scale, seed)
 		prob := fl.NewProblem(setup.Fed, setup.Model.Clone())
 		cfg := setup.Base
 		var opts []simnet.Option
@@ -51,10 +56,10 @@ func ChaosSweep(scale Scale, seed uint64) (*ChaosResult, error) {
 		}
 		out, stats, err := simnet.HierMinimax(prob, cfg, opts...)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: chaos sweep at crash=%.2f: %w", rate, err)
+			return ChaosRow{}, fmt.Errorf("experiments: chaos sweep at crash=%.2f: %w", rate, err)
 		}
 		f := out.History.Final().Fair
-		res.Rows = append(res.Rows, ChaosRow{
+		return ChaosRow{
 			CrashProb:    rate,
 			Summary:      Summary{Average: f.Average, Worst: f.Worst, Variance: f.Variance},
 			Crashes:      stats.Crashes,
@@ -62,9 +67,12 @@ func ChaosSweep(scale Scale, seed uint64) (*ChaosResult, error) {
 			Retries:      stats.Retries,
 			MessagesLost: stats.MessagesLost,
 			SimulatedMs:  stats.SimulatedMs,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &ChaosResult{Rows: rows}, nil
 }
 
 // Render prints the fault-tolerance table.

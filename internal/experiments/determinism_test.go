@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// snapshotArtifact captures everything an experiment publishes: the
+// rendered text plus the exact bytes of every exported file (CSV, JSON,
+// SVG).
+func snapshotArtifact(t *testing.T, a Artifact) map[string][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	if err := a.WriteFiles(dir, "out"); err != nil {
+		t.Fatal(err)
+	}
+	snap := map[string][]byte{"render.txt": []byte(a.Render())}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap[e.Name()] = b
+	}
+	return snap
+}
+
+// TestArtifactsIdenticalAcrossWorkerCounts is the scheduler's ordering
+// contract, end to end: every experiment artifact — CSV bytes, manifest
+// JSON, rendered tables, SVG panels — is bitwise identical whether the
+// sweep runs sequentially (-jobs 1), on 4 workers, or on an
+// intentionally awkward 13 workers. The chaos sweep is included, so the
+// contract holds under fault injection too.
+func TestArtifactsIdenticalAcrossWorkerCounts(t *testing.T) {
+	drivers := []struct {
+		name string
+		run  func(p *sched.Pool) (Artifact, error)
+	}{
+		{"fig3", func(p *sched.Pool) (Artifact, error) { return Fig3(p, Smoke, 42) }},
+		{"fig4", func(p *sched.Pool) (Artifact, error) { return Fig4(p, Smoke, 42) }},
+		{"table2", func(p *sched.Pool) (Artifact, error) { return Table2(p, Smoke, 42) }},
+		{"table1", func(p *sched.Pool) (Artifact, error) { return Tradeoff(p, Smoke, 42) }},
+		{"rates", func(p *sched.Pool) (Artifact, error) { return ConvergenceRate(p, Smoke, 0.5, 42) }},
+		{"stationarity", func(p *sched.Pool) (Artifact, error) { return Stationarity(p, Smoke, 42) }},
+		{"ablations", func(p *sched.Pool) (Artifact, error) { return Ablations(p, Smoke, 42) }},
+		{"chaos", func(p *sched.Pool) (Artifact, error) { return ChaosSweep(p, Smoke, 42) }},
+	}
+	workerCounts := []int{1, 4, 13}
+	for _, d := range drivers {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			var ref map[string][]byte
+			for _, workers := range workerCounts {
+				var pool *sched.Pool // workers == 1 exercises the nil inline path
+				if workers > 1 {
+					pool = sched.New(workers)
+				}
+				art, err := d.run(pool)
+				if err != nil {
+					t.Fatalf("jobs=%d: %v", workers, err)
+				}
+				snap := snapshotArtifact(t, art)
+				if ref == nil {
+					ref = snap
+					continue
+				}
+				if len(snap) != len(ref) {
+					t.Fatalf("jobs=%d produced %d files, sequential produced %d", workers, len(snap), len(ref))
+				}
+				for name, want := range ref {
+					got, ok := snap[name]
+					if !ok {
+						t.Fatalf("jobs=%d missing artifact %s", workers, name)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("artifact %s differs between -jobs 1 and -jobs %d (%d vs %d bytes)", name, workers, len(want), len(got))
+					}
+				}
+			}
+		})
+	}
+}

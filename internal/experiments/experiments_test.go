@@ -10,7 +10,7 @@ import (
 // recorded Small scale (see EXPERIMENTS.md).
 
 func TestFig3Shape(t *testing.T) {
-	res, err := Fig3(Smoke, 42)
+	res, err := Fig3(nil, Smoke, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestFig3CurvesAligned(t *testing.T) {
-	res, err := Fig3(Smoke, 7)
+	res, err := Fig3(nil, Smoke, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestFig3CurvesAligned(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
-	res, err := Fig4(Smoke, 42)
+	res, err := Fig4(nil, Smoke, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	res, err := Table2(Smoke, 42)
+	res, err := Table2(nil, Smoke, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTradeoffShape(t *testing.T) {
-	res, err := Tradeoff(Smoke, 42)
+	res, err := Tradeoff(nil, Smoke, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestTradeoffShape(t *testing.T) {
 }
 
 func TestAblationsShape(t *testing.T) {
-	res, err := Ablations(Smoke, 42)
+	res, err := Ablations(nil, Smoke, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestAblationsShape(t *testing.T) {
 }
 
 func TestChaosSweepShape(t *testing.T) {
-	res, err := ChaosSweep(Smoke, 42)
+	res, err := ChaosSweep(nil, Smoke, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +280,7 @@ func TestScaleAndAlgoHelpers(t *testing.T) {
 }
 
 func TestConvergenceRateShape(t *testing.T) {
-	res, err := ConvergenceRate(Smoke, 0, 42)
+	res, err := ConvergenceRate(nil, Smoke, 0, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +356,7 @@ func TestSustainedCrossing(t *testing.T) {
 }
 
 func TestStationarityShape(t *testing.T) {
-	res, err := Stationarity(Smoke, 42)
+	res, err := Stationarity(nil, Smoke, 42)
 	if err != nil {
 		t.Fatal(err)
 	}

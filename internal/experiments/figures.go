@@ -8,6 +8,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/fl"
+	"repro/internal/sched"
 )
 
 // Series is one algorithm's accuracy trajectory: the data behind one
@@ -58,22 +59,29 @@ func runAlgorithm(algo AlgorithmName, prob *fl.Problem, cfg fl.Config) (*fl.Resu
 // AllAlgorithms lists the five methods in the paper's presentation order.
 var AllAlgorithms = []AlgorithmName{FedAvg, StochasticAFL, DRFA, HierFAvg, HierMinimax}
 
-// RunFigure runs every algorithm on the setup and assembles the figure
-// data. The federation is shared (read-only) across runs; the model
-// prototype is cloned per run.
-func RunFigure(setup FigSetup, algos []AlgorithmName) (*FigResult, error) {
-	res := &FigResult{
-		Name:        setup.Name,
-		TargetWorst: setup.TargetWorst,
-		ToTarget:    make(map[AlgorithmName]int),
-		Final:       make(map[AlgorithmName]Summary),
-	}
-	for _, algo := range algos {
+// figRun is one algorithm's committed result within a figure sweep.
+type figRun struct {
+	series   Series
+	toTarget int
+	final    Summary
+	name     string
+	target   float64
+}
+
+// RunFigure runs every algorithm on the workload and assembles the
+// figure data. Each run is one scheduler job that builds its own setup
+// via build (dataset construction dedupes through the internal/data
+// cache, so concurrent jobs share one immutable corpus); results commit
+// in algos order, so the artifact is identical for any worker count.
+func RunFigure(pool *sched.Pool, build func() FigSetup, algos []AlgorithmName) (*FigResult, error) {
+	runs, err := sched.Map(pool, "figure", len(algos), func(i int) (figRun, error) {
+		setup := build()
+		algo := algos[i]
 		prob := fl.NewProblem(setup.Fed, setup.Model.Clone())
 		cfg := configFor(setup.Base, algo)
 		out, err := runAlgorithm(algo, prob, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s on %s: %w", algo, setup.Name, err)
+			return figRun{}, fmt.Errorf("experiments: %s on %s: %w", algo, setup.Name, err)
 		}
 		s := Series{Algorithm: algo}
 		for _, snap := range out.History.Snapshots {
@@ -82,10 +90,27 @@ func RunFigure(setup FigSetup, algos []AlgorithmName) (*FigResult, error) {
 			s.Average = append(s.Average, snap.Fair.Average)
 			s.Worst = append(s.Worst, snap.Fair.Worst)
 		}
-		res.Series = append(res.Series, s)
-		res.ToTarget[algo] = sustainedCrossing(s, setup.TargetWorst)
 		f := out.History.Final().Fair
-		res.Final[algo] = Summary{Average: f.Average, Worst: f.Worst, Variance: f.Variance}
+		return figRun{
+			series:   s,
+			toTarget: sustainedCrossing(s, setup.TargetWorst),
+			final:    Summary{Average: f.Average, Worst: f.Worst, Variance: f.Variance},
+			name:     setup.Name,
+			target:   setup.TargetWorst,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &FigResult{
+		ToTarget: make(map[AlgorithmName]int),
+		Final:    make(map[AlgorithmName]Summary),
+	}
+	for i, r := range runs {
+		res.Name, res.TargetWorst = r.name, r.target
+		res.Series = append(res.Series, r.series)
+		res.ToTarget[algos[i]] = r.toTarget
+		res.Final[algos[i]] = r.final
 	}
 	return res, nil
 }
@@ -114,13 +139,13 @@ func sustainedCrossing(s Series, target float64) int {
 }
 
 // Fig3 reproduces Figure 3 (convex loss, EMNIST-Digits substitute).
-func Fig3(scale Scale, seed uint64) (*FigResult, error) {
-	return RunFigure(convexSetup(scale, seed), AllAlgorithms)
+func Fig3(pool *sched.Pool, scale Scale, seed uint64) (*FigResult, error) {
+	return RunFigure(pool, func() FigSetup { return convexSetup(scale, seed) }, AllAlgorithms)
 }
 
 // Fig4 reproduces Figure 4 (non-convex loss, Fashion-MNIST substitute).
-func Fig4(scale Scale, seed uint64) (*FigResult, error) {
-	return RunFigure(nonConvexSetup(scale, seed), AllAlgorithms)
+func Fig4(pool *sched.Pool, scale Scale, seed uint64) (*FigResult, error) {
+	return RunFigure(pool, func() FigSetup { return nonConvexSetup(scale, seed) }, AllAlgorithms)
 }
 
 // Render prints the figure data as aligned text: one block per curve

@@ -11,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/optim"
+	"repro/internal/sched"
 )
 
 // RatePoint is one horizon on the convergence curve.
@@ -35,8 +36,9 @@ type RateResult struct {
 // ConvergenceRate runs HierMinimax at geometrically increasing horizons
 // T with tau1*tau2 ~ T^alpha and the Theorem-1 learning-rate schedule,
 // measures the realized duality gap at each horizon, and fits the
-// log-log slope.
-func ConvergenceRate(scale Scale, alpha float64, seed uint64) (*RateResult, error) {
+// log-log slope. Each horizon is an independent scheduler job sharing
+// one cached corpus.
+func ConvergenceRate(pool *sched.Pool, scale Scale, alpha float64, seed uint64) (*RateResult, error) {
 	var horizons []int
 	var perTrain, perTest, dim int
 	switch scale {
@@ -52,38 +54,42 @@ func ConvergenceRate(scale Scale, alpha float64, seed uint64) (*RateResult, erro
 	}
 	profile := data.EMNISTDigitsLike()
 	profile.Dim = dim
-	train, test := profile.Generate(perTrain, perTest, seed)
-	fed := data.OneClassPerArea(train, test, 3, seed+1)
 
-	res := &RateResult{Alpha: alpha, PredictedSlope: -(1 - alpha) / 2}
-	for _, T := range horizons {
+	points, err := sched.Map(pool, "rates", len(horizons), func(i int) (RatePoint, error) {
+		T := horizons[i]
+		train, test := profile.GenerateShared(perTrain, perTest, seed)
+		fed := data.OneClassPerArea(train, test, 3, seed+1)
 		tau1, tau2 := optim.TausForAlpha(T, alpha)
 		rounds := T / (tau1 * tau2)
 		if rounds < 1 {
 			rounds = 1
 		}
-		sched := optim.ConvexSchedule(T, alpha, 3.0, 0.05)
+		lr := optim.ConvexSchedule(T, alpha, 3.0, 0.05)
 		prob := fl.NewProblem(fed, model.NewLinear(dim, profile.Classes))
 		cfg := fl.Config{
 			Rounds: rounds, Tau1: tau1, Tau2: tau2,
-			EtaW: sched.EtaW, EtaP: sched.EtaP,
+			EtaW: lr.EtaW, EtaP: lr.EtaP,
 			BatchSize: 4, LossBatch: 16,
 			SampledEdges: 5, Seed: seed,
 			TrackAverages: true,
 		}
 		out, err := core.HierMinimax(prob, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: rate T=%d: %w", T, err)
+			return RatePoint{}, fmt.Errorf("experiments: rate T=%d: %w", T, err)
 		}
-		gap := metrics.DualityGap(prob.Model, out.WHat, out.PHat, fed, prob.W, prob.P, 200, sched.EtaW)
+		gap := metrics.DualityGap(prob.Model, out.WHat, out.PHat, fed, prob.W, prob.P, 200, lr.EtaW)
 		if gap < 1e-12 {
 			gap = 1e-12 // guard the log fit against numerically zero gaps
 		}
-		res.Points = append(res.Points, RatePoint{
+		return RatePoint{
 			T: T, Rounds: rounds, DualityGap: gap,
 			CloudRounds: out.Ledger.CloudRounds(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := &RateResult{Alpha: alpha, PredictedSlope: -(1 - alpha) / 2, Points: points}
 	res.FittedSlope = fitLogLogSlope(res.Points)
 	return res, nil
 }

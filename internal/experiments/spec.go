@@ -105,7 +105,7 @@ func convexSetup(scale Scale, seed uint64) FigSetup {
 	p := convexParamsFor(scale)
 	profile := data.EMNISTDigitsLike()
 	profile.Dim = p.dim
-	train, test := profile.Generate(p.perTrain, p.perTest, seed)
+	train, test := profile.GenerateShared(p.perTrain, p.perTest, seed)
 	fed := data.OneClassPerArea(train, test, 3, seed+1)
 	return FigSetup{
 		Name:        "fig3-convex-emnist",
@@ -144,7 +144,7 @@ func nonConvexSetup(scale Scale, seed uint64) FigSetup {
 	}
 	profile := data.FashionMNISTLike()
 	profile.Dim = dim
-	train, test := profile.Generate(perTrain, perTest, seed)
+	train, test := profile.GenerateShared(perTrain, perTest, seed)
 	fed := data.Similarity(train, test, 10, 3, 0.5, testPerArea, seed+1)
 	return FigSetup{
 		Name:  "fig4-nonconvex-fashion",

@@ -9,6 +9,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/sched"
 )
 
 // StationarityPoint is one snapshot of the Theorem-2 measurement.
@@ -30,8 +31,10 @@ type StationarityResult struct {
 }
 
 // Stationarity trains the non-convex workload and measures the Moreau
-// surrogate at checkpoints along the trajectory.
-func Stationarity(scale Scale, seed uint64) (*StationarityResult, error) {
+// surrogate at checkpoints along the trajectory. The training run is
+// one scheduler job (checkpoints are inherently sequential); the probe
+// at each captured model is then an independent job.
+func Stationarity(pool *sched.Pool, scale Scale, seed uint64) (*StationarityResult, error) {
 	var dim, h1, h2, perTrain, perTest, rounds, probes int
 	var etaW, etaP float64
 	switch scale {
@@ -50,7 +53,7 @@ func Stationarity(scale Scale, seed uint64) (*StationarityResult, error) {
 	}
 	profile := data.FashionMNISTLike()
 	profile.Dim = dim
-	train, test := profile.Generate(perTrain, perTest, seed)
+	train, test := profile.GenerateShared(perTrain, perTest, seed)
 	fed := data.Similarity(train, test, 10, 3, 0.5, perTest*2, seed+1)
 	prob := fl.NewProblem(fed, model.NewMLP(dim, h1, h2, 10))
 
@@ -64,31 +67,36 @@ func Stationarity(scale Scale, seed uint64) (*StationarityResult, error) {
 		SampledEdges: 2, Seed: seed,
 	}
 	every := rounds / probes
-	out, err := core.HierMinimaxWithOptions(prob, cfg, fl.RunOptions{
-		CheckpointEvery: every,
-		OnCheckpoint:    func(c *fl.Checkpoint) { checkpoints = append(checkpoints, c) },
-	})
-	if err != nil {
+	if _, err := sched.Map(pool, "stationarity-train", 1, func(int) (struct{}, error) {
+		_, err := core.HierMinimaxWithOptions(prob, cfg, fl.RunOptions{
+			CheckpointEvery: every,
+			OnCheckpoint:    func(c *fl.Checkpoint) { checkpoints = append(checkpoints, c) },
+		})
+		return struct{}{}, err
+	}); err != nil {
 		return nil, fmt.Errorf("experiments: stationarity: %w", err)
 	}
-	_ = out
 
-	res := &StationarityResult{}
-	m := prob.Model.Clone()
 	// An empirical smoothness scale for the Moreau parameter: the §5.2
 	// analysis uses 1/2L; the exact L is unknown for the MLP, so a fixed
 	// moderate value is used consistently across snapshots (only the
 	// trend matters).
 	const lSmooth = 1.0
-	for _, c := range checkpoints {
+	points, err := sched.Map(pool, "stationarity-probe", len(checkpoints), func(i int) (StationarityPoint, error) {
+		c := checkpoints[i]
+		m := prob.Model.Clone()
 		grad2 := metrics.MoreauGradNormSq(m, c.W, fed, prob.W, prob.P, lSmooth, 25, etaW)
 		ev := metrics.EvaluateAreas(m, c.W, fed)
-		res.Points = append(res.Points, StationarityPoint{
+		return StationarityPoint{
 			Round:        c.Round,
 			MoreauGradSq: grad2,
 			Worst:        metrics.Worst(ev.Accuracy),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: stationarity: %w", err)
 	}
+	res := &StationarityResult{Points: points}
 	if len(res.Points) > 0 {
 		res.First = res.Points[0].MoreauGradSq
 		res.Last = res.Points[len(res.Points)-1].MoreauGradSq

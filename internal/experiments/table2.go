@@ -8,6 +8,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/sched"
 )
 
 // Table2Row is one (dataset, method) cell group of Table 2.
@@ -34,24 +35,30 @@ type table2Workload struct {
 	worstFrac float64 // 1.0 = plain worst; 0.1 = worst-10% (Synthetic)
 }
 
-// table2Workloads builds the five datasets of Table 2 at the given
-// scale. Learning rates follow §6.1/§6.3 scaled to the run length.
-func table2Workloads(scale Scale, seed uint64) []table2Workload {
+// table2Builders returns one constructor per Table 2 dataset, in row
+// order. Each scheduler job invokes its own builder so jobs stay pure;
+// the shared-dataset cache collapses the duplicate generation work
+// (five datasets x two algorithms = ten jobs, five distinct corpora).
+// Learning rates follow §6.1/§6.3 scaled to the run length.
+func table2Builders(scale Scale, seed uint64) []func() table2Workload {
 	p := convexParamsFor(scale)
 	base := p.base(seed)
-	var out []table2Workload
+	var out []func() table2Workload
 
 	// Three image datasets, logistic regression, one class per area.
-	for _, profile := range []data.ImageProfile{data.EMNISTDigitsLike(), data.FashionMNISTLike(), data.MNISTLike()} {
+	for _, prof := range []data.ImageProfile{data.EMNISTDigitsLike(), data.FashionMNISTLike(), data.MNISTLike()} {
+		profile := prof
 		profile.Dim = p.dim
-		train, test := profile.Generate(p.perTrain, p.perTest, seed)
-		fed := data.OneClassPerArea(train, test, 3, seed+1)
-		out = append(out, table2Workload{
-			name:      profile.Name,
-			fed:       fed,
-			model:     model.NewLinear(p.dim, profile.Classes),
-			cfg:       base,
-			worstFrac: 1,
+		out = append(out, func() table2Workload {
+			train, test := profile.GenerateShared(p.perTrain, p.perTest, seed)
+			fed := data.OneClassPerArea(train, test, 3, seed+1)
+			return table2Workload{
+				name:      profile.Name,
+				fed:       fed,
+				model:     model.NewLinear(p.dim, profile.Classes),
+				cfg:       base,
+				worstFrac: 1,
+			}
 		})
 	}
 
@@ -64,13 +71,15 @@ func table2Workloads(scale Scale, seed uint64) []table2Workload {
 	if scale == Smoke {
 		adult.TrainPerArea, adult.TestPerArea = 600, 200
 	}
-	adultFed := data.GenerateAdult(adult, 3, seed+2)
-	out = append(out, table2Workload{
-		name:      "adult",
-		fed:       adultFed,
-		model:     model.NewLinear(adult.InputDim(), 2),
-		cfg:       adultCfg,
-		worstFrac: 1,
+	out = append(out, func() table2Workload {
+		adultFed := data.GenerateAdultShared(adult, 3, seed+2)
+		return table2Workload{
+			name:      "adult",
+			fed:       adultFed,
+			model:     model.NewLinear(adult.InputDim(), 2),
+			cfg:       adultCfg,
+			worstFrac: 1,
+		}
 	})
 
 	// Synthetic (Li et al.): 100 edge areas, worst-10% accuracy.
@@ -82,42 +91,54 @@ func table2Workloads(scale Scale, seed uint64) []table2Workload {
 	synthCfg.SampledEdges = synth.NumDevices / 4
 	synthCfg.EtaW = p.etaW / 2
 	synthCfg.EtaP = p.etaP / 2
-	synthFed := data.GenerateLiSynthetic(synth, 2, seed+3)
-	out = append(out, table2Workload{
-		name:      "synthetic",
-		fed:       synthFed,
-		model:     model.NewLinear(synth.Dim, synth.Classes),
-		cfg:       synthCfg,
-		worstFrac: 0.1,
+	out = append(out, func() table2Workload {
+		synthFed := data.GenerateLiSyntheticShared(synth, 2, seed+3)
+		return table2Workload{
+			name:      "synthetic",
+			fed:       synthFed,
+			model:     model.NewLinear(synth.Dim, synth.Classes),
+			cfg:       synthCfg,
+			worstFrac: 0.1,
+		}
 	})
 	return out
 }
 
-// Table2 runs HierFAvg and HierMinimax on all five datasets.
-func Table2(scale Scale, seed uint64) (*Table2Result, error) {
-	res := &Table2Result{}
-	for _, w := range table2Workloads(scale, seed) {
-		for _, algo := range []AlgorithmName{HierFAvg, HierMinimax} {
-			prob := fl.NewProblem(w.fed, w.model.Clone())
-			out, err := runAlgorithm(algo, prob, w.cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: table2 %s/%s: %w", w.name, algo, err)
-			}
-			final := out.History.Final()
-			worst := final.Fair.Worst
-			if w.worstFrac < 1 {
-				worst = metrics.WorstK(final.Areas.Accuracy, w.worstFrac)
-			}
-			res.Rows = append(res.Rows, Table2Row{
-				Dataset:  w.name,
-				Method:   algo,
-				Average:  final.Fair.Average,
-				Worst:    worst,
-				Variance: final.Fair.Variance,
-			})
+// table2Algos is the method pair of every Table 2 row group.
+var table2Algos = []AlgorithmName{HierFAvg, HierMinimax}
+
+// Table2 runs HierFAvg and HierMinimax on all five datasets. The ten
+// (dataset, method) cells are independent scheduler jobs, flattened
+// workload-major so the committed row order matches the sequential
+// nesting exactly.
+func Table2(pool *sched.Pool, scale Scale, seed uint64) (*Table2Result, error) {
+	builders := table2Builders(scale, seed)
+	n := len(builders) * len(table2Algos)
+	rows, err := sched.Map(pool, "table2", n, func(i int) (Table2Row, error) {
+		w := builders[i/len(table2Algos)]()
+		algo := table2Algos[i%len(table2Algos)]
+		prob := fl.NewProblem(w.fed, w.model.Clone())
+		out, err := runAlgorithm(algo, prob, w.cfg)
+		if err != nil {
+			return Table2Row{}, fmt.Errorf("experiments: table2 %s/%s: %w", w.name, algo, err)
 		}
+		final := out.History.Final()
+		worst := final.Fair.Worst
+		if w.worstFrac < 1 {
+			worst = metrics.WorstK(final.Areas.Accuracy, w.worstFrac)
+		}
+		return Table2Row{
+			Dataset:  w.name,
+			Method:   algo,
+			Average:  final.Fair.Average,
+			Worst:    worst,
+			Variance: final.Fair.Variance,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table2Result{Rows: rows}, nil
 }
 
 // Render prints Table 2 in the paper's layout.

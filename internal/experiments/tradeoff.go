@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/optim"
+	"repro/internal/sched"
 )
 
 // TradeoffPoint is one alpha on the communication/convergence curve of
@@ -33,11 +34,15 @@ type TradeoffResult struct {
 	Points     []TradeoffPoint
 }
 
+// tradeoffAlphas is the swept grid of Table 1's alpha knob.
+var tradeoffAlphas = []float64{0, 0.25, 0.5, 0.75}
+
 // Tradeoff sweeps alpha at a fixed slot budget T, using the learning
 // rates prescribed after Theorem 1, and measures the realized duality
 // gap (Eq. 8) of the averaged iterates against the spent edge-cloud
-// communication.
-func Tradeoff(scale Scale, seed uint64) (*TradeoffResult, error) {
+// communication. Each alpha is an independent scheduler job; all four
+// jobs draw the same corpus from the shared-dataset cache.
+func Tradeoff(pool *sched.Pool, scale Scale, seed uint64) (*TradeoffResult, error) {
 	var T, perTrain, perTest, dim int
 	switch scale {
 	case Smoke:
@@ -49,40 +54,43 @@ func Tradeoff(scale Scale, seed uint64) (*TradeoffResult, error) {
 	}
 	profile := data.EMNISTDigitsLike()
 	profile.Dim = dim
-	train, test := profile.Generate(perTrain, perTest, seed)
-	fed := data.OneClassPerArea(train, test, 3, seed+1)
 
-	res := &TradeoffResult{TotalSlots: T}
-	for _, alpha := range []float64{0, 0.25, 0.5, 0.75} {
+	points, err := sched.Map(pool, "tradeoff", len(tradeoffAlphas), func(i int) (TradeoffPoint, error) {
+		alpha := tradeoffAlphas[i]
+		train, test := profile.GenerateShared(perTrain, perTest, seed)
+		fed := data.OneClassPerArea(train, test, 3, seed+1)
 		tau1, tau2 := optim.TausForAlpha(T, alpha)
 		rounds := T / (tau1 * tau2)
 		if rounds < 1 {
 			rounds = 1
 		}
-		sched := optim.ConvexSchedule(T, alpha, 3.0, 0.05)
+		lr := optim.ConvexSchedule(T, alpha, 3.0, 0.05)
 		prob := fl.NewProblem(fed, model.NewLinear(dim, profile.Classes))
 		cfg := fl.Config{
 			Rounds: rounds, Tau1: tau1, Tau2: tau2,
-			EtaW: sched.EtaW, EtaP: sched.EtaP,
+			EtaW: lr.EtaW, EtaP: lr.EtaP,
 			BatchSize: 4, LossBatch: 16,
 			SampledEdges: 5, Seed: seed,
 			TrackAverages: true,
 		}
 		out, err := core.HierMinimax(prob, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: tradeoff alpha=%g: %w", alpha, err)
+			return TradeoffPoint{}, fmt.Errorf("experiments: tradeoff alpha=%g: %w", alpha, err)
 		}
-		gap := metrics.DualityGap(prob.Model, out.WHat, out.PHat, fed, prob.W, prob.P, 200, sched.EtaW)
+		gap := metrics.DualityGap(prob.Model, out.WHat, out.PHat, fed, prob.W, prob.P, 200, lr.EtaW)
 		final := out.History.Final().Fair
-		res.Points = append(res.Points, TradeoffPoint{
+		return TradeoffPoint{
 			Alpha: alpha, Tau1: tau1, Tau2: tau2, Rounds: rounds,
 			CloudRounds: out.Ledger.CloudRounds(),
 			DualityGap:  gap,
 			FinalWorst:  final.Worst,
 			FinalAvg:    final.Average,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &TradeoffResult{TotalSlots: T, Points: points}, nil
 }
 
 // Render prints the sweep as a table.
