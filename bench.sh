@@ -1,25 +1,28 @@
 #!/bin/sh
-# Performance gate: benchmarks the engine hot path and the sweep
-# scheduler and records the numbers in BENCH_5.json so perf regressions
-# are diffable in review.
+# Performance gate: benchmarks the engine hot path, the distributed
+# wire runtime and the sweep scheduler and records the numbers in
+# BENCH_6.json so perf regressions are diffable in review.
 #
-#   ./bench.sh            # ~2 min, writes BENCH_5.json
+#   ./bench.sh            # ~2 min, writes BENCH_6.json
 #
-# BenchmarkEngineRound and BenchmarkSimnetRound are the round-level
-# contract benchmarks: one HierMinimax round (Phase 1 + Phase 2) on the
-# smoke workload, in-process and over the actor message fabric
-# respectively (examples/sec counts gradient examples per wall second).
-# BenchmarkSweep is the run-level contract: the smoke Fig. 3 grid on the
-# work-stealing pool with a hot dataset cache, reporting runs/sec and
-# allocs/run. SimnetRound allocs/op (vs the BENCH_3.json record) and
-# Sweep allocs/run (vs BENCH_5.json) are gated by CI_BENCH=1 ./ci.sh.
+# BenchmarkEngineRound, BenchmarkSimnetRound and BenchmarkWireRound are
+# the round-level contract benchmarks: one HierMinimax round (Phase 1 +
+# Phase 2) on the smoke workload — in-process, over the actor message
+# fabric, and over loopback TCP sockets respectively (examples/sec
+# counts gradient examples per wall second; the Simnet→Wire gap is the
+# cost of framing and socket I/O). BenchmarkSweep is the run-level
+# contract: the smoke Fig. 3 grid on the work-stealing pool with a hot
+# dataset cache, reporting runs/sec and allocs/run. SimnetRound
+# allocs/op (vs the BENCH_3.json record), Sweep allocs/run (vs
+# BENCH_5.json) and WireRound allocs/op (vs BENCH_6.json) are gated by
+# CI_BENCH=1 ./ci.sh.
 set -eu
 
-OUT=${1:-BENCH_5.json}
+OUT=${1:-BENCH_6.json}
 COUNT=${BENCH_COUNT:-3}
 TIME=${BENCH_TIME:-2s}
 
-RAW=$(go test -run '^$' -bench 'BenchmarkEngineRound$|BenchmarkSimnetRound$|BenchmarkSweep$' \
+RAW=$(go test -run '^$' -bench 'BenchmarkEngineRound$|BenchmarkSimnetRound$|BenchmarkWireRound$|BenchmarkSweep$' \
 	-benchmem -benchtime "$TIME" -count "$COUNT" .)
 echo "$RAW"
 

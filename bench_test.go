@@ -14,7 +14,9 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/fl"
 	"repro/internal/sched"
+	"repro/internal/simnet"
 )
 
 // reportFig attaches figure metrics for one algorithm's series.
@@ -179,6 +181,41 @@ func BenchmarkSimnetRound(b *testing.B) {
 	spec.Rounds = b.N
 	spec.EvalEvery = 0
 	if _, err := Run(spec); err != nil {
+		b.Fatal(err)
+	}
+	examples := spec.SampledEdges * spec.ClientsPerEdge * spec.Tau1 * spec.Tau2 * spec.BatchSize
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(examples*b.N)/sec, "examples/sec")
+	}
+}
+
+// BenchmarkWireRound measures one training round of the distributed
+// runtime over loopback TCP: the same workload as BenchmarkSimnetRound,
+// but split across a cloud runtime plus per-area edge-server and
+// client-host runtimes connected by real sockets (RunWireLoopback, the
+// in-process twin of the cmd/hierminimax -role layout). The gap to
+// BenchmarkSimnetRound is the full cost of framing, socket I/O and the
+// connection pool; its allocs/op is the wire codec's contract number
+// (recorded in BENCH_6.json and gated by CI_BENCH=1 ./ci.sh).
+func BenchmarkWireRound(b *testing.B) {
+	spec := benchBaseSpec()
+	spec.Engine = EngineSimNet
+	spec.Rounds = b.N
+	spec.EvalEvery = 0
+	if err := spec.normalize(); err != nil {
+		b.Fatal(err)
+	}
+	_, cfg, err := spec.buildProblem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := simnet.RunWireLoopback(func() *fl.Problem {
+		prob, _, err := spec.buildProblem()
+		if err != nil {
+			panic(err)
+		}
+		return prob
+	}, cfg); err != nil {
 		b.Fatal(err)
 	}
 	examples := spec.SampledEdges * spec.ClientsPerEdge * spec.Tau1 * spec.Tau2 * spec.BatchSize

@@ -1,30 +1,84 @@
 #!/bin/sh
 # Full local CI gate: tier-1 build+test, vet, and race detection on the
-# concurrency-heavy packages (the simnet actor engine, the obs
-# registry's lock-free instruments, the sweep scheduler — whose test
-# suite hammers two faulted sweeps concurrently — and the shared
-# dataset cache).
+# concurrency-heavy packages (the simnet actor engine — including the
+# wire parity tests that run a full distributed loopback-TCP topology —
+# the wire transport itself, the obs registry's lock-free instruments,
+# the sweep scheduler — whose test suite hammers two faulted sweeps
+# concurrently — and the shared dataset cache).
 set -eux
 
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/simnet/... ./internal/obs/... ./internal/sched/... ./internal/data/...
+go test -race ./internal/simnet/... ./internal/wire/... ./internal/obs/... ./internal/sched/... ./internal/data/...
 
-# Short fuzz smoke on the simplex projections: a few seconds per target
-# re-explores the corpus plus fresh mutations of the feasibility,
-# non-negativity and idempotence contracts. Long exploratory sessions
-# stay manual (go test -fuzz=... -fuzztime=5m ./internal/simplex).
+# Short fuzz smoke on the simplex projections and the wire codec: a few
+# seconds per target re-explores the corpus plus fresh mutations of the
+# feasibility, non-negativity and idempotence contracts (simplex) and
+# the never-crash / roundtrip / bounded-allocation contracts (wire
+# frame decoding). Long exploratory sessions stay manual
+# (go test -fuzz=... -fuzztime=5m ./internal/simplex).
 go test -run '^$' -fuzz '^FuzzSimplexProject$' -fuzztime 5s ./internal/simplex
 go test -run '^$' -fuzz '^FuzzCappedSimplexProject$' -fuzztime 5s ./internal/simplex
+go test -run '^$' -fuzz '^FuzzDecodeMessage$' -fuzztime 5s ./internal/wire
+go test -run '^$' -fuzz '^FuzzFrameReader$' -fuzztime 5s ./internal/wire
+
+# Multi-process smoke: the same seeded workload trained once in a
+# single simnet process and once split across five OS processes (cloud,
+# two edge servers, two client hosts) talking real TCP on loopback.
+# The saved models must be byte-identical, and every report line except
+# the per-process arena internals must match.
+SMOKE=$(mktemp -d /tmp/wire_smoke.XXXXXX)
+trap 'rm -rf "$SMOKE"' EXIT
+go build -o "$SMOKE/hierminimax" ./cmd/hierminimax
+WARGS="-dataset synthetic -edges 2 -clients 2 -me 2 -rounds 6 -eval 3 -tau1 1 -tau2 1 -batch 2 -dim 8 -train 40 -test 20 -seed 5"
+
+# wire_addr polls an output file until the role reports its bound port.
+wire_addr() {
+	for _ in $(seq 1 100); do
+		addr=$(sed -n "s/^$2 listening on //p" "$1")
+		if [ -n "$addr" ]; then
+			echo "$addr"
+			return 0
+		fi
+		sleep 0.1
+	done
+	echo "ci: $2 never reported its listen address" >&2
+	return 1
+}
+
+"$SMOKE/hierminimax" $WARGS -engine simnet -savemodel "$SMOKE/ref.gob" > "$SMOKE/ref.out"
+"$SMOKE/hierminimax" $WARGS -role cloud -listen 127.0.0.1:0 -savemodel "$SMOKE/wire.gob" > "$SMOKE/cloud.out" &
+CLOUD=$!
+CLOUD_ADDR=$(wire_addr "$SMOKE/cloud.out" cloud)
+PIDS=""
+for e in 0 1; do
+	"$SMOKE/hierminimax" $WARGS -role edge -edge-index "$e" -listen 127.0.0.1:0 -connect "$CLOUD_ADDR" > "$SMOKE/edge$e.out" &
+	PIDS="$PIDS $!"
+	EDGE_ADDR=$(wire_addr "$SMOKE/edge$e.out" edge)
+	"$SMOKE/hierminimax" $WARGS -role client-host -edge-index "$e" -listen 127.0.0.1:0 -connect "$EDGE_ADDR" > "$SMOKE/ch$e.out" &
+	PIDS="$PIDS $!"
+done
+wait $CLOUD
+for p in $PIDS; do
+	wait "$p"
+done
+cmp "$SMOKE/ref.gob" "$SMOKE/wire.gob"
+# Reports must match line for line up to the engine tag and per-process
+# arena internals.
+grep -v 'listening on\|simnet pool:\|model written to' "$SMOKE/ref.out" > "$SMOKE/ref.cmp"
+grep -v 'listening on\|simnet pool:\|model written to' "$SMOKE/cloud.out" \
+	| sed 's|HierMinimax/wire|HierMinimax/simnet|' > "$SMOKE/cloud.cmp"
+diff "$SMOKE/ref.cmp" "$SMOKE/cloud.cmp"
 
 # Performance gate (optional, ~2 min): CI_BENCH=1 ./ci.sh benchmarks the
 # hot path into a scratch file and fails if SimnetRound allocs/op (the
-# zero-copy message fabric's contract, recorded in BENCH_3.json) or
-# Sweep allocs/run (the run-level scheduler's contract, recorded in
-# BENCH_5.json) regressed more than 20% over the committed records.
-# Refresh the records deliberately with ./bench.sh when the change is
-# intended.
+# zero-copy message fabric's contract, recorded in BENCH_3.json), Sweep
+# allocs/run (the run-level scheduler's contract, recorded in
+# BENCH_5.json) or WireRound allocs/op (the TCP codec's per-round
+# footprint, recorded in BENCH_6.json) regressed more than 20% over the
+# committed records. Refresh the records deliberately with ./bench.sh
+# when the change is intended.
 if [ "${CI_BENCH:-0}" = "1" ]; then
 	TMP_BENCH=$(mktemp /tmp/bench_ci.XXXXXX.json)
 	./bench.sh "$TMP_BENCH"
@@ -59,6 +113,7 @@ if [ "${CI_BENCH:-0}" = "1" ]; then
 		fails = 0
 		fails += gate("SimnetRound allocs/op", metric("BENCH_3.json", "SimnetRound", "allocs_per_op"), metric(ARGV[1], "SimnetRound", "allocs_per_op"))
 		fails += gate("Sweep allocs/run", metric("BENCH_5.json", "Sweep", "allocs_per_run"), metric(ARGV[1], "Sweep", "allocs_per_run"))
+		fails += gate("WireRound allocs/op", metric("BENCH_6.json", "WireRound", "allocs_per_op"), metric(ARGV[1], "WireRound", "allocs_per_op"))
 		exit fails
 	}
 	' "$TMP_BENCH"

@@ -7,6 +7,16 @@
 //	hierminimax -alg hierminimax -dataset emnist -rounds 2000
 //	hierminimax -alg drfa -dataset fashion -partition similarity -model mlp
 //	hierminimax -alg hierminimax -engine simnet -rounds 200
+//
+// A run can also be split across real processes connected by TCP: one
+// -role cloud process, and per edge area one -role edge and one -role
+// client-host process, every one given the same workload flags. Each
+// process prints its bound listen address ("<role> listening on ...") so
+// ":0" allocations can be scripted:
+//
+//	hierminimax -role cloud -listen 127.0.0.1:7000 -dataset synthetic -edges 2
+//	hierminimax -role edge -edge-index 0 -listen 127.0.0.1:0 -connect 127.0.0.1:7000 -dataset synthetic -edges 2
+//	hierminimax -role client-host -edge-index 0 -listen 127.0.0.1:0 -connect <edge addr> -dataset synthetic -edges 2
 package main
 
 import (
@@ -27,6 +37,10 @@ func main() {
 	flag.StringVar(&partition, "partition", "one-class", "partition: one-class|similarity|dirichlet")
 	flag.StringVar(&mdl, "model", "logreg", "model: logreg|mlp")
 	flag.StringVar(&engine, "engine", "inprocess", "engine: inprocess|simnet")
+	role := flag.String("role", "", "distributed role: cloud|edge|client-host (default: whole run in this process)")
+	listen := flag.String("listen", "", "TCP listen address for -role (\":0\" picks a free port)")
+	connect := flag.String("connect", "", "upstream address: the cloud for -role edge, the edge for -role client-host")
+	edgeIndex := flag.Int("edge-index", 0, "edge area index for -role edge|client-host")
 	flag.Float64Var(&spec.Similarity, "s", 0.5, "similarity fraction for -partition similarity")
 	flag.IntVar(&spec.NumEdges, "edges", 10, "number of edge areas N_E")
 	flag.IntVar(&spec.ClientsPerEdge, "clients", 3, "clients per edge area N0")
@@ -65,6 +79,45 @@ func main() {
 	spec.Model = hierfair.ModelKind(mdl)
 	spec.Engine = hierfair.Engine(engine)
 
+	// Distributed-role flag combinations, rejected with one-line errors
+	// before any work starts.
+	switch *role {
+	case "":
+		if *listen != "" || *connect != "" {
+			fmt.Fprintf(os.Stderr, "hierminimax: -listen/-connect need -role (want -role cloud|edge|client-host)\n")
+			os.Exit(1)
+		}
+	case "cloud":
+		if *listen == "" {
+			fmt.Fprintf(os.Stderr, "hierminimax: -role cloud requires -listen\n")
+			os.Exit(1)
+		}
+		if *connect != "" {
+			fmt.Fprintf(os.Stderr, "hierminimax: -role cloud takes no -connect (edges dial the cloud)\n")
+			os.Exit(1)
+		}
+	case "edge", "client-host":
+		if *listen == "" {
+			fmt.Fprintf(os.Stderr, "hierminimax: -role %s requires -listen\n", *role)
+			os.Exit(1)
+		}
+		if *connect == "" {
+			upstream := "cloud"
+			if *role == "client-host" {
+				upstream = "edge"
+			}
+			fmt.Fprintf(os.Stderr, "hierminimax: -role %s requires -connect (the %s address)\n", *role, upstream)
+			os.Exit(1)
+		}
+		if *edgeIndex < 0 {
+			fmt.Fprintf(os.Stderr, "hierminimax: -edge-index %d negative (want the served edge area)\n", *edgeIndex)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "hierminimax: unknown role %q (want cloud|edge|client-host)\n", *role)
+		os.Exit(1)
+	}
+
 	obsDone, err := obs.Setup(*metricsOut, *traceOut, *pprofDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hierminimax:", err)
@@ -78,7 +131,31 @@ func main() {
 		os.Exit(1)
 	}
 
-	rep, err := hierfair.Run(spec)
+	announce := func(addr string) { fmt.Printf("%s listening on %s\n", *role, addr) }
+	var rep *hierfair.Report
+	switch *role {
+	case "cloud":
+		spec.Engine = hierfair.EngineSimNet
+		rep, err = hierfair.RunCloud(spec, hierfair.DistConfig{Listen: *listen, Started: announce})
+	case "edge", "client-host":
+		dist := hierfair.DistConfig{Listen: *listen, Connect: *connect, Edge: *edgeIndex, Started: announce}
+		if *role == "edge" {
+			err = hierfair.RunEdge(spec, dist)
+		} else {
+			err = hierfair.RunClientHost(spec, dist)
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s %d: run complete\n", *role, *edgeIndex)
+		if err := obsDone(); err != nil {
+			fmt.Fprintln(os.Stderr, "hierminimax: observability teardown:", err)
+			os.Exit(1)
+		}
+		return
+	default:
+		rep, err = hierfair.Run(spec)
+	}
 	if err != nil {
 		fail(err)
 	}

@@ -118,7 +118,12 @@ func Run(spec Spec) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newReport(prob, res, stats), nil
+}
 
+// newReport folds an engine result and its run statistics into the
+// public Report shape.
+func newReport(prob *fl.Problem, res *fl.Result, stats simnet.RunStats) *Report {
 	rep := &Report{
 		Algorithm:       res.Algorithm,
 		EdgeWeights:     append([]float64(nil), res.PWeights...),
@@ -150,7 +155,7 @@ func Run(spec Spec) (*Report, error) {
 	}
 	final := rep.History[len(rep.History)-1]
 	rep.FinalAverage, rep.FinalWorst, rep.FinalVariance = final.Average, final.Worst, final.Variance
-	return rep, nil
+	return rep
 }
 
 // Summary renders a one-line result.

@@ -96,6 +96,13 @@ func cases() map[string]func() (*fl.Result, error) {
 			res, _, err := simnet.HierMinimax(fltest.ToyProblem(3), fltest.ToyConfig())
 			return res, err
 		},
+		// The distributed runtime over loopback TCP must land on the same
+		// trajectory hash as hierminimax-simnet: real sockets are pinned
+		// to the same golden as the in-process engine.
+		"hierminimax-wire": func() (*fl.Result, error) {
+			res, _, err := simnet.RunWireLoopback(func() *fl.Problem { return fltest.ToyProblem(3) }, fltest.ToyConfig())
+			return res, err
+		},
 		"fedavg": func() (*fl.Result, error) {
 			return baselines.FedAvg(fltest.ToyProblem(3), twoLayer)
 		},

@@ -180,3 +180,74 @@ func (s *Stream) FillUniform(dst []float64, lo, hi float64) {
 		dst[i] = lo + w*s.Float64()
 	}
 }
+
+// MarshaledSize is the wire size of a Stream's MarshalBinary encoding:
+// 8 bytes of SplitMix64 state, 8 bytes of cached polar-method spare
+// deviate, and one flag byte.
+const MarshaledSize = 17
+
+// MarshalBinary encodes the complete generator state — including the
+// cached Gaussian spare, so a stream restored mid-sequence continues
+// bit-for-bit — in a fixed 17-byte little-endian layout. It never
+// returns an error; the signature matches encoding.BinaryMarshaler.
+func (s *Stream) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, MarshaledSize)
+	s.AppendBinary(buf[:0])
+	return buf, nil
+}
+
+// AppendBinary appends the MarshalBinary encoding to buf and returns
+// the extended slice, allocating nothing when buf has capacity (the
+// wire codec's per-message path).
+func (s *Stream) AppendBinary(buf []byte) []byte {
+	var b [MarshaledSize]byte
+	putU64(b[0:8], s.state)
+	putU64(b[8:16], math.Float64bits(s.spare))
+	if s.hasSpare {
+		b[16] = 1
+	}
+	return append(buf, b[:]...)
+}
+
+// UnmarshalBinary restores a stream encoded by MarshalBinary.
+func (s *Stream) UnmarshalBinary(data []byte) error {
+	if len(data) != MarshaledSize {
+		return errBadStreamLen
+	}
+	if data[16] > 1 {
+		return errBadStreamFlag
+	}
+	s.state = u64(data[0:8])
+	s.spare = math.Float64frombits(u64(data[8:16]))
+	s.hasSpare = data[16] == 1
+	return nil
+}
+
+// streamError is a const-able error type for the two UnmarshalBinary
+// failure modes (no fmt dependency, no allocation on the error path).
+type streamError string
+
+func (e streamError) Error() string { return string(e) }
+
+const (
+	errBadStreamLen  = streamError("rng: stream encoding must be exactly 17 bytes")
+	errBadStreamFlag = streamError("rng: stream spare flag byte must be 0 or 1")
+)
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func u64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -366,3 +366,38 @@ func TestChildValDoesNotAllocate(t *testing.T) {
 	}
 	_ = sink
 }
+
+func TestStreamBinaryRoundTrip(t *testing.T) {
+	s := New(99)
+	s.NormFloat64() // populate the cached spare deviate
+	enc, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != MarshaledSize {
+		t.Fatalf("encoding is %d bytes, want %d", len(enc), MarshaledSize)
+	}
+	var r Stream
+	if err := r.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if a, b := s.NormFloat64(), r.NormFloat64(); a != b {
+			t.Fatalf("restored stream diverges at draw %d: %v vs %v", i, a, b)
+		}
+		if a, b := s.Uint64(), r.Uint64(); a != b {
+			t.Fatalf("restored stream diverges at draw %d: %d vs %d", i, a, b)
+		}
+	}
+	if got := s.AppendBinary(nil); len(got) != MarshaledSize {
+		t.Fatalf("AppendBinary wrote %d bytes", len(got))
+	}
+	var bad Stream
+	if err := bad.UnmarshalBinary(enc[:5]); err == nil {
+		t.Fatal("short encoding accepted")
+	}
+	enc[16] = 7
+	if err := bad.UnmarshalBinary(enc); err == nil {
+		t.Fatal("invalid spare flag accepted")
+	}
+}

@@ -7,17 +7,19 @@ import (
 	"repro/internal/data"
 	"repro/internal/fl"
 	"repro/internal/model"
-	"repro/internal/rng"
 	"repro/internal/simplex"
 	"repro/internal/tensor"
+	"repro/internal/wire"
 )
 
-// Protocol messages. All payloads travel as pointers to structs recycled
-// through the typed pools below, and every []float64 inside them is
-// drawn from the network's vecPool: a Send transfers ownership of the
-// struct and its vectors to the receiver, which returns both after use
-// (single-owner discipline, DESIGN.md §9). Streams are embedded by value
-// so deriving a per-message stream allocates nothing.
+// Protocol messages — defined in internal/wire (shared with the TCP
+// transport), aliased here so actor code reads unchanged. All payloads
+// travel as pointers to structs recycled through the wire package's
+// typed pools, and every []float64 inside them is drawn from the
+// network's vecPool: a Send transfers ownership of the struct and its
+// vectors to the receiver, which returns both after use (single-owner
+// discipline, DESIGN.md §9). Streams are embedded by value so deriving
+// a per-message stream allocates nothing.
 //
 // Fault handling rides on one invariant: every delivered request
 // produces exactly one inbound message at its requester — the real
@@ -26,125 +28,30 @@ import (
 // fan-in deadline firing). Fan-ins therefore always count to the number
 // of requests they delivered and can never stall, no matter which
 // protocol messages the fault schedule eats (DESIGN.md §10).
+type (
+	trainReq       = wire.TrainReq
+	trainReply     = wire.TrainReply
+	lossReq        = wire.LossReq
+	lossReply      = wire.LossReply
+	slotAcct       = wire.SlotAcct
+	edgeTrainReq   = wire.EdgeTrainReq
+	edgeTrainReply = wire.EdgeTrainReply
+	edgeLossReq    = wire.EdgeLossReq
+	edgeLossReply  = wire.EdgeLossReply
+	stopMsg        = wire.Stop
+)
 
-// trainReq asks a client to run local SGD from W.
-type trainReq struct {
-	W      []float64
-	Steps  int
-	Batch  int
-	ChkAt  int
-	Eta    float64
-	Stream rng.Stream
-	Client int // client index within its area
-}
-
-// trainReply returns the client's final model, optional checkpoint, and
-// (when iterate tracking is on) the sum of visited iterates. Failed
-// marks a timeout nack: the client crashed or its reply was lost — the
-// vectors are nil and the edge aggregates without this client.
-type trainReply struct {
-	Client       int
-	WFinal, WChk []float64
-	IterSum      []float64
-	Failed       bool
-}
-
-// lossReq asks a client for a mini-batch loss estimate of W.
-type lossReq struct {
-	W      []float64
-	Batch  int
-	Stream rng.Stream
-	Client int
-}
-
-// lossReply returns the client's loss estimate (or a Failed nack).
-type lossReply struct {
-	Client int
-	Loss   float64
-	Failed bool
-}
-
-// slotAcct is one slot's client-edge delivery accounting, carried back
-// to the cloud on the (nack or real) edge reply: only traffic that was
-// actually delivered is recorded in the ledger, so under faults the
-// ledger, the obs transport counters and RunStats reconcile exactly.
-// TimeoutBlocks counts the aggregation blocks in which the edge's
-// fan-in deadline fired (at least one client missing).
-type slotAcct struct {
-	Blocks              int
-	DownMsgs, DownBytes int64
-	UpMsgs, UpBytes     int64
-	TimeoutBlocks       int
-}
-
-// add folds a delivered downlink or uplink transfer into the account.
-func (a *slotAcct) down(bytes int64) { a.DownMsgs++; a.DownBytes += bytes }
-func (a *slotAcct) up(bytes int64)   { a.UpMsgs++; a.UpBytes += bytes }
-
-// edgeTrainReq asks an edge server to run ModelUpdate for one slot.
-// Doomed marks algorithm-level dropout (Config.DropoutProb, decided by
-// fl.SlotDropped on the cloud): the edge fails the slot without
-// touching its clients, matching the in-process engine's accounting.
-type edgeTrainReq struct {
-	W      []float64
-	C1, C2 int
-	Slot   int
-	Stream rng.Stream
-	Doomed bool
-}
-
-// edgeTrainReply returns the slot's aggregated edge model, checkpoint,
-// and (when tracking) iterate sum. Failed marks a nack (doomed slot,
-// partitioned edge or lost uplink); Acct always carries the slot's
-// delivered client-edge traffic.
-type edgeTrainReply struct {
-	Slot        int
-	WEdge, WChk []float64
-	IterSum     []float64
-	IterCount   float64
-	Failed      bool
-	Doomed      bool
-	Acct        slotAcct
-}
-
-// edgeLossReq asks an edge server for its area loss estimate at W.
-type edgeLossReq struct {
-	W         []float64
-	Seq       int
-	LossBatch int
-	Stream    rng.Stream
-	Doomed    bool
-}
-
-// edgeLossReply returns the edge's averaged loss estimate. Failed means
-// no estimate (doomed edge, or every client of the area failed); the
-// cloud then leaves the slot out of the gradient estimate, exactly like
-// the in-process engine's dropped Phase-2 edges.
-type edgeLossReply struct {
-	Seq    int
-	Loss   float64
-	Failed bool
-	Doomed bool
-	Acct   slotAcct
-}
-
-// stopMsg terminates an actor loop. It is the only by-value payload:
-// control traffic carries no pooled state.
-type stopMsg struct{}
-
-// Typed recycling pools for the message structs. Receivers put a struct
-// back as soon as they have taken ownership of its contents; the structs
-// are tiny, so sync.Pool's per-P caches make the steady-state cost of a
-// message two pointer swaps.
+// The typed struct pools live in wire so a decoded frame and a local
+// send recycle through the same free lists.
 var (
-	trainReqPool       = sync.Pool{New: func() any { return new(trainReq) }}
-	trainReplyPool     = sync.Pool{New: func() any { return new(trainReply) }}
-	lossReqPool        = sync.Pool{New: func() any { return new(lossReq) }}
-	lossReplyPool      = sync.Pool{New: func() any { return new(lossReply) }}
-	edgeTrainReqPool   = sync.Pool{New: func() any { return new(edgeTrainReq) }}
-	edgeTrainReplyPool = sync.Pool{New: func() any { return new(edgeTrainReply) }}
-	edgeLossReqPool    = sync.Pool{New: func() any { return new(edgeLossReq) }}
-	edgeLossReplyPool  = sync.Pool{New: func() any { return new(edgeLossReply) }}
+	trainReqPool       = &wire.TrainReqPool
+	trainReplyPool     = &wire.TrainReplyPool
+	lossReqPool        = &wire.LossReqPool
+	lossReplyPool      = &wire.LossReplyPool
+	edgeTrainReqPool   = &wire.EdgeTrainReqPool
+	edgeTrainReplyPool = &wire.EdgeTrainReplyPool
+	edgeLossReqPool    = &wire.EdgeLossReqPool
+	edgeLossReplyPool  = &wire.EdgeLossReplyPool
 )
 
 // payloadBytes is the actual wire size of a set of payload vectors: 8
@@ -159,11 +66,13 @@ func payloadBytes(vecs ...[]float64) int64 {
 	return n
 }
 
-// toNack releases the reply's pooled vectors back to the arena and
-// converts it into a timeout nack: the struct itself travels on as
+// nackTrainReply releases the reply's pooled vectors back to the arena
+// and converts it into a timeout nack: the struct itself travels on as
 // control traffic (abandoned payloads must not leak — the vectors stay
 // home, only the Failed flag and the stats fields cross the wire).
-func (r *trainReply) toNack(pool *vecPool) {
+// These are functions rather than methods because the reply types are
+// aliases into internal/wire.
+func nackTrainReply(r *trainReply, pool *vecPool) {
 	if r.WFinal != nil {
 		pool.put(r.WFinal)
 		r.WFinal = nil
@@ -179,10 +88,10 @@ func (r *trainReply) toNack(pool *vecPool) {
 	r.Failed = true
 }
 
-// toNack releases the edge reply's pooled vectors and marks it failed;
-// the delivered-traffic account survives so the cloud's ledger stays
-// exact even when the model itself was lost.
-func (r *edgeTrainReply) toNack(pool *vecPool) {
+// nackEdgeTrainReply releases the edge reply's pooled vectors and marks
+// it failed; the delivered-traffic account survives so the cloud's
+// ledger stays exact even when the model itself was lost.
+func nackEdgeTrainReply(r *edgeTrainReply, pool *vecPool) {
 	if r.WEdge != nil {
 		pool.put(r.WEdge)
 		r.WEdge = nil
@@ -216,6 +125,11 @@ type clientActor struct {
 	scratch fl.Scratch
 	chaos   *chaos.Schedule
 	retries int
+	// straggle, when set, really delays the client before it serves a
+	// round's training work (the TCP runtimes install it so scheduled
+	// stragglers hold their socket, not just the simulated clock). It
+	// must be trajectory-neutral: a pure delay, never a state change.
+	straggle func(round int)
 }
 
 func (c *clientActor) run(wg *sync.WaitGroup) {
@@ -236,6 +150,9 @@ func (c *clientActor) run(wg *sync.WaitGroup) {
 					Round: msg.Round, Ctrl: true, Payload: reply,
 				})
 				continue
+			}
+			if c.straggle != nil {
+				c.straggle(msg.Round)
 			}
 			// The request's W is ours now; advance it in place and hand it
 			// back as the final model.
@@ -263,7 +180,7 @@ func (c *clientActor) run(wg *sync.WaitGroup) {
 				Round: msg.Round, Bytes: payloadBytes(w, wChk, iterSum), Payload: reply,
 			}, c.retries)
 			if !ok {
-				reply.toNack(pool)
+				nackTrainReply(reply, pool)
 				c.net.Send(Message{
 					From: c.id, To: msg.From, Kind: "train-nack",
 					Round: msg.Round, Ctrl: true, Payload: reply,
@@ -379,7 +296,7 @@ func (e *edgeActor) run(wg *sync.WaitGroup) {
 				Bytes: payloadBytes(reply.WEdge, reply.WChk, reply.IterSum), Payload: reply,
 			}, e.retries)
 			if !ok {
-				reply.toNack(pool)
+				nackEdgeTrainReply(reply, pool)
 				e.net.Send(Message{
 					From: e.id, To: msg.From, Kind: "edge-train-nack",
 					Round: round, Ctrl: true, Payload: reply,
@@ -466,7 +383,7 @@ func (e *edgeActor) modelUpdate(req *edgeTrainReq, round int) *edgeTrainReply {
 			}, e.retries)
 			if ok {
 				expected++
-				acct.down(bytes)
+				acct.Down(bytes)
 			} else {
 				pool.put(w)
 				trainReqPool.Put(tr)
@@ -486,7 +403,7 @@ func (e *edgeActor) modelUpdate(req *edgeTrainReq, round int) *edgeTrainReply {
 				trainReplyPool.Put(r)
 				continue
 			}
-			acct.up(msg.Bytes)
+			acct.Up(msg.Bytes)
 			e.finals[r.Client] = r.WFinal
 			e.chks[r.Client] = r.WChk
 			e.sums[r.Client] = r.IterSum
@@ -578,7 +495,7 @@ func (e *edgeActor) lossEstimate(req *edgeLossReq, round int) (loss float64, ok 
 		}, e.retries)
 		if sent {
 			expected++
-			acct.down(bytes)
+			acct.Down(bytes)
 		} else {
 			pool.put(w)
 			lossReqPool.Put(lr)
@@ -599,7 +516,7 @@ func (e *edgeActor) lossEstimate(req *edgeLossReq, round int) (loss float64, ok 
 			lossReplyPool.Put(r)
 			continue
 		}
-		acct.up(msg.Bytes)
+		acct.Up(msg.Bytes)
 		total += r.Loss
 		got++
 		lossReplyPool.Put(r)

@@ -1,0 +1,264 @@
+package simnet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/fl"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// This file runs HierMinimax over real TCP sockets: the cloud, each edge
+// server and each edge's client host are separate processes (or separate
+// runtimes inside one test process) connected by internal/wire peers.
+// Every process builds the same Problem from the same seed, hosts its
+// own slice of the actor fleet on a local Network, and routes the rest
+// through RegisterRemote sinks that enqueue onto wire.Peer send queues.
+// Inbound frames are decoded by a wire.Listener and Injected into the
+// local mailboxes.
+//
+// Determinism contract (DESIGN.md §12): the cloud reuses the in-process
+// engine's round() verbatim, every message is counted and its loss
+// decided once — at the sending process — and all fan-ins are
+// index-keyed, so the trajectory, topology ledger and fault counters of
+// a distributed run are bitwise-identical to the single-process simnet
+// run of the same Spec (asserted in dist_test.go and the invariance
+// suite). Chaos drops double as real transport faults: a dropped
+// message also resets the underlying connection (flush-then-close, so
+// no counted frame is lost), and scheduled stragglers really sleep on
+// the client host. Neither changes a single decision.
+//
+// Known limitation: there are no real-time protocol timeouts yet. An
+// uninjected peer death (killed process, unplugged cable) stalls the
+// fan-in that awaits it; only scheduled faults are survivable.
+
+// DistConfig configures one process of a distributed run.
+type DistConfig struct {
+	// Listen is the TCP address this process binds ("host:0" works; the
+	// bound address is reported through Started and, for edges and
+	// client hosts, advertised upstream in the hello).
+	Listen string
+	// Connect is the upstream address: the cloud's listener for an edge,
+	// the edge's listener for a client host. Unused by the cloud.
+	Connect string
+	// Edge is this process's edge index (edge and client-host roles).
+	Edge int
+	// Started, when set, is called once with the bound listen address
+	// before any handshake traffic — tests and scripts use it to learn
+	// ":0" allocations.
+	Started func(addr string)
+	// HandshakeTimeout bounds every wait for hellos, readiness and final
+	// stats (0 = 30s).
+	HandshakeTimeout time.Duration
+	// StraggleScale converts scheduled straggler delay (simulated ms)
+	// into real client-host sleep: sleep = StraggleMs * StraggleScale as
+	// milliseconds. 0 keeps a small default (0.01, i.e. 10µs per
+	// simulated ms) so chaos runs visibly stall sockets without slowing
+	// tests; negative disables real sleeps.
+	StraggleScale float64
+	// QueueLen bounds each peer's send queue (0 = wire default).
+	QueueLen int
+}
+
+func (dc *DistConfig) normalize() {
+	if dc.HandshakeTimeout <= 0 {
+		dc.HandshakeTimeout = 30 * time.Second
+	}
+	if dc.StraggleScale == 0 {
+		dc.StraggleScale = 0.01
+	}
+}
+
+// Fingerprint folds every trajectory-relevant knob of a run into one
+// value; the wire handshake rejects peers whose fingerprint differs, so
+// two processes can never silently train different problems. It hashes
+// explicit fields (never reflection over Config — Quantizer is an
+// interface and has no stable rendering).
+func Fingerprint(cfg fl.Config, top topology.Topology, sched *chaos.Schedule) uint64 {
+	h := fnv.New64a()
+	u := func(v uint64) {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	f := func(v float64) { u(math.Float64bits(v)) }
+	b := func(v bool) {
+		if v {
+			u(1)
+		} else {
+			u(0)
+		}
+	}
+	u(uint64(cfg.Rounds))
+	u(uint64(cfg.Tau1))
+	u(uint64(cfg.Tau2))
+	f(cfg.EtaW)
+	f(cfg.EtaP)
+	u(uint64(cfg.BatchSize))
+	u(uint64(cfg.LossBatch))
+	u(uint64(cfg.SampledEdges))
+	u(cfg.Seed)
+	u(uint64(cfg.EvalEvery))
+	f(cfg.DropoutProb)
+	b(cfg.TrackAverages)
+	b(cfg.CheckpointOff)
+	u(uint64(top.NumEdges))
+	u(uint64(top.ClientsPerEdge))
+	if sched != nil {
+		u(sched.Seed)
+		f(sched.CrashProb)
+		f(sched.PartitionProb)
+		f(sched.LossProb)
+		f(sched.StragglerProb)
+		f(sched.StragglerMs)
+		f(sched.TimeoutMs)
+		u(uint64(sched.MaxRetries))
+	}
+	return h.Sum64()
+}
+
+// helloDialer returns a pool dialer that connects to addr and leads with
+// the given hello, the first frame every wire connection must carry.
+func helloDialer(addr string, h wire.Hello) wire.Dialer {
+	return func() (net.Conn, error) {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		frame, err := wire.AppendHello(nil, h)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if _, err := c.Write(frame); err != nil {
+			c.Close()
+			return nil, err
+		}
+		return c, nil
+	}
+}
+
+// releaseMessage returns the peer Release hook for a process: after a
+// frame's bytes are on the wire (or permanently undeliverable) the
+// payload vectors go back to the local arena and the struct to its
+// typed pool, completing the single-owner hand-off across the socket.
+func releaseMessage(pool *vecPool) func(Message) {
+	putVec := func(v []float64) {
+		if v != nil {
+			pool.put(v)
+		}
+	}
+	return func(m Message) {
+		switch p := m.Payload.(type) {
+		case *trainReq:
+			putVec(p.W)
+			*p = trainReq{}
+			trainReqPool.Put(p)
+		case *trainReply:
+			putVec(p.WFinal)
+			putVec(p.WChk)
+			putVec(p.IterSum)
+			*p = trainReply{}
+			trainReplyPool.Put(p)
+		case *lossReq:
+			putVec(p.W)
+			*p = lossReq{}
+			lossReqPool.Put(p)
+		case *lossReply:
+			*p = lossReply{}
+			lossReplyPool.Put(p)
+		case *edgeTrainReq:
+			putVec(p.W)
+			*p = edgeTrainReq{}
+			edgeTrainReqPool.Put(p)
+		case *edgeTrainReply:
+			putVec(p.WEdge)
+			putVec(p.WChk)
+			putVec(p.IterSum)
+			*p = edgeTrainReply{}
+			edgeTrainReplyPool.Put(p)
+		case *edgeLossReq:
+			putVec(p.W)
+			*p = edgeLossReq{}
+			edgeLossReqPool.Put(p)
+		case *edgeLossReply:
+			*p = edgeLossReply{}
+			edgeLossReplyPool.Put(p)
+		case stopMsg:
+			// No payload to reclaim.
+		}
+	}
+}
+
+// resettingDrop wraps a drop hook so a dropped remote message also
+// resets the peer carrying that link: the transport genuinely closes the
+// connection (after flushing everything already counted as delivered)
+// and later traffic redials. peerFor maps a destination to its peer, nil
+// for local destinations.
+func resettingDrop(base DropFunc, peerFor func(NodeID) *wire.Peer) DropFunc {
+	return func(m Message) bool {
+		if !base(m) {
+			return false
+		}
+		if p := peerFor(m.To); p != nil {
+			p.Reset()
+		}
+		return true
+	}
+}
+
+// localStats snapshots a process's protocol counters into a wire.Stats
+// frame for up-tree aggregation at shutdown.
+func localStats(n *Network) wire.Stats {
+	return wire.Stats{
+		Sent:            n.Sent(),
+		Lost:            n.Lost(),
+		Ctrl:            n.Control(),
+		Timeouts:        n.Timeouts(),
+		Retries:         n.Retries(),
+		Crashes:         n.Crashes(),
+		PoolOutstanding: n.pool.Outstanding(),
+		PoolRecycled:    n.pool.Recycled(),
+		PoolAllocated:   n.pool.Allocated(),
+	}
+}
+
+// pulse is a condition-variable channel: pulse() wakes one waiter (and
+// never blocks the caller), awaitCond re-checks its predicate on every
+// wake. Listener callbacks use it so mid-run events (reconnect hellos
+// after chaos resets) can never stall a reader goroutine.
+type pulse chan struct{}
+
+func newPulse() pulse { return make(chan struct{}, 1) }
+
+func (p pulse) wake() {
+	select {
+	case p <- struct{}{}:
+	default:
+	}
+}
+
+func awaitCond(p pulse, timeout time.Duration, cond func() bool, what string) error {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		if cond() {
+			return nil
+		}
+		select {
+		case <-p:
+		case <-deadline.C:
+			if cond() {
+				return nil
+			}
+			return fmt.Errorf("simnet: timed out waiting for %s", what)
+		}
+	}
+}

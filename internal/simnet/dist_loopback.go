@@ -1,0 +1,84 @@
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fl"
+)
+
+// RunWireLoopback executes a complete distributed HierMinimax run inside
+// one process over loopback TCP: a cloud runtime plus, per edge area,
+// an edge-server runtime and a client-host runtime, each with its own
+// independently built problem, Network and payload arena — the same
+// layout `cmd/hierminimax -role` spawns as separate processes, minus the
+// process boundary. newProblem is called once per runtime and must be a
+// pure function (every call returns an identically seeded problem).
+// Used by the parity tests, the invariance suite and the wire benchmark.
+func RunWireLoopback(newProblem func() *fl.Problem, cfg fl.Config, opts ...Option) (*fl.Result, RunStats, error) {
+	top := newProblem().Topology()
+	cloudAddr := make(chan string, 1)
+	type cloudOut struct {
+		res   *fl.Result
+		stats RunStats
+		err   error
+	}
+	cloudCh := make(chan cloudOut, 1)
+	go func() {
+		res, stats, err := ServeCloud(newProblem(), cfg, DistConfig{
+			Listen:  "127.0.0.1:0",
+			Started: func(a string) { cloudAddr <- a },
+		}, opts...)
+		cloudCh <- cloudOut{res, stats, err}
+	}()
+	var ca string
+	select {
+	case ca = <-cloudAddr:
+	case out := <-cloudCh:
+		return nil, RunStats{}, out.err
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2*top.NumEdges)
+	for edge := 0; edge < top.NumEdges; edge++ {
+		edgeAddr := make(chan string, 1)
+		wg.Add(2)
+		go func(edge int) {
+			defer wg.Done()
+			errCh <- ServeEdge(newProblem(), cfg, DistConfig{
+				Listen:  "127.0.0.1:0",
+				Connect: ca,
+				Edge:    edge,
+				Started: func(a string) { edgeAddr <- a },
+			}, opts...)
+		}(edge)
+		var ea string
+		select {
+		case ea = <-edgeAddr:
+		case <-time.After(30 * time.Second):
+			return nil, RunStats{}, fmt.Errorf("simnet: edge %d never bound its listener", edge)
+		}
+		go func(edge int) {
+			defer wg.Done()
+			errCh <- ServeClientHost(newProblem(), cfg, DistConfig{
+				Listen:  "127.0.0.1:0",
+				Connect: ea,
+				Edge:    edge,
+			}, opts...)
+		}(edge)
+	}
+
+	out := <-cloudCh
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil && out.err == nil {
+			out.err = err
+		}
+	}
+	if out.err != nil {
+		return nil, RunStats{}, out.err
+	}
+	return out.res, out.stats, nil
+}

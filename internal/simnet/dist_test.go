@@ -1,0 +1,153 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/fl"
+	"repro/internal/fl/fltest"
+	"repro/internal/topology"
+)
+
+// runWire executes a full distributed run on loopback TCP via
+// RunWireLoopback: one cloud, one edge-server runtime and one
+// client-host runtime per area, each with its own independently built
+// (identical-seed) problem, network and payload arena — exactly the
+// process layout cmd/hierminimax -role spawns, minus the process
+// boundary.
+func runWire(t *testing.T, cfg fl.Config, seed uint64, opts ...Option) (*fl.Result, RunStats) {
+	t.Helper()
+	res, stats, err := RunWireLoopback(func() *fl.Problem { return fltest.ToyProblem(seed) }, cfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, stats
+}
+
+// assertSameRun demands bitwise equality of everything the determinism
+// contract covers: the model and weight trajectories, every history
+// snapshot, the full communication ledger, and the fault counters.
+// PoolRecycled/PoolAllocated are per-process arena internals and are
+// deliberately out of scope.
+func assertSameRun(t *testing.T, ref, got *fl.Result, refStats, gotStats RunStats) {
+	t.Helper()
+	for i := range ref.W {
+		if ref.W[i] != got.W[i] {
+			t.Fatalf("w diverges at %d: %v vs %v", i, ref.W[i], got.W[i])
+		}
+	}
+	for i := range ref.PWeights {
+		if ref.PWeights[i] != got.PWeights[i] {
+			t.Fatalf("p diverges at %d: %v vs %v", i, ref.PWeights[i], got.PWeights[i])
+		}
+	}
+	if len(ref.History.Snapshots) != len(got.History.Snapshots) {
+		t.Fatalf("history length %d vs %d", len(ref.History.Snapshots), len(got.History.Snapshots))
+	}
+	for s, snap := range ref.History.Snapshots {
+		o := got.History.Snapshots[s]
+		if snap.Fair != o.Fair {
+			t.Fatalf("snapshot %d fairness diverges: %+v vs %+v", s, snap.Fair, o.Fair)
+		}
+		for i := range snap.P {
+			if snap.P[i] != o.P[i] {
+				t.Fatalf("snapshot %d p diverges at %d", s, i)
+			}
+		}
+	}
+	for _, link := range []topology.Link{topology.ClientEdge, topology.EdgeCloud} {
+		if ref.Ledger.Rounds[link] != got.Ledger.Rounds[link] ||
+			ref.Ledger.Messages[link] != got.Ledger.Messages[link] ||
+			ref.Ledger.Bytes[link] != got.Ledger.Bytes[link] {
+			t.Fatalf("%v ledger diverges: %d/%d/%d vs %d/%d/%d", link,
+				ref.Ledger.Rounds[link], ref.Ledger.Messages[link], ref.Ledger.Bytes[link],
+				got.Ledger.Rounds[link], got.Ledger.Messages[link], got.Ledger.Bytes[link])
+		}
+	}
+	if refStats.SimulatedMs != gotStats.SimulatedMs {
+		t.Fatalf("simulated time diverges: %v vs %v", refStats.SimulatedMs, gotStats.SimulatedMs)
+	}
+	if refStats.MessagesSent != gotStats.MessagesSent || refStats.MessagesLost != gotStats.MessagesLost {
+		t.Fatalf("message counters diverge: %d/%d vs %d/%d",
+			refStats.MessagesSent, refStats.MessagesLost, gotStats.MessagesSent, gotStats.MessagesLost)
+	}
+	if refStats.ControlMessages != gotStats.ControlMessages {
+		t.Fatalf("control counters diverge: %d vs %d", refStats.ControlMessages, gotStats.ControlMessages)
+	}
+	if refStats.Timeouts != gotStats.Timeouts || refStats.Retries != gotStats.Retries ||
+		refStats.Crashes != gotStats.Crashes {
+		t.Fatalf("fault counters diverge: %d/%d/%d vs %d/%d/%d",
+			refStats.Timeouts, refStats.Retries, refStats.Crashes,
+			gotStats.Timeouts, gotStats.Retries, gotStats.Crashes)
+	}
+	if gotStats.PoolOutstanding != 0 {
+		t.Fatalf("distributed run leaked %d pooled vectors", gotStats.PoolOutstanding)
+	}
+}
+
+func TestWireMatchesSimnet(t *testing.T) {
+	cfg := fltest.ToyConfig()
+	cfg.Rounds = 12
+	cfg.EvalEvery = 3
+	cfg.TrackAverages = true
+
+	ref, refStats, err := HierMinimax(fltest.ToyProblem(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotStats := runWire(t, cfg, 3)
+	assertSameRun(t, ref, got, refStats, gotStats)
+}
+
+func TestWireMatchesSimnetUnderChaos(t *testing.T) {
+	cfg := fltest.ToyConfig()
+	cfg.Rounds = 12
+	cfg.EvalEvery = 4
+	sched := &chaos.Schedule{
+		Seed:          99,
+		CrashProb:     0.1,
+		PartitionProb: 0.05,
+		LossProb:      0.08,
+		StragglerProb: 0.2,
+		StragglerMs:   10,
+		MaxRetries:    1,
+	}
+
+	ref, refStats, err := HierMinimax(fltest.ToyProblem(4), cfg, WithChaos(sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refStats.MessagesLost == 0 && refStats.Crashes == 0 {
+		t.Fatal("chaos schedule injected nothing; the parity claim would be vacuous")
+	}
+	got, gotStats := runWire(t, cfg, 4, WithChaos(sched))
+	assertSameRun(t, ref, got, refStats, gotStats)
+}
+
+func TestWireFingerprintCoversTrajectoryKnobs(t *testing.T) {
+	top := topology.Topology{NumEdges: 4, ClientsPerEdge: 2}
+	base := fltest.ToyConfig()
+	fp := Fingerprint(base, top, nil)
+	mutations := []func(*fl.Config){
+		func(c *fl.Config) { c.Rounds++ },
+		func(c *fl.Config) { c.Tau1++ },
+		func(c *fl.Config) { c.Tau2++ },
+		func(c *fl.Config) { c.EtaW *= 2 },
+		func(c *fl.Config) { c.Seed++ },
+		func(c *fl.Config) { c.DropoutProb = 0.5 },
+		func(c *fl.Config) { c.TrackAverages = true },
+	}
+	for i, mut := range mutations {
+		c := base
+		mut(&c)
+		if Fingerprint(c, top, nil) == fp {
+			t.Fatalf("mutation %d not covered by the fingerprint", i)
+		}
+	}
+	if Fingerprint(base, topology.Topology{NumEdges: 5, ClientsPerEdge: 2}, nil) == fp {
+		t.Fatal("topology not covered by the fingerprint")
+	}
+	if Fingerprint(base, top, &chaos.Schedule{Seed: 1, LossProb: 0.1}) == fp {
+		t.Fatal("chaos schedule not covered by the fingerprint")
+	}
+}

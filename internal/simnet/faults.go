@@ -39,16 +39,16 @@ func linkID(from, to NodeID) uint64 {
 // port<->client.
 func newFaultHook(sched *chaos.Schedule, user DropFunc, top topology.Topology) *faultHook {
 	h := &faultHook{sched: sched, user: user, seq: make(map[linkPairKey]*atomic.Uint64)}
-	cloud := NodeID{Cloud, 0}
+	cloud := NodeID{Kind: Cloud, Index: 0}
 	addLink := func(a, b NodeID) {
 		h.seq[linkPairKey{a, b}] = new(atomic.Uint64)
 		h.seq[linkPairKey{b, a}] = new(atomic.Uint64)
 	}
 	for edge := 0; edge < top.NumEdges; edge++ {
-		addLink(cloud, NodeID{Edge, edge})
-		port := NodeID{ReplyPort, edge}
+		addLink(cloud, NodeID{Kind: Edge, Index: edge})
+		port := NodeID{Kind: ReplyPort, Index: edge}
 		for c := 0; c < top.ClientsPerEdge; c++ {
-			addLink(port, NodeID{Client, top.ClientID(edge, c)})
+			addLink(port, NodeID{Kind: Client, Index: top.ClientID(edge, c)})
 		}
 	}
 	return h

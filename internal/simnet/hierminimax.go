@@ -187,34 +187,18 @@ func (e *engine) start() error {
 		// Send keeps its zero-overhead fault-free path.
 		e.net.SetDrop(newFaultHook(e.chaos, e.drop, e.top).drop)
 	}
-	// Per-client speed factors (log-normal) reduced to the per-area
-	// slowest, which gates every synchronous block.
-	e.areaSlowest = make([]float64, e.top.NumEdges)
-	sr := rng.New(e.cfg.Seed).Child('s')
-	for edge := 0; edge < e.top.NumEdges; edge++ {
-		slowest := 1.0
-		for c := 0; c < e.top.ClientsPerEdge; c++ {
-			speed := 1.0
-			if e.stragglerSigma > 0 {
-				speed = math.Exp(e.stragglerSigma * sr.NormFloat64())
-			}
-			if speed > slowest {
-				slowest = speed
-			}
-		}
-		e.areaSlowest[edge] = slowest
-	}
+	e.computeAreaSlowest()
 	// Cloud mailbox: phase fan-outs await at most SampledEdges replies
 	// (real or nack). Edge mailboxes must hold a whole phase's requests
 	// to one edge in the duplicate-slot worst case.
-	e.inbox = e.net.Register(NodeID{Cloud, 0}, 2*e.cfg.SampledEdges+4)
+	e.inbox = e.net.Register(NodeID{Kind: Cloud, Index: 0}, 2*e.cfg.SampledEdges+4)
 	edgeBuf := e.cfg.SampledEdges + 2
 	if edgeBuf < 4 {
 		edgeBuf = 4
 	}
 	for edge := 0; edge < e.top.NumEdges; edge++ {
-		id := NodeID{Edge, edge}
-		port := NodeID{ReplyPort, edge}
+		id := NodeID{Kind: Edge, Index: edge}
+		port := NodeID{Kind: ReplyPort, Index: edge}
 		a := &edgeActor{
 			id:      id,
 			port:    port,
@@ -230,12 +214,12 @@ func (e *engine) start() error {
 			retries: e.retries,
 		}
 		for c := 0; c < e.top.ClientsPerEdge; c++ {
-			a.clients = append(a.clients, NodeID{Client, e.top.ClientID(edge, c)})
+			a.clients = append(a.clients, NodeID{Kind: Client, Index: e.top.ClientID(edge, c)})
 		}
 		e.wg.Add(1)
 		go a.run(&e.wg)
 		for c := 0; c < e.top.ClientsPerEdge; c++ {
-			cid := NodeID{Client, e.top.ClientID(edge, c)}
+			cid := NodeID{Kind: Client, Index: e.top.ClientID(edge, c)}
 			ca := &clientActor{
 				id:      cid,
 				net:     e.net,
@@ -255,12 +239,35 @@ func (e *engine) start() error {
 	return nil
 }
 
+// computeAreaSlowest derives the per-client speed factors (log-normal)
+// and reduces them to the per-area slowest, which gates every
+// synchronous block. The draws come from a dedicated child of the
+// config seed, so the in-process engine and the distributed cloud (which
+// hosts no clients but still charges the same simulated time) agree.
+func (e *engine) computeAreaSlowest() {
+	e.areaSlowest = make([]float64, e.top.NumEdges)
+	sr := rng.New(e.cfg.Seed).Child('s')
+	for edge := 0; edge < e.top.NumEdges; edge++ {
+		slowest := 1.0
+		for c := 0; c < e.top.ClientsPerEdge; c++ {
+			speed := 1.0
+			if e.stragglerSigma > 0 {
+				speed = math.Exp(e.stragglerSigma * sr.NormFloat64())
+			}
+			if speed > slowest {
+				slowest = speed
+			}
+		}
+		e.areaSlowest[edge] = slowest
+	}
+}
+
 // stop terminates all actors and waits for them.
 func (e *engine) stop() {
 	for edge := 0; edge < e.top.NumEdges; edge++ {
-		e.net.Send(Message{From: NodeID{Cloud, 0}, To: NodeID{Edge, edge}, Kind: "stop", Payload: stopMsg{}})
+		e.net.Send(Message{From: NodeID{Kind: Cloud, Index: 0}, To: NodeID{Kind: Edge, Index: edge}, Kind: "stop", Payload: stopMsg{}})
 		for c := 0; c < e.top.ClientsPerEdge; c++ {
-			e.net.Send(Message{From: NodeID{Cloud, 0}, To: NodeID{Client, e.top.ClientID(edge, c)}, Kind: "stop", Payload: stopMsg{}})
+			e.net.Send(Message{From: NodeID{Kind: Cloud, Index: 0}, To: NodeID{Kind: Client, Index: e.top.ClientID(edge, c)}, Kind: "stop", Payload: stopMsg{}})
 		}
 	}
 	e.wg.Wait()
@@ -324,7 +331,7 @@ func (e *engine) round(k int, st *fl.State) {
 	dBytes := topology.ModelBytes(d)
 	pool := e.net.pool
 	kr := st.Root.ChildVal('k').ChildVal(uint64(k))
-	cloudID := NodeID{Cloud, 0}
+	cloudID := NodeID{Kind: Cloud, Index: 0}
 	track := cfg.TrackAverages
 
 	// ---- Phase 1 ----
@@ -349,7 +356,7 @@ func (e *engine) round(k int, st *fl.State) {
 		req := edgeTrainReqPool.Get().(*edgeTrainReq)
 		*req = edgeTrainReq{W: w, C1: c1, C2: c2, Slot: i, Stream: ss, Doomed: doomed}
 		ok := e.net.SendRetry(Message{
-			From: cloudID, To: NodeID{Edge, edge}, Kind: "edge-train-req",
+			From: cloudID, To: NodeID{Kind: Edge, Index: edge}, Kind: "edge-train-req",
 			Round: k, Bytes: payloadBytes(w), Payload: req,
 		}, e.retries)
 		if ok {
@@ -495,7 +502,7 @@ func (e *engine) round(k int, st *fl.State) {
 		req := edgeLossReqPool.Get().(*edgeLossReq)
 		*req = edgeLossReq{W: w, Seq: i, LossBatch: cfg.LossBatch, Stream: es, Doomed: doomed}
 		ok := e.net.SendRetry(Message{
-			From: cloudID, To: NodeID{Edge, edge}, Kind: "edge-loss-req",
+			From: cloudID, To: NodeID{Kind: Edge, Index: edge}, Kind: "edge-loss-req",
 			Round: k, Bytes: payloadBytes(w), Payload: req,
 		}, e.retries)
 		if ok {

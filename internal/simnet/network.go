@@ -10,86 +10,36 @@
 package simnet
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
-// NodeKind classifies nodes in the hierarchy.
-type NodeKind int
+// The protocol vocabulary — node identifiers, the message envelope and
+// the payload structs — lives in internal/wire so both transports (the
+// in-process fabric here and the TCP runtimes in dist.go) speak exactly
+// the same types; the aliases keep every actor and engine untouched.
+type (
+	// NodeKind classifies nodes in the hierarchy.
+	NodeKind = wire.NodeKind
+	// NodeID identifies a node: the cloud is {Cloud, 0}, edge servers
+	// are {Edge, e}, clients are {Client, globalClientIndex}.
+	NodeID = wire.NodeID
+	// Message is one transfer over the network.
+	Message = wire.Message
+)
 
 // Node kinds. ReplyPort is the dedicated response mailbox of an edge
 // server, kept separate from its request mailbox so queued requests are
 // never consumed by a reply-await loop.
 const (
-	Cloud NodeKind = iota
-	Edge
-	Client
-	ReplyPort
+	Cloud     = wire.Cloud
+	Edge      = wire.Edge
+	Client    = wire.Client
+	ReplyPort = wire.ReplyPort
 )
-
-func (k NodeKind) String() string {
-	switch k {
-	case Cloud:
-		return "cloud"
-	case Edge:
-		return "edge"
-	case Client:
-		return "client"
-	case ReplyPort:
-		return "edge-port"
-	}
-	return fmt.Sprintf("kind(%d)", int(k))
-}
-
-// NodeID identifies a node: the cloud is {Cloud, 0}, edge servers are
-// {Edge, e}, clients are {Client, globalClientIndex}.
-type NodeID struct {
-	Kind  NodeKind
-	Index int
-}
-
-func (id NodeID) String() string { return fmt.Sprintf("%s-%d", id.Kind, id.Index) }
-
-// Message is one transfer over the network.
-type Message struct {
-	From, To NodeID
-	// Kind names the protocol step (e.g. "train-req"); used by the drop
-	// hook and the statistics.
-	Kind string
-	// Payload is the message body; senders must not retain references to
-	// mutable payload state after a successful Send (single-owner
-	// discipline — pooled payload vectors transfer to the receiver). If
-	// Send returns false the sender still owns the payload and must
-	// release it.
-	Payload any
-	// Bytes is the simulated wire size used by the latency model and the
-	// per-link byte counters: the actual payload bytes of the transfer.
-	Bytes int64
-	// Round is the training round the message belongs to; the fault
-	// schedule keys per-round decisions (crashes, partitions) on it.
-	Round int
-	// Ctrl marks simulation-internal control traffic: timeout nacks and
-	// lifecycle messages. Control traffic is reliable by construction
-	// (see control) — a nack models the receiver-side deadline firing,
-	// which no network fault can prevent.
-	Ctrl bool
-}
-
-// control reports whether the message is control-plane traffic (actor
-// lifecycle, timeout nacks) rather than a protocol step. Control
-// messages are exempt from the drop hook (the simulated failures model
-// lossy data links, not the simulation's own bookkeeping) and are
-// excluded from Sent/Lost and the link-class counters.
-func (m Message) control() bool {
-	if m.Ctrl {
-		return true
-	}
-	_, ok := m.Payload.(stopMsg)
-	return ok
-}
 
 // DropFunc decides whether a message is lost in transit. It runs on the
 // sender's goroutine and must be safe for concurrent use.
@@ -109,6 +59,7 @@ type DropFunc func(Message) bool
 type Network struct {
 	mu       sync.Mutex
 	boxes    map[NodeID]chan Message
+	remotes  map[NodeID]func(Message)
 	drop     DropFunc // immutable after Seal
 	sealed   atomic.Bool
 	closed   atomic.Bool
@@ -130,9 +81,10 @@ type Network struct {
 func NewNetwork() *Network {
 	h := obs.Get()
 	return &Network{
-		boxes: make(map[NodeID]chan Message),
-		om:    newNetObs(h),
-		pool:  newVecPool(h),
+		boxes:   make(map[NodeID]chan Message),
+		remotes: make(map[NodeID]func(Message)),
+		om:      newNetObs(h),
+		pool:    newVecPool(h),
 	}
 }
 
@@ -238,9 +190,50 @@ func (n *Network) Register(id NodeID, buffer int) <-chan Message {
 	if _, ok := n.boxes[id]; ok {
 		panic("simnet: duplicate registration of " + id.String())
 	}
+	if _, ok := n.remotes[id]; ok {
+		panic("simnet: " + id.String() + " already registered as remote")
+	}
 	ch := make(chan Message, buffer)
 	n.boxes[id] = ch
 	return ch
+}
+
+// RegisterRemote routes messages addressed to id into sink instead of a
+// local mailbox — the transport seam the TCP runtimes plug into: the
+// sink typically enqueues onto a wire.Peer's bounded send queue, so a
+// Send to a remote node exerts real backpressure. The sink runs on the
+// sender's goroutine and takes ownership of the message payload exactly
+// like a mailbox receiver would. Setup-phase only, like Register.
+func (n *Network) RegisterRemote(id NodeID, sink func(Message)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.sealed.Load() {
+		panic("simnet: RegisterRemote after Seal")
+	}
+	if _, ok := n.boxes[id]; ok {
+		panic("simnet: " + id.String() + " already registered as local")
+	}
+	if _, ok := n.remotes[id]; ok {
+		panic("simnet: duplicate remote registration of " + id.String())
+	}
+	n.remotes[id] = sink
+}
+
+// Inject delivers an inbound message from another process directly into
+// its local mailbox, bypassing the drop hook and every counter: the
+// message was counted (and its loss decided) once, at the sending
+// process's Network, so counting it again would double-book the
+// cross-process totals. Injecting to a node this process doesn't host
+// panics — that is a routing bug.
+func (n *Network) Inject(msg Message) {
+	if !n.sealed.Load() {
+		panic("simnet: Inject before Seal")
+	}
+	box, ok := n.boxes[msg.To]
+	if !ok {
+		panic("simnet: Inject to non-local node " + msg.To.String())
+	}
+	box <- msg
 }
 
 // Seal freezes the route table. After Seal the node set and drop hook
@@ -269,15 +262,22 @@ func (n *Network) Send(msg Message) bool {
 	if n.closed.Load() {
 		return false
 	}
-	box, ok := n.boxes[msg.To]
-	if !ok {
-		panic("simnet: send to unregistered node " + msg.To.String())
+	box, local := n.boxes[msg.To]
+	var sink func(Message)
+	if !local {
+		if sink = n.remotes[msg.To]; sink == nil {
+			panic("simnet: send to unregistered node " + msg.To.String())
+		}
 	}
-	if msg.control() {
+	if msg.IsControl() {
 		// Control plane: reliable by construction, counted apart so the
 		// protocol counters reconcile with the topology.Ledger.
 		n.ctrl.Add(1)
-		box <- msg
+		if local {
+			box <- msg
+		} else {
+			sink(msg)
+		}
 		if n.om != nil {
 			n.om.control.Inc()
 		}
@@ -291,10 +291,17 @@ func (n *Network) Send(msg Message) bool {
 		}
 		return false
 	}
-	queued := len(box) + 1 // depth including this message at enqueue time
-	box <- msg
-	if n.om != nil {
-		n.om.observe(msg, queued, false)
+	if local {
+		queued := len(box) + 1 // depth including this message at enqueue time
+		box <- msg
+		if n.om != nil {
+			n.om.observe(msg, queued, false)
+		}
+	} else {
+		sink(msg)
+		if n.om != nil {
+			n.om.observe(msg, 1, false)
+		}
 	}
 	return true
 }

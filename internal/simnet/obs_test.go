@@ -113,11 +113,11 @@ func TestObsDropCounters(t *testing.T) {
 	defer obs.SetGlobal(prev)
 
 	n := NewNetwork()
-	n.Register(NodeID{Client, 0}, 4)
+	n.Register(NodeID{Kind: Client, Index: 0}, 4)
 	n.SetDrop(func(m Message) bool { return m.Kind == "lossy" })
 	n.Seal()
-	n.Send(Message{From: NodeID{Edge, 0}, To: NodeID{Client, 0}, Kind: "lossy", Bytes: 8})
-	n.Send(Message{From: NodeID{Edge, 0}, To: NodeID{Client, 0}, Kind: "fine", Bytes: 8})
+	n.Send(Message{From: NodeID{Kind: Edge, Index: 0}, To: NodeID{Kind: Client, Index: 0}, Kind: "lossy", Bytes: 8})
+	n.Send(Message{From: NodeID{Kind: Edge, Index: 0}, To: NodeID{Kind: Client, Index: 0}, Kind: "fine", Bytes: 8})
 
 	reg := hub.Registry()
 	if got := reg.Counter(`simnet_messages_dropped_total{link="client-edge"}`).Value(); got != 1 {

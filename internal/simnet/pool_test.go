@@ -120,9 +120,9 @@ func TestSealContract(t *testing.T) {
 	}
 	t.Run("register after seal", func(t *testing.T) {
 		n := NewNetwork()
-		n.Register(NodeID{Client, 0}, 1)
+		n.Register(NodeID{Kind: Client, Index: 0}, 1)
 		n.Seal()
-		expectPanic(t, "Register after Seal", func() { n.Register(NodeID{Client, 1}, 1) })
+		expectPanic(t, "Register after Seal", func() { n.Register(NodeID{Kind: Client, Index: 1}, 1) })
 	})
 	t.Run("setdrop after seal", func(t *testing.T) {
 		n := NewNetwork()
@@ -131,9 +131,9 @@ func TestSealContract(t *testing.T) {
 	})
 	t.Run("send before seal", func(t *testing.T) {
 		n := NewNetwork()
-		n.Register(NodeID{Client, 0}, 1)
+		n.Register(NodeID{Kind: Client, Index: 0}, 1)
 		expectPanic(t, "Send before Seal", func() {
-			n.Send(Message{To: NodeID{Client, 0}, Kind: "x"})
+			n.Send(Message{To: NodeID{Kind: Client, Index: 0}, Kind: "x"})
 		})
 	})
 	t.Run("double seal", func(t *testing.T) {
@@ -153,7 +153,7 @@ func TestSealedConcurrentSend(t *testing.T) {
 	const perSender = 500
 	boxes := make([]<-chan Message, targets)
 	for i := 0; i < targets; i++ {
-		boxes[i] = n.Register(NodeID{Client, i}, senders*perSender/targets)
+		boxes[i] = n.Register(NodeID{Kind: Client, Index: i}, senders*perSender/targets)
 	}
 	n.SetDrop(func(m Message) bool { return m.Kind == "lossy" })
 	n.Seal()
@@ -169,7 +169,7 @@ func TestSealedConcurrentSend(t *testing.T) {
 					kind = "lossy"
 				}
 				n.Send(Message{
-					From: NodeID{Edge, s}, To: NodeID{Client, (s + i) % targets},
+					From: NodeID{Kind: Edge, Index: s}, To: NodeID{Kind: Client, Index: (s + i) % targets},
 					Kind: kind, Bytes: 8,
 				})
 			}
@@ -203,11 +203,11 @@ func TestSealedConcurrentSendUnderFaults(t *testing.T) {
 	n := NewNetwork()
 	const senders = 16
 	const perSender = 400
-	cloud := NodeID{Cloud, 0}
+	cloud := NodeID{Kind: Cloud, Index: 0}
 	n.Register(cloud, senders*perSender)
 	boxes := make([]<-chan Message, top.NumEdges)
 	for e := 0; e < top.NumEdges; e++ {
-		boxes[e] = n.Register(NodeID{Edge, e}, senders*perSender)
+		boxes[e] = n.Register(NodeID{Kind: Edge, Index: e}, senders*perSender)
 	}
 	sched := &chaos.Schedule{Seed: 42, PartitionProb: 0.2, LossProb: 0.1, CrashProb: 0.3}
 	user := func(m Message) bool { return m.Kind == "doomed-anyway" }
@@ -225,7 +225,7 @@ func TestSealedConcurrentSendUnderFaults(t *testing.T) {
 					kind = "doomed-anyway"
 				}
 				msg := Message{
-					From: cloud, To: NodeID{Edge, (s + i) % top.NumEdges},
+					From: cloud, To: NodeID{Kind: Edge, Index: (s + i) % top.NumEdges},
 					Kind: kind, Round: i % 11, Bytes: 8,
 				}
 				if i%3 == 0 {

@@ -14,9 +14,9 @@ import (
 
 func TestNetworkBasics(t *testing.T) {
 	n := NewNetwork()
-	box := n.Register(NodeID{Client, 0}, 1)
+	box := n.Register(NodeID{Kind: Client, Index: 0}, 1)
 	n.Seal()
-	ok := n.Send(Message{From: NodeID{Cloud, 0}, To: NodeID{Client, 0}, Kind: "x", Payload: 42})
+	ok := n.Send(Message{From: NodeID{Kind: Cloud, Index: 0}, To: NodeID{Kind: Client, Index: 0}, Kind: "x", Payload: 42})
 	if !ok {
 		t.Fatal("send failed")
 	}
@@ -31,13 +31,13 @@ func TestNetworkBasics(t *testing.T) {
 
 func TestNetworkDuplicateRegistrationPanics(t *testing.T) {
 	n := NewNetwork()
-	n.Register(NodeID{Edge, 1}, 1)
+	n.Register(NodeID{Kind: Edge, Index: 1}, 1)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic")
 		}
 	}()
-	n.Register(NodeID{Edge, 1}, 1)
+	n.Register(NodeID{Kind: Edge, Index: 1}, 1)
 }
 
 func TestNetworkSendToUnregisteredPanics(t *testing.T) {
@@ -48,18 +48,18 @@ func TestNetworkSendToUnregisteredPanics(t *testing.T) {
 			t.Fatal("no panic")
 		}
 	}()
-	n.Send(Message{To: NodeID{Edge, 9}})
+	n.Send(Message{To: NodeID{Kind: Edge, Index: 9}})
 }
 
 func TestNetworkDrop(t *testing.T) {
 	n := NewNetwork()
-	n.Register(NodeID{Client, 0}, 4)
+	n.Register(NodeID{Kind: Client, Index: 0}, 4)
 	n.SetDrop(func(m Message) bool { return m.Kind == "lossy" })
 	n.Seal()
-	if n.Send(Message{To: NodeID{Client, 0}, Kind: "lossy"}) {
+	if n.Send(Message{To: NodeID{Kind: Client, Index: 0}, Kind: "lossy"}) {
 		t.Fatal("dropped message reported delivered")
 	}
-	if !n.Send(Message{To: NodeID{Client, 0}, Kind: "fine"}) {
+	if !n.Send(Message{To: NodeID{Kind: Client, Index: 0}, Kind: "fine"}) {
 		t.Fatal("clean message dropped")
 	}
 	if n.Lost() != 1 || n.Sent() != 2 {
@@ -69,17 +69,17 @@ func TestNetworkDrop(t *testing.T) {
 
 func TestNetworkClose(t *testing.T) {
 	n := NewNetwork()
-	n.Register(NodeID{Client, 0}, 1)
+	n.Register(NodeID{Kind: Client, Index: 0}, 1)
 	n.Seal()
 	n.Close()
-	if n.Send(Message{To: NodeID{Client, 0}}) {
+	if n.Send(Message{To: NodeID{Kind: Client, Index: 0}}) {
 		t.Fatal("send succeeded after close")
 	}
 }
 
 func TestNodeIDStrings(t *testing.T) {
 	for _, k := range []NodeKind{Cloud, Edge, Client, ReplyPort} {
-		if k.String() == "" || (NodeID{k, 3}).String() == "" {
+		if k.String() == "" || (NodeID{Kind: k, Index: 3}).String() == "" {
 			t.Fatal("empty name")
 		}
 	}

@@ -1,0 +1,285 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func mkAlloc() AllocFunc { return func(d int) []float64 { return make([]float64, d) } }
+
+// roundTrip encodes m, runs the frame reader over the bytes and decodes
+// the body back into a Message.
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	frame, err := AppendMessage(nil, m)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	fr := NewFrameReader(bytes.NewReader(frame), 0)
+	body, err := fr.Next()
+	if err != nil {
+		t.Fatalf("read frame: %v", err)
+	}
+	got, err := DecodeMessage(body, mkAlloc(), nil)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("trailing data after frame: err=%v", err)
+	}
+	return got
+}
+
+func sampleVec(n int, seed float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = seed*float64(i+1) + 0.125
+	}
+	// Exercise bit-exactness on awkward values.
+	v[0] = math.Copysign(0, -1)
+	if n > 1 {
+		v[1] = math.Nextafter(1, 2)
+	}
+	return v
+}
+
+func TestCodecRoundTripAllTypes(t *testing.T) {
+	st := rng.New(42).ChildN('c', 7)
+	st.NormFloat64() // leave a spare deviate in the stream state
+	env := Message{
+		From:  NodeID{Kind: Edge, Index: 3},
+		To:    NodeID{Kind: Cloud, Index: 0},
+		Round: 17,
+		Bytes: 8888,
+	}
+	payloads := []any{
+		&TrainReq{W: sampleVec(5, 1.5), Steps: 20, Batch: 8, ChkAt: 10, Eta: 0.05, Stream: *st, Client: 2},
+		&TrainReply{Client: 2, WFinal: sampleVec(5, 2.5), WChk: sampleVec(5, 3.5), IterSum: nil, Failed: false},
+		&LossReq{W: sampleVec(4, 0.5), Batch: 16, Stream: *st, Client: 1},
+		&LossReply{Client: 1, Loss: math.Nextafter(0.7, 1), Failed: false},
+		&EdgeTrainReq{W: sampleVec(6, 4.5), C1: 1, C2: 3, Slot: 2, Stream: *st, Doomed: true},
+		&EdgeTrainReply{Slot: 2, WEdge: sampleVec(6, 5.5), WChk: nil, IterSum: sampleVec(6, 6.5),
+			IterCount: 12, Failed: false, Doomed: false,
+			Acct: SlotAcct{Blocks: 3, DownMsgs: 6, DownBytes: 600, UpMsgs: 5, UpBytes: 500, TimeoutBlocks: 1}},
+		&EdgeLossReq{W: sampleVec(3, 7.5), Seq: 4, LossBatch: 32, Stream: *st, Doomed: false},
+		&EdgeLossReply{Seq: 4, Loss: -0.25, Failed: true, Doomed: true,
+			Acct: SlotAcct{Blocks: 1, DownMsgs: 2, DownBytes: 128, UpMsgs: 1, UpBytes: 64}},
+		Stop{},
+	}
+	for _, p := range payloads {
+		m := env
+		m.Payload = p
+		if _, isStop := p.(Stop); isStop {
+			m.Ctrl = true
+		}
+		got := roundTrip(t, m)
+		if got.From != m.From || got.To != m.To || got.Round != m.Round ||
+			got.Bytes != m.Bytes || got.Ctrl != m.Ctrl {
+			t.Errorf("%T: envelope mismatch: got %+v want %+v", p, got, m)
+		}
+		if !reflect.DeepEqual(got.Payload, p) {
+			t.Errorf("%T: payload mismatch:\n got %+v\nwant %+v", p, got.Payload, p)
+		}
+		if got.Kind == "" || got.Kind == "unknown" {
+			t.Errorf("%T: no kind string (got %q)", p, got.Kind)
+		}
+	}
+}
+
+func TestCodecKindStrings(t *testing.T) {
+	// Nacks are the same frame types with the ctrl flag set; the decoded
+	// Kind must reflect that, matching the in-process fabric's names.
+	m := Message{From: NodeID{Kind: Edge, Index: 1}, To: NodeID{Kind: Cloud}, Ctrl: true,
+		Payload: &EdgeTrainReply{Slot: 0, Failed: true}}
+	if got := roundTrip(t, m); got.Kind != "edge-train-nack" {
+		t.Fatalf("ctrl edge train reply decoded as %q, want edge-train-nack", got.Kind)
+	}
+	m.Ctrl = false
+	if got := roundTrip(t, m); got.Kind != "edge-train-reply" {
+		t.Fatalf("edge train reply decoded as %q", got.Kind)
+	}
+}
+
+func TestCodecStreamBitExact(t *testing.T) {
+	// The decoded stream must continue the exact deviate sequence the
+	// encoded one would have produced — the heart of cross-transport
+	// determinism.
+	src := rng.New(99).Child('x')
+	src.NormFloat64()
+	m := Message{From: NodeID{Kind: Cloud}, To: NodeID{Kind: Client, Index: 5},
+		Payload: &TrainReq{W: sampleVec(2, 1), Steps: 1, Batch: 1, Eta: 0.1, Stream: *src}}
+	got := roundTrip(t, m)
+	dec := got.Payload.(*TrainReq).Stream
+	want, have := *src, dec
+	for i := 0; i < 100; i++ {
+		if w, h := want.NormFloat64(), have.NormFloat64(); w != h {
+			t.Fatalf("deviate %d diverges: %v vs %v", i, w, h)
+		}
+	}
+}
+
+func TestCodecRejectsMalformed(t *testing.T) {
+	frame, err := AppendMessage(nil, Message{
+		From: NodeID{Kind: Cloud}, To: NodeID{Kind: Edge, Index: 1},
+		Payload: &EdgeTrainReq{W: sampleVec(4, 1), Stream: *rng.New(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := frame[4:]
+	if _, err := DecodeMessage(body[:len(body)-1], mkAlloc(), nil); err == nil {
+		t.Error("truncated body: want error")
+	}
+	if _, err := DecodeMessage(append(append([]byte{}, body...), 0), mkAlloc(), nil); err == nil {
+		t.Error("trailing byte: want error")
+	}
+	corrupt := append([]byte{}, body...)
+	corrupt[0] = 0x7f
+	if _, err := DecodeMessage(corrupt, mkAlloc(), nil); err == nil {
+		t.Error("unknown frame type: want error")
+	}
+	// Vector length pointing past the body must fail before allocating.
+	huge := append([]byte{}, body...)
+	// envelope is 1(type)+5+5+4+8+1 = 24 bytes; next is the vec presence
+	// byte then the u32 length.
+	huge[25], huge[26], huge[27], huge[28] = 0xff, 0xff, 0xff, 0x7f
+	allocs := 0
+	bigAlloc := func(d int) []float64 { allocs++; return make([]float64, d) }
+	if _, err := DecodeMessage(huge, bigAlloc, nil); err == nil {
+		t.Error("oversized vector length: want error")
+	}
+	if allocs != 0 {
+		t.Errorf("oversized vector length allocated %d vectors", allocs)
+	}
+}
+
+func TestCodecErrorReleasesVectors(t *testing.T) {
+	// A frame that fails after some vectors decoded must hand them to
+	// the free callback — otherwise the receiving arena leaks.
+	frame, err := AppendMessage(nil, Message{
+		From: NodeID{Kind: Edge, Index: 1}, To: NodeID{Kind: Cloud},
+		Payload: &EdgeTrainReply{Slot: 1, WEdge: sampleVec(3, 1), WChk: sampleVec(3, 2),
+			IterSum: sampleVec(3, 3), IterCount: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := frame[4:]
+	var got, freed int
+	alloc := func(d int) []float64 { got++; return make([]float64, d) }
+	free := func([]float64) { freed++ }
+	if _, err := DecodeMessage(body[:len(body)-1], alloc, free); err == nil {
+		t.Fatal("truncated body: want error")
+	}
+	if got == 0 || freed != got {
+		t.Fatalf("allocated %d vectors, freed %d; want all freed", got, freed)
+	}
+}
+
+func TestHelloReadyStatsRoundTrip(t *testing.T) {
+	h := Hello{Role: RoleEdge, Edge: 2, Addr: "127.0.0.1:45678", Fingerprint: 0xDEADBEEFCAFE}
+	frame, err := AppendHello(nil, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHello(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("hello round trip: got %+v want %+v", got, h)
+	}
+	if _, err := DecodeHello(frame[4 : len(frame)-1]); err == nil {
+		t.Error("truncated hello: want error")
+	}
+
+	rf := AppendReady(nil, 7)
+	if edge, err := DecodeReady(rf[4:]); err != nil || edge != 7 {
+		t.Fatalf("ready round trip: edge=%d err=%v", edge, err)
+	}
+
+	s := Stats{Sent: 100, Lost: 3, Ctrl: 12, Timeouts: 2, Retries: 1, Crashes: 1,
+		PoolOutstanding: 0, PoolRecycled: 900, PoolAllocated: 40}
+	sf := AppendStats(nil, 4, s)
+	edge, gotS, err := DecodeStats(sf[4:])
+	if err != nil || edge != 4 || gotS != s {
+		t.Fatalf("stats round trip: edge=%d stats=%+v err=%v", edge, gotS, err)
+	}
+	var sum Stats
+	sum.Add(s)
+	sum.Add(s)
+	if sum.Sent != 200 || sum.PoolAllocated != 80 {
+		t.Fatalf("stats add: %+v", sum)
+	}
+}
+
+func TestFrameReaderLimits(t *testing.T) {
+	// Oversized length prefix fails without allocating the body.
+	frame := []byte{0xff, 0xff, 0xff, 0xff, 0x00}
+	fr := NewFrameReader(bytes.NewReader(frame), 1<<20)
+	if _, err := fr.Next(); err != ErrFrameTooLarge {
+		t.Fatalf("oversized frame: got %v want ErrFrameTooLarge", err)
+	}
+	// Zero-length frame is invalid (no type byte).
+	fr = NewFrameReader(bytes.NewReader([]byte{0, 0, 0, 0}), 0)
+	if _, err := fr.Next(); err == nil {
+		t.Fatal("zero-length frame: want error")
+	}
+	// A stream cut mid-frame reports ErrUnexpectedEOF (the injected
+	// reset path: partial frames are discarded, not delivered).
+	good := AppendReady(nil, 1)
+	fr = NewFrameReader(bytes.NewReader(good[:len(good)-2]), 0)
+	if _, err := fr.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("cut mid-frame: got %v want ErrUnexpectedEOF", err)
+	}
+	// A cut inside the length prefix itself also reports ErrUnexpectedEOF.
+	fr = NewFrameReader(bytes.NewReader(good[:2]), 0)
+	if _, err := fr.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("cut in prefix: got %v want ErrUnexpectedEOF", err)
+	}
+	// Clean EOF between frames is io.EOF.
+	fr = NewFrameReader(bytes.NewReader(nil), 0)
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("empty stream: got %v want io.EOF", err)
+	}
+}
+
+func TestFrameReaderSequential(t *testing.T) {
+	var stream []byte
+	stream = AppendReady(stream, 1)
+	stream = AppendStats(stream, 2, Stats{Sent: 5})
+	frame, err := AppendMessage(nil, Message{From: NodeID{Kind: Cloud}, To: NodeID{Kind: Edge, Index: 1},
+		Ctrl: true, Payload: Stop{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream = append(stream, frame...)
+	fr := NewFrameReader(bytes.NewReader(stream), 0)
+	b1, err := fr.Next()
+	if err != nil || b1[0] != FrameReady {
+		t.Fatalf("frame 1: %v type %x", err, b1[0])
+	}
+	b2, err := fr.Next()
+	if err != nil || b2[0] != FrameStats {
+		t.Fatalf("frame 2: %v", err)
+	}
+	b3, err := fr.Next()
+	if err != nil {
+		t.Fatalf("frame 3: %v", err)
+	}
+	m, err := DecodeMessage(b3, mkAlloc(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Payload.(Stop); !ok || m.Kind != "stop" {
+		t.Fatalf("frame 3 decoded as %+v", m)
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("end of stream: %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzDecodeMessage feeds arbitrary bytes into the protocol-frame
+// decoder. The invariants: never panic, never allocate vectors beyond
+// the bytes actually present, and release every allocated vector when
+// the frame is rejected.
+func FuzzDecodeMessage(f *testing.F) {
+	// Seed with valid frames of each shape so the fuzzer starts from
+	// deep coverage, plus degenerate inputs.
+	seedMsgs := []Message{
+		{From: NodeID{Kind: Cloud}, To: NodeID{Kind: Edge, Index: 1},
+			Payload: &EdgeTrainReq{W: []float64{1, 2, 3}, C1: 0, C2: 2, Slot: 1, Stream: *rng.New(7)}},
+		{From: NodeID{Kind: Edge, Index: 1}, To: NodeID{Kind: Cloud},
+			Payload: &EdgeTrainReply{Slot: 1, WEdge: []float64{4, 5}, IterSum: []float64{6, 7}, IterCount: 2}},
+		{From: NodeID{Kind: Client, Index: 3}, To: NodeID{Kind: Edge, Index: 0},
+			Payload: &TrainReply{Client: 3, WFinal: []float64{1}, WChk: []float64{2}}},
+		{From: NodeID{Kind: Cloud}, To: NodeID{Kind: Client, Index: 0},
+			Payload: &LossReq{W: []float64{0.5}, Batch: 4, Stream: *rng.New(3)}},
+		{From: NodeID{Kind: Edge, Index: 2}, To: NodeID{Kind: Cloud}, Ctrl: true,
+			Payload: &EdgeLossReply{Seq: 9, Failed: true}},
+		{From: NodeID{Kind: Cloud}, To: NodeID{Kind: Edge, Index: 0}, Ctrl: true, Payload: Stop{}},
+	}
+	for _, m := range seedMsgs {
+		frame, err := AppendMessage(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{frameTrainReq})
+	f.Add([]byte{0xff, 0x01, 0x02})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var allocated, freed, allocBytes int
+		alloc := func(d int) []float64 {
+			allocated++
+			allocBytes += d * 8
+			return make([]float64, d)
+		}
+		free := func([]float64) { freed++ }
+		m, err := DecodeMessage(body, alloc, free)
+		if err != nil {
+			if freed != allocated {
+				t.Fatalf("rejected frame leaked vectors: allocated %d freed %d", allocated, freed)
+			}
+			return
+		}
+		// A decoded vector can never be larger than the input that
+		// carried it: bounded allocation.
+		if allocBytes > len(body) {
+			t.Fatalf("allocated %d vector bytes from a %d-byte body", allocBytes, len(body))
+		}
+		// Accepted frames must re-encode: the decoder only admits
+		// well-formed messages.
+		if _, err := AppendMessage(nil, m); err != nil {
+			t.Fatalf("decoded message does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzFrameReader feeds arbitrary byte streams into the length-prefixed
+// frame reader chained into the decoders: no panic, no unbounded
+// allocation (the size cap rejects hostile length prefixes first).
+func FuzzFrameReader(f *testing.F) {
+	valid, _ := AppendMessage(nil, Message{From: NodeID{Kind: Cloud}, To: NodeID{Kind: Edge, Index: 1},
+		Payload: &TrainReq{W: []float64{1}, Steps: 1, Batch: 1, Eta: 0.1, Stream: *rng.New(1)}})
+	f.Add(valid)
+	f.Add(append(AppendReady(nil, 2), valid...))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{4, 0, 0, 0, 1, 2})
+
+	const maxFrame = 1 << 16
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		fr := NewFrameReader(bytes.NewReader(stream), maxFrame)
+		for {
+			body, err := fr.Next()
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF &&
+					err != ErrFrameTooLarge && err != errTruncated {
+					t.Fatalf("unexpected frame reader error: %v", err)
+				}
+				return
+			}
+			if len(body) > maxFrame {
+				t.Fatalf("frame reader returned %d bytes above the %d cap", len(body), maxFrame)
+			}
+			switch body[0] {
+			case FrameHello:
+				DecodeHello(body)
+			case FrameReady:
+				DecodeReady(body)
+			case FrameStats:
+				DecodeStats(body)
+			default:
+				DecodeMessage(body, func(d int) []float64 { return make([]float64, d) }, nil)
+			}
+		}
+	})
+}
