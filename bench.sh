@@ -1,32 +1,48 @@
 #!/bin/sh
 # Performance gate: benchmarks the engine hot path, the distributed
 # wire runtime and the sweep scheduler and records the numbers in
-# BENCH_6.json so perf regressions are diffable in review.
+# BENCH_7.json so perf regressions are diffable in review.
 #
-#   ./bench.sh            # ~2 min, writes BENCH_6.json
+#   ./bench.sh            # ~3 min, writes BENCH_7.json
 #
 # BenchmarkEngineRound, BenchmarkSimnetRound and BenchmarkWireRound are
 # the round-level contract benchmarks: one HierMinimax round (Phase 1 +
 # Phase 2) on the smoke workload — in-process, over the actor message
 # fabric, and over loopback TCP sockets respectively (examples/sec
 # counts gradient examples per wall second; the Simnet→Wire gap is the
-# cost of framing and socket I/O). BenchmarkSweep is the run-level
+# cost of framing and socket I/O). BenchmarkEngineRoundKernel repeats
+# the in-process round under every forced kernel class, so the file
+# carries directly comparable generic/sse2/avx2 numbers from one
+# machine and one invocation — the avx2/sse2 examples/sec ratio is the
+# AVX2 tier's acceptance headline. BenchmarkSweep is the run-level
 # contract: the smoke Fig. 3 grid on the work-stealing pool with a hot
 # dataset cache, reporting runs/sec and allocs/run. SimnetRound
 # allocs/op (vs the BENCH_3.json record), Sweep allocs/run (vs
-# BENCH_5.json) and WireRound allocs/op (vs BENCH_6.json) are gated by
+# BENCH_5.json) and WireRound allocs/op (vs BENCH_7.json) are gated by
 # CI_BENCH=1 ./ci.sh.
+#
+# Comparability: benchtime and repetition count are fixed (override
+# with BENCH_TIME / BENCH_COUNT for exploratory runs only — committed
+# records must use the defaults), the awk pass keeps the best (min
+# ns/op) of the repetitions to suppress scheduling noise, and the
+# output records the CPU model and the default kernel class so numbers
+# from different machines are never silently compared.
 set -eu
 
-OUT=${1:-BENCH_6.json}
+OUT=${1:-BENCH_7.json}
 COUNT=${BENCH_COUNT:-3}
 TIME=${BENCH_TIME:-2s}
 
-RAW=$(go test -run '^$' -bench 'BenchmarkEngineRound$|BenchmarkSimnetRound$|BenchmarkWireRound$|BenchmarkSweep$' \
+CPU_MODEL=$(sed -n 's/^model name[^:]*: //p' /proc/cpuinfo 2>/dev/null | head -1)
+[ -n "$CPU_MODEL" ] || CPU_MODEL=unknown
+KERNEL_CLASS=$(go run ./cmd/hierminimax -print-kernel)
+
+RAW=$(go test -run '^$' -bench 'BenchmarkEngineRound$|BenchmarkEngineRoundKernel$|BenchmarkSimnetRound$|BenchmarkWireRound$|BenchmarkSweep$' \
 	-benchmem -benchtime "$TIME" -count "$COUNT" .)
 echo "$RAW"
 
-echo "$RAW" | awk -v out="$OUT" '
+echo "$RAW" | awk -v out="$OUT" -v cpu="$CPU_MODEL" -v kc="$KERNEL_CLASS" \
+	-v btime="$TIME" -v bcount="$COUNT" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
@@ -49,7 +65,12 @@ echo "$RAW" | awk -v out="$OUT" '
 	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
 }
 END {
-	printf "{\n  \"benchmarks\": [\n" > out
+	printf "{\n" > out
+	printf "  \"cpu_model\": \"%s\",\n", cpu > out
+	printf "  \"kernel_class\": \"%s\",\n", kc > out
+	printf "  \"benchtime\": \"%s\",\n", btime > out
+	printf "  \"count\": %d,\n", bcount > out
+	printf "  \"benchmarks\": [\n" > out
 	for (i = 1; i <= n; i++) {
 		name = order[i]
 		printf "    {\"name\": \"%s\", \"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f, \"examples_per_sec\": %.0f, \"runs_per_sec\": %.2f, \"allocs_per_run\": %.0f}%s\n", \

@@ -17,6 +17,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/sched"
 	"repro/internal/simnet"
+	"repro/internal/tensor"
 )
 
 // reportFig attaches figure metrics for one algorithm's series.
@@ -169,6 +170,32 @@ func BenchmarkEngineRound(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRoundKernel runs the EngineRound workload under each
+// forced kernel class, so one invocation yields the comparable
+// generic/sse2/avx2 numbers BENCH_7.json records (the AVX2 tier's
+// acceptance ratio is avx2 examples/sec over sse2 examples/sec from the
+// same run). SetKernel swaps happen strictly before and after Run, so
+// the unsynchronized dispatch swap is safe.
+func BenchmarkEngineRoundKernel(b *testing.B) {
+	for _, c := range []tensor.KernelClass{tensor.KernelGeneric, tensor.KernelSSE2, tensor.KernelAVX2} {
+		c := c
+		b.Run(c.String(), func(b *testing.B) {
+			restore := tensor.SetKernel(c)
+			defer restore()
+			spec := benchBaseSpec()
+			spec.Rounds = b.N
+			spec.EvalEvery = 0
+			if _, err := Run(spec); err != nil {
+				b.Fatal(err)
+			}
+			examples := spec.SampledEdges * spec.ClientsPerEdge * spec.Tau1 * spec.Tau2 * spec.BatchSize
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(examples*b.N)/sec, "examples/sec")
+			}
+		})
+	}
+}
+
 // BenchmarkSimnetRound measures one actor-engine round, including all
 // message passing. Its B/op and allocs/op are the contract numbers of
 // the zero-copy message fabric (recorded in BENCH_3.json and gated by
@@ -196,7 +223,7 @@ func BenchmarkSimnetRound(b *testing.B) {
 // in-process twin of the cmd/hierminimax -role layout). The gap to
 // BenchmarkSimnetRound is the full cost of framing, socket I/O and the
 // connection pool; its allocs/op is the wire codec's contract number
-// (recorded in BENCH_6.json and gated by CI_BENCH=1 ./ci.sh).
+// (recorded in BENCH_7.json and gated by CI_BENCH=1 ./ci.sh).
 func BenchmarkWireRound(b *testing.B) {
 	spec := benchBaseSpec()
 	spec.Engine = EngineSimNet

@@ -23,6 +23,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/tensor"
 )
 
 // knownExps is the -exp vocabulary (beyond "all").
@@ -58,6 +59,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want fig3|fig4|table2|table1|rates|stationarity|ablations|chaos|all)\n", *exp)
 		os.Exit(1)
 	}
+	// Artifacts are reproducible per (seed, kernel class): the rounding
+	// regime is part of the provenance, so announce it before any run.
+	fmt.Printf("kernel class: %s\n", tensor.ActiveKernel())
 
 	obsDone, err := obs.Setup(*metricsOut, *traceOut, *pprofDir)
 	if err != nil {

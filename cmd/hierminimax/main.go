@@ -26,6 +26,7 @@ import (
 
 	"repro"
 	"repro/internal/obs"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -67,11 +68,23 @@ func main() {
 	flag.Uint64Var(&spec.Chaos.Seed, "chaos-seed", 0, "fault-schedule seed (0 = derive from -seed)")
 	flag.Uint64Var(&spec.Seed, "seed", 1, "random seed")
 	flag.IntVar(&spec.EvalEvery, "eval", 100, "evaluate every this many rounds")
+	printKernel := flag.Bool("print-kernel", false, "print the active tensor kernel class and exit")
 	saveModel := flag.String("savemodel", "", "write the trained model (gob) to this path")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus-text metrics here at exit (plus a .json snapshot beside it)")
 	traceOut := flag.String("trace-out", "", "stream a JSONL span/event trace journal to this path")
 	pprofDir := flag.String("pprof", "", "capture cpu.pprof and heap.pprof into this directory")
 	flag.Parse()
+
+	if *printKernel {
+		fmt.Println(tensor.ActiveKernel())
+		return
+	}
+	// The kernel class is the rounding regime every result below depends
+	// on (DESIGN.md §8); print it up front so recorded runs are
+	// attributable, and so multi-process logs show at a glance why a
+	// mismatched peer was refused by the handshake fingerprint.
+	fmt.Printf("kernel class: %s (%s override: %s)\n",
+		tensor.ActiveKernel(), tensor.KernelEnv, envOr(tensor.KernelEnv, "unset"))
 
 	spec.Algorithm = hierfair.Algorithm(alg)
 	spec.Dataset = hierfair.Dataset(dataset)
@@ -204,6 +217,13 @@ func main() {
 	if *pprofDir != "" {
 		fmt.Printf("profiles written to %s\n", *pprofDir)
 	}
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
 }
 
 func fmtWeights(p []float64) string {

@@ -1,10 +1,15 @@
 // Package invariance_test pins the exact floating-point trajectories of
-// every training engine on the fltest fixtures. The goldens in testdata
-// were recorded before the batched-kernel rewrite; any change to the
-// arithmetic order of the hot path (kernels, batching, parallel
-// reductions) shows up here as a hash mismatch. Regenerate deliberately
-// with `go test ./internal/invariance -update` after an intentional
-// trajectory change.
+// every training engine on the fltest fixtures, per kernel class. The
+// dispatch ladder (tensor.KernelClass) defines two rounding regimes:
+// the non-FMA regime (generic and sse2, bitwise identical by contract)
+// pinned by testdata/trajectories.json, and the FMA regime (avx2, one
+// rounding per multiply-add) pinned by testdata/trajectories_avx2.json.
+// Any change to the arithmetic order of the hot path (kernels,
+// batching, parallel reductions) shows up here as a hash mismatch in
+// the affected regime. Regenerate both files deliberately with
+// `go test ./internal/invariance -update` after an intentional
+// trajectory change — update mode forces each regime in turn, so one
+// run on any machine rewrites both.
 package invariance_test
 
 import (
@@ -24,9 +29,10 @@ import (
 	"repro/internal/fl"
 	"repro/internal/fl/fltest"
 	"repro/internal/simnet"
+	"repro/internal/tensor"
 )
 
-var update = flag.Bool("update", false, "rewrite testdata/trajectories.json from the current code")
+var update = flag.Bool("update", false, "rewrite testdata/trajectories*.json from the current code")
 
 // hashResult digests everything trajectory-relevant in a Result: the
 // final model and edge weights, the time averages when tracked, and every
@@ -53,7 +59,8 @@ func hashResult(res *fl.Result) string {
 }
 
 // cases enumerates the engine/config combinations whose trajectories are
-// pinned. Every case must be a pure function of its seed.
+// pinned. Every case must be a pure function of its seed and the active
+// kernel class.
 func cases() map[string]func() (*fl.Result, error) {
 	seqCfg := fltest.ToyConfig()
 	seqCfg.Sequential = true
@@ -118,9 +125,19 @@ func cases() map[string]func() (*fl.Result, error) {
 	}
 }
 
-const goldenPath = "testdata/trajectories.json"
+// goldenFile maps a kernel class to the fixture pinning its rounding
+// regime. generic and sse2 share one file — TestSSE2MatchesGeneric (in
+// internal/tensor) and TestCrossClassGoldens below keep that sharing
+// honest — while the FMA tier gets its own.
+func goldenFile(c tensor.KernelClass) string {
+	if c == tensor.KernelAVX2 {
+		return "testdata/trajectories_avx2.json"
+	}
+	return "testdata/trajectories.json"
+}
 
-func TestTrajectoriesMatchGolden(t *testing.T) {
+func runAll(t *testing.T) map[string]string {
+	t.Helper()
 	got := map[string]string{}
 	for name, run := range cases() {
 		res, err := run()
@@ -129,32 +146,36 @@ func TestTrajectoriesMatchGolden(t *testing.T) {
 		}
 		got[name] = hashResult(res)
 	}
+	return got
+}
 
-	if *update {
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		keys := make([]string, 0, len(got))
-		for k := range got {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		ordered := make(map[string]string, len(got))
-		for _, k := range keys {
-			ordered[k] = got[k]
-		}
-		blob, err := json.MarshalIndent(ordered, "", "  ")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("wrote %s", goldenPath)
-		return
+func writeGolden(t *testing.T, path string, got map[string]string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
 	}
+	keys := make([]string, 0, len(got))
+	for k := range got {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make(map[string]string, len(got))
+	for _, k := range keys {
+		ordered[k] = got[k]
+	}
+	blob, err := json.MarshalIndent(ordered, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}
 
-	blob, err := os.ReadFile(goldenPath)
+func readGolden(t *testing.T, path string) map[string]string {
+	t.Helper()
+	blob, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("read golden (run with -update to record): %v", err)
 	}
@@ -162,6 +183,24 @@ func TestTrajectoriesMatchGolden(t *testing.T) {
 	if err := json.Unmarshal(blob, &want); err != nil {
 		t.Fatal(err)
 	}
+	return want
+}
+
+func TestTrajectoriesMatchGolden(t *testing.T) {
+	if *update {
+		// Regenerate both rounding regimes regardless of the active
+		// class: the pure-Go fallbacks make every class bit-reproducible
+		// on any machine.
+		for _, c := range []tensor.KernelClass{tensor.KernelGeneric, tensor.KernelAVX2} {
+			restore := tensor.SetKernel(c)
+			writeGolden(t, goldenFile(c), runAll(t))
+			restore()
+		}
+		return
+	}
+
+	got := runAll(t)
+	want := readGolden(t, goldenFile(tensor.ActiveKernel()))
 	for name, g := range got {
 		w, ok := want[name]
 		if !ok {
@@ -169,7 +208,33 @@ func TestTrajectoriesMatchGolden(t *testing.T) {
 			continue
 		}
 		if g != w {
-			t.Errorf("%s: trajectory hash %s != golden %s — the floating-point trajectory changed", name, g, w)
+			t.Errorf("%s: trajectory hash %s != golden %s — the floating-point trajectory changed (kernel class %s)",
+				name, g, w, tensor.ActiveKernel())
 		}
+	}
+}
+
+// TestCrossClassGoldens forces each dispatch rung in turn on a cheap
+// case pair and checks it against that rung's golden: sse2 and generic
+// must land on the identical (non-FMA) hash, avx2 on its own. This is
+// the in-process proof that a forced kernel class — not the hardware it
+// happens to run on — determines the trajectory.
+func TestCrossClassGoldens(t *testing.T) {
+	quick := []string{"hierminimax-seq", "fedavg"}
+	all := cases()
+	for _, c := range []tensor.KernelClass{tensor.KernelGeneric, tensor.KernelSSE2, tensor.KernelAVX2} {
+		want := readGolden(t, goldenFile(c))
+		restore := tensor.SetKernel(c)
+		for _, name := range quick {
+			res, err := all[name]()
+			if err != nil {
+				restore()
+				t.Fatalf("%s under %s: %v", name, c, err)
+			}
+			if got := hashResult(res); got != want[name] {
+				t.Errorf("%s under forced %s: hash %s != class golden %s", name, c, got, want[name])
+			}
+		}
+		restore()
 	}
 }

@@ -30,6 +30,21 @@ func randBatch(r *rng.Stream, n, in, classes int) (xs [][]float64, ys []int) {
 	return xs, ys
 }
 
+// softmaxGrad fills dz with the softmax of z in the active kernel
+// class's arithmetic: the fused classes compute Softmax directly
+// (exp(z−max)/sum), the non-FMA classes the historical two-pass
+// exp(z−logsumexp) — exactly the branch CrossEntropyRows takes, so the
+// per-example references stay bitwise-faithful under every class.
+func softmaxGrad(dz, z []float64, lse float64) {
+	if tensor.FusedCrossEntropy() {
+		tensor.Softmax(dz, z)
+		return
+	}
+	for j, v := range z {
+		dz[j] = math.Exp(v - lse)
+	}
+}
+
 func equalBits(t *testing.T, name string, got, want []float64) {
 	t.Helper()
 	if len(got) != len(want) {
@@ -61,9 +76,7 @@ func linearReference(l *Linear, w []float64, xs [][]float64, ys []int, grad []fl
 		}
 		lse := tensor.LogSumExp(z)
 		total += lse - z[ys[k]]
-		for j, v := range z {
-			dz[j] = math.Exp(v - lse)
-		}
+		softmaxGrad(dz, z, lse)
 		dz[ys[k]]--
 		tensor.OuterAccum(inv, dz, x, gFlat)
 		tensor.Axpy(inv, dz, gb)
@@ -129,9 +142,7 @@ func mlpReference(m *MLP, w []float64, xs [][]float64, ys []int, grad []float64)
 		}
 		lse := tensor.LogSumExp(z3)
 		total += lse - z3[ys[k]]
-		for j, v := range z3 {
-			dz3[j] = math.Exp(v - lse)
-		}
+		softmaxGrad(dz3, z3, lse)
 		dz3[ys[k]]--
 
 		tensor.OuterAccum(inv, dz3, a2, gW3)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/fl"
+	"repro/internal/tensor"
 	"repro/internal/topology"
 	"repro/internal/wire"
 )
@@ -76,11 +77,15 @@ func (dc *DistConfig) normalize() {
 
 // Fingerprint folds every trajectory-relevant knob of a run into one
 // value; the wire handshake rejects peers whose fingerprint differs, so
-// two processes can never silently train different problems. It hashes
-// explicit fields (never reflection over Config — Quantizer is an
-// interface and has no stable rendering).
+// two processes can never silently train different problems — or, since
+// the active tensor kernel class is folded in too, silently mix
+// rounding regimes (an AVX2+FMA cloud and an SSE2 edge would each be
+// self-consistent yet produce different bits; the handshake refuses the
+// pairing instead). It hashes explicit fields (never reflection over
+// Config — Quantizer is an interface and has no stable rendering).
 func Fingerprint(cfg fl.Config, top topology.Topology, sched *chaos.Schedule) uint64 {
 	h := fnv.New64a()
+	h.Write([]byte(tensor.ActiveKernel().String()))
 	u := func(v uint64) {
 		var b [8]byte
 		for i := 0; i < 8; i++ {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/fl"
 	"repro/internal/fl/fltest"
+	"repro/internal/tensor"
 	"repro/internal/topology"
 )
 
@@ -149,5 +150,19 @@ func TestWireFingerprintCoversTrajectoryKnobs(t *testing.T) {
 	}
 	if Fingerprint(base, top, &chaos.Schedule{Seed: 1, LossProb: 0.1}) == fp {
 		t.Fatal("chaos schedule not covered by the fingerprint")
+	}
+	// The kernel class is a rounding regime, so two processes on
+	// different rungs must refuse each other's hello even with
+	// identical configs.
+	for _, c := range []tensor.KernelClass{tensor.KernelGeneric, tensor.KernelSSE2, tensor.KernelAVX2} {
+		if c == tensor.ActiveKernel() {
+			continue
+		}
+		restore := tensor.SetKernel(c)
+		other := Fingerprint(base, top, nil)
+		restore()
+		if other == fp {
+			t.Fatalf("kernel class %s not covered by the fingerprint", c)
+		}
 	}
 }

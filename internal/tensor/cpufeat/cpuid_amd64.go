@@ -1,0 +1,41 @@
+//go:build amd64
+
+package cpufeat
+
+// cpuid and xgetbv are implemented in cpuid_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+const (
+	// CPUID.1:ECX bits.
+	cpuidFMA     = 1 << 12
+	cpuidOSXSAVE = 1 << 27
+	cpuidAVX     = 1 << 28
+	// CPUID.7.0:EBX bits.
+	cpuidAVX2 = 1 << 5
+	// XCR0 bits: the OS saves XMM (bit 1) and YMM (bit 2) state on
+	// context switch. Without both, executing VEX.256 code corrupts
+	// register state, so AVX support must be reported off.
+	xcr0AVXState = 0x6
+)
+
+func init() {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 1 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&cpuidOSXSAVE == 0 {
+		return
+	}
+	if eax, _ := xgetbv(); eax&xcr0AVXState != xcr0AVXState {
+		return
+	}
+	X86.HasAVX = ecx1&cpuidAVX != 0
+	X86.HasFMA = ecx1&cpuidFMA != 0
+	if maxID < 7 || !X86.HasAVX {
+		return
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	X86.HasAVX2 = ebx7&cpuidAVX2 != 0
+}

@@ -1,0 +1,6 @@
+//go:build !amd64
+
+package cpufeat
+
+// Non-amd64 architectures leave every X86 field false; the tensor
+// dispatch falls through to the portable kernel tiers.

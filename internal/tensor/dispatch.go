@@ -1,0 +1,190 @@
+package tensor
+
+import (
+	"fmt"
+	"os"
+)
+
+// KernelClass identifies one rung of the runtime kernel dispatch
+// ladder. A class names a rounding regime, not a specific instruction
+// encoding: every trajectory is a pure function of (inputs, seed,
+// kernel class), and two processes on the same class produce
+// bit-identical results even if one runs assembly and the other the
+// pure-Go twin (the wire handshake fingerprint includes the class so
+// mixed-regime multi-process runs are refused).
+//
+//   - KernelGeneric: the portable pure-Go kernels (simd_ref.go). The
+//     semantic definition of the non-FMA rounding regime.
+//   - KernelSSE2: the SSE2 assembly on amd64. Bitwise identical to
+//     KernelGeneric on every input — the lanes carry exactly the
+//     reference code's partial sums — so both classes share one golden
+//     regime. On other architectures the class is served by the
+//     generic bodies (same bits).
+//   - KernelAVX2: the AVX2+FMA tier. Fused multiply-add rounds once
+//     where mul+add rounds twice, so this class is a distinct rounding
+//     regime with its own golden fixtures. Served by 4-lane FMA
+//     assembly when the CPU supports AVX2+FMA, and by bit-identical
+//     math.FMA pure-Go twins (simd_fma_ref.go) everywhere else — FMA
+//     is a correctly-rounded operation, so the class is reproducible
+//     on any hardware.
+type KernelClass uint8
+
+const (
+	KernelGeneric KernelClass = iota
+	KernelSSE2
+	KernelAVX2
+)
+
+func (c KernelClass) String() string {
+	switch c {
+	case KernelGeneric:
+		return "generic"
+	case KernelSSE2:
+		return "sse2"
+	case KernelAVX2:
+		return "avx2"
+	}
+	return fmt.Sprintf("KernelClass(%d)", uint8(c))
+}
+
+// KernelEnv is the environment variable that forces a dispatch rung
+// (HIERFAIR_KERNEL=avx2|sse2|generic), read once at process start.
+// Tests and the ci.sh forced-class legs use it to pin a rounding
+// regime; an unknown value panics rather than silently training in an
+// unexpected regime.
+const KernelEnv = "HIERFAIR_KERNEL"
+
+// kernelSet is one rung's implementation of every dispatched kernel.
+type kernelSet struct {
+	dot  func(x, y []float64) float64
+	axpy func(a float64, x, y []float64)
+	dot2 func(x, y0, y1 []float64) (r0, r1 float64)
+	dot4 func(x, y0, y1, y2, y3 []float64) (r0, r1, r2, r3 float64)
+	// axpy4 performs four chained Axpy accumulations into y in one
+	// pass. Per element it is exactly axpy applied four times in
+	// argument order — identical bits on every rung, fused purely so
+	// the gradient kernels load and store y once instead of four times.
+	axpy4 func(a0, a1, a2, a3 float64, x0, x1, x2, x3, y []float64)
+	// expShift computes dst[i] = exp(x[i]-shift) elementwise and
+	// sumExpShift the sequential (index-order) sum of the same values.
+	// The non-FMA rungs bind math.Exp — the historical LogSumExp /
+	// Softmax bits — while the AVX2 tier binds its own vectorized
+	// polynomial exponential (exp_fma_ref.go), a second way that class
+	// is a distinct rounding regime.
+	expShift    func(dst, x []float64, shift float64)
+	sumExpShift func(x []float64, shift float64) float64
+	// fuse4 selects the 4-row GEMM microkernel fusion (gemmTRow): the
+	// AVX2 tier has 16 vector registers, so four fused rows fit; the
+	// SSE2/generic tiers stay at 2-row fusion (4-row spills, measured
+	// slower — see DESIGN.md §8). Part of the class's rounding regime:
+	// the pure-Go AVX2 fallback fuses 4 rows too.
+	fuse4 bool
+	// fusedCE selects the single-exponential cross-entropy form in
+	// CrossEntropyRows (softmax = exp(z-max)/sum instead of
+	// exp(z-logsumexp), halving exp calls). Only the FMA regime uses
+	// it; the non-FMA rungs keep the historical two-pass arithmetic.
+	fusedCE bool
+}
+
+// The active rung. Swapped only by SetKernel; reads are not
+// synchronized, which is safe because swaps happen at init or in
+// sequential test setup, never while kernels run.
+var (
+	activeKernel KernelClass
+	kernels      kernelSet
+)
+
+func init() {
+	switch v := os.Getenv(KernelEnv); v {
+	case "":
+		SetKernel(defaultKernel())
+	case "avx2":
+		SetKernel(KernelAVX2)
+	case "sse2":
+		SetKernel(KernelSSE2)
+	case "generic":
+		SetKernel(KernelGeneric)
+	default:
+		panic(fmt.Sprintf("tensor: unknown %s=%q (want avx2|sse2|generic)", KernelEnv, v))
+	}
+}
+
+// ActiveKernel reports the dispatch rung currently in use.
+func ActiveKernel() KernelClass { return activeKernel }
+
+// FusedCrossEntropy reports whether the active class uses the
+// single-exponential fused cross-entropy form (gradient row =
+// Softmax − onehot) instead of the historical two-pass exp(z−logsumexp)
+// arithmetic. Exported so per-example reference implementations (the
+// model packages' bitwise tests) can mirror the active class.
+func FusedCrossEntropy() bool { return kernels.fusedCE }
+
+// SetKernel forces a dispatch rung and returns a function restoring the
+// previous one. Every class is selectable on every platform: a class
+// whose assembly the CPU cannot run falls back to its pure-Go twin with
+// bit-identical results, so forcing a class answers "what trajectory
+// would that hardware produce" anywhere. Swapping is not synchronized —
+// call it only from sequential setup (tests, benchmarks, process
+// start), never while kernels may be executing concurrently.
+func SetKernel(c KernelClass) (restore func()) {
+	prev := activeKernel
+	switch c {
+	case KernelGeneric, KernelSSE2, KernelAVX2:
+	default:
+		panic(fmt.Sprintf("tensor: SetKernel(%v): unknown class", c))
+	}
+	activeKernel = c
+	kernels = kernelsFor(c)
+	return func() { SetKernel(prev) }
+}
+
+// genericKernels is the portable non-FMA rung (the semantic reference).
+func genericKernels() kernelSet {
+	return kernelSet{
+		dot: dotRef, axpy: axpyRef, dot2: dot2Ref, dot4: dot4From(dotRef),
+		axpy4:    axpy4From(axpyRef),
+		expShift: expShiftRef, sumExpShift: sumExpShiftRef,
+	}
+}
+
+// fmaRefKernels is the pure-Go twin of the AVX2+FMA rung: math.FMA is
+// correctly rounded, so these bodies reproduce the assembly bit for bit
+// (and define its semantics — see TestKernelsMatchReference).
+func fmaRefKernels() kernelSet {
+	return kernelSet{
+		dot: dotFMARef, axpy: axpyFMARef, dot2: dot2From(dotFMARef), dot4: dot4FMARef,
+		axpy4:    axpy4FMARef,
+		expShift: expShiftFMARef, sumExpShift: sumExpShiftFMARef,
+		fuse4: true, fusedCE: true,
+	}
+}
+
+// dot2From composes a two-output fused dot from singles. Used for rungs
+// whose fused kernel is defined as "exactly the singles, sharing loads"
+// when the fused assembly form isn't part of that rung's hot path.
+func dot2From(dot func(x, y []float64) float64) func(x, y0, y1 []float64) (float64, float64) {
+	return func(x, y0, y1 []float64) (float64, float64) {
+		return dot(x, y0), dot(x, y1)
+	}
+}
+
+// axpy4From composes the fused four-coefficient Axpy from four
+// sequential single Axpy passes — the definitional (and bitwise
+// identical) form, used by rungs without a fused implementation.
+func axpy4From(axpy func(a float64, x, y []float64)) func(a0, a1, a2, a3 float64, x0, x1, x2, x3, y []float64) {
+	return func(a0, a1, a2, a3 float64, x0, x1, x2, x3, y []float64) {
+		axpy(a0, x0, y)
+		axpy(a1, x1, y)
+		axpy(a2, x2, y)
+		axpy(a3, x3, y)
+	}
+}
+
+// dot4From composes a four-output fused dot from singles (bitwise equal
+// by construction, since every fused kernel accumulates each output in
+// its class's single-dot order).
+func dot4From(dot func(x, y []float64) float64) func(x, y0, y1, y2, y3 []float64) (float64, float64, float64, float64) {
+	return func(x, y0, y1, y2, y3 []float64) (float64, float64, float64, float64) {
+		return dot(x, y0), dot(x, y1), dot(x, y2), dot(x, y3)
+	}
+}

@@ -104,15 +104,29 @@ func GemmTR(alpha float64, xrows [][]float64, b *Matrix, beta float64, c *Matrix
 }
 
 // gemmTRow fills crow[j] = alpha*Dot(x, B.Row(j)) + beta*crow[j] for j in
-// [j0, j1), batching two B rows per pass to share the loads of x. (Wider
-// fusion was measured slower: four concurrent 4-way dot accumulations
-// exceed the amd64 register file and spill.)
+// [j0, j1), fusing multiple B rows per pass to share the loads of x. The
+// fusion width is a property of the kernel class: the AVX2+FMA tier
+// fuses four rows (8 independent FMA chains fill the 16-register YMM
+// file), the SSE2/generic tiers two (four concurrent 4-way dot
+// accumulations exceed the 8-register XMM file and spill — measured
+// slower). Each fused output accumulates in exactly the class's single
+// Dot order, so the fusion width never changes a bit within a class.
 func gemmTRow(alpha float64, x []float64, b *Matrix, beta float64, crow []float64, j0, j1 int) {
 	j := j0
-	for ; j+2 <= j1; j += 2 {
-		d0, d1 := dot2(x, b.Row(j), b.Row(j+1))
-		crow[j] = alpha*d0 + beta*crow[j]
-		crow[j+1] = alpha*d1 + beta*crow[j+1]
+	if kernels.fuse4 {
+		for ; j+4 <= j1; j += 4 {
+			d0, d1, d2, d3 := kernels.dot4(x, b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3))
+			crow[j] = alpha*d0 + beta*crow[j]
+			crow[j+1] = alpha*d1 + beta*crow[j+1]
+			crow[j+2] = alpha*d2 + beta*crow[j+2]
+			crow[j+3] = alpha*d3 + beta*crow[j+3]
+		}
+	} else {
+		for ; j+2 <= j1; j += 2 {
+			d0, d1 := kernels.dot2(x, b.Row(j), b.Row(j+1))
+			crow[j] = alpha*d0 + beta*crow[j]
+			crow[j+1] = alpha*d1 + beta*crow[j+1]
+		}
 	}
 	for ; j < j1; j++ {
 		crow[j] = alpha*Dot(x, b.Row(j)) + beta*crow[j]
@@ -125,7 +139,13 @@ func gemmTRow(alpha float64, x []float64, b *Matrix, beta float64, crow []float6
 // cache-resident across the m output rows. Each output row accumulates
 // the examples in ascending order and skips zero coefficients — exactly
 // the floating-point sequence of OuterAccum(alpha, A.Row(0), B.Row(0), C),
-// OuterAccum(alpha, A.Row(1), B.Row(1), C), … Panics on shape mismatch.
+// OuterAccum(alpha, A.Row(1), B.Row(1), C), … Nonzero coefficients are
+// gathered four at a time into the fused axpy4 kernel, which is per
+// element exactly four sequential Axpy passes on every rung (so fusion
+// changes no bits), loading and storing crow once instead of four
+// times. The zero skip must stay a skip — fma(0, x, y) is not a no-op
+// for Inf/NaN rows — so only nonzero quads are fused. Panics on shape
+// mismatch.
 func GemmTN(alpha float64, a, b, c *Matrix) {
 	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
 		panic("tensor: GemmTN shape mismatch")
@@ -135,12 +155,23 @@ func GemmTN(alpha float64, a, b, c *Matrix) {
 		k1 := min(k0+kb, a.Rows)
 		for i := 0; i < c.Rows; i++ {
 			crow := c.Row(i)
+			var cf [4]float64
+			var rows [4][]float64
+			nq := 0
 			for k := k0; k < k1; k++ {
 				aki := a.Data[k*a.Cols+i]
 				if aki == 0 {
 					continue
 				}
-				Axpy(alpha*aki, b.Row(k), crow)
+				cf[nq] = alpha * aki
+				rows[nq] = b.Row(k)
+				if nq++; nq == 4 {
+					kernels.axpy4(cf[0], cf[1], cf[2], cf[3], rows[0], rows[1], rows[2], rows[3], crow)
+					nq = 0
+				}
+			}
+			for q := 0; q < nq; q++ {
+				kernels.axpy(cf[q], rows[q], crow)
 			}
 		}
 	}
@@ -160,23 +191,27 @@ func GemmTNR(alpha float64, a *Matrix, yrows [][]float64, c *Matrix) {
 		k1 := min(k0+kb, a.Rows)
 		for i := 0; i < c.Rows; i++ {
 			crow := c.Row(i)
+			var cf [4]float64
+			var rows [4][]float64
+			nq := 0
 			for k := k0; k < k1; k++ {
 				aki := a.Data[k*a.Cols+i]
 				if aki == 0 {
 					continue
 				}
-				Axpy(alpha*aki, yrows[k], crow)
+				checkLen(len(yrows[k]), len(crow))
+				cf[nq] = alpha * aki
+				rows[nq] = yrows[k]
+				if nq++; nq == 4 {
+					kernels.axpy4(cf[0], cf[1], cf[2], cf[3], rows[0], rows[1], rows[2], rows[3], crow)
+					nq = 0
+				}
+			}
+			for q := 0; q < nq; q++ {
+				kernels.axpy(cf[q], rows[q], crow)
 			}
 		}
 	}
 	gemmFlops.Add(2 * int64(a.Rows) * int64(a.Cols) * int64(c.Cols))
 }
 
-// dot2 computes the inner products of x against y0 and y1 in one pass,
-// sharing the loads of x. Each result accumulates in exactly Dot's
-// order (four partial sums combined after the unrolled loop, see
-// dot2Ref), so callers may mix dot2 and Dot freely without perturbing a
-// single bit.
-func dot2(x, y0, y1 []float64) (r0, r1 float64) {
-	return dot2Kernel(x, y0, y1)
-}

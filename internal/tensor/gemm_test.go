@@ -208,7 +208,11 @@ func TestCrossEntropyRowsBitwise(t *testing.T) {
 		ys[i] = r.Intn(c)
 	}
 
-	// Per-example reference.
+	// Per-example reference in the active class's arithmetic: the loss
+	// is LogSumExp either way (the fused path's max+log(sum) performs
+	// the identical operation sequence), and the gradient row is
+	// Softmax−onehot on the fused rungs versus the historical
+	// exp(z−lse) two-pass form on the non-FMA rungs.
 	wantTotal := 0.0
 	wantDz := NewMatrix(n, c)
 	for i := 0; i < n; i++ {
@@ -216,8 +220,12 @@ func TestCrossEntropyRowsBitwise(t *testing.T) {
 		lse := LogSumExp(zi)
 		wantTotal += lse - zi[ys[i]]
 		di := wantDz.Row(i)
-		for j, v := range zi {
-			di[j] = math.Exp(v - lse)
+		if kernels.fusedCE {
+			Softmax(di, zi)
+		} else {
+			for j, v := range zi {
+				di[j] = math.Exp(v - lse)
+			}
 		}
 		di[ys[i]] -= 1
 	}

@@ -186,17 +186,3 @@ func BenchmarkGemv(b *testing.B) {
 		Gemv(1, a, x, 0, y)
 	}
 }
-
-func BenchmarkDot(b *testing.B) {
-	x := make([]float64, 1<<14)
-	y := make([]float64, 1<<14)
-	for i := range x {
-		x[i] = float64(i)
-		y[i] = float64(i % 3)
-	}
-	b.SetBytes(int64(16 * len(x)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = Dot(x, y)
-	}
-}

@@ -10,8 +10,8 @@
 // double ops with the same rounding as MULSD/ADDSD; the Go runtime
 // leaves MXCSR at round-to-nearest without FTZ/DAZ.
 
-// func dotKernel(x, y []float64) float64
-TEXT ·dotKernel(SB), NOSPLIT, $0-56
+// func dotSSE2(x, y []float64) float64
+TEXT ·dotSSE2(SB), NOSPLIT, $0-56
 	MOVQ  x_base+0(FP), SI
 	MOVQ  x_len+8(FP), CX
 	MOVQ  y_base+24(FP), DI
@@ -59,8 +59,8 @@ ddone:
 	MOVSD X0, ret+48(FP)
 	RET
 
-// func axpyKernel(a float64, x, y []float64)
-TEXT ·axpyKernel(SB), NOSPLIT, $0-56
+// func axpySSE2(a float64, x, y []float64)
+TEXT ·axpySSE2(SB), NOSPLIT, $0-56
 	MOVSD  a+0(FP), X0
 	SHUFPD $0, X0, X0         // broadcast a to both lanes
 	MOVQ   x_base+8(FP), SI
@@ -100,8 +100,8 @@ atail:
 adone:
 	RET
 
-// func dot2Kernel(x, y0, y1 []float64) (r0, r1 float64)
-TEXT ·dot2Kernel(SB), NOSPLIT, $0-88
+// func dot2SSE2(x, y0, y1 []float64) (r0, r1 float64)
+TEXT ·dot2SSE2(SB), NOSPLIT, $0-88
 	MOVQ  x_base+0(FP), SI
 	MOVQ  x_len+8(FP), CX
 	MOVQ  y0_base+24(FP), DI

@@ -2,8 +2,17 @@
 
 package tensor
 
-func dotKernel(x, y []float64) float64 { return dotRef(x, y) }
+// Non-amd64 dispatch table. The sse2 class is served by the generic
+// bodies — the SSE2 assembly is bit-identical to them by contract, so
+// the class's rounding regime is reproducible without the hardware —
+// and the avx2 class by the math.FMA twins, which are bit-identical to
+// the AVX2+FMA assembly for the same reason.
 
-func axpyKernel(a float64, x, y []float64) { axpyRef(a, x, y) }
+func defaultKernel() KernelClass { return KernelGeneric }
 
-func dot2Kernel(x, y0, y1 []float64) (r0, r1 float64) { return dot2Ref(x, y0, y1) }
+func kernelsFor(c KernelClass) kernelSet {
+	if c == KernelAVX2 {
+		return fmaRefKernels()
+	}
+	return genericKernels()
+}

@@ -1,5 +1,7 @@
 package tensor
 
+import "math"
+
 // Portable reference implementations of the BLAS-1 kernels. On amd64
 // the exported entry points dispatch to the SSE2 assembly in
 // simd_amd64.s instead; these bodies remain the semantic definition —
@@ -41,6 +43,28 @@ func axpyRef(a float64, x, y []float64) {
 	for ; i < n; i++ {
 		y[i] += a * x[i]
 	}
+}
+
+// expShiftRef is the non-FMA shifted-exponential kernel:
+// dst[i] = math.Exp(x[i]-shift), elementwise in index order. It is the
+// exact arithmetic of the pre-dispatch LogSumExp/Softmax loops, so the
+// generic and sse2 rungs keep their historical bits.
+func expShiftRef(dst, x []float64, shift float64) {
+	dst = dst[:len(x)]
+	for i, v := range x {
+		dst[i] = math.Exp(v - shift)
+	}
+}
+
+// sumExpShiftRef returns sum_i math.Exp(x[i]-shift), accumulated
+// sequentially in index order — bit for bit the historical LogSumExp
+// inner loop.
+func sumExpShiftRef(x []float64, shift float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += math.Exp(v - shift)
+	}
+	return s
 }
 
 // dot2Ref is the scalar fused two-output dot: both results accumulate

@@ -12,20 +12,23 @@ package tensor
 import "math"
 
 // Dot returns the inner product of x and y. It panics on length
-// mismatch. The four-way unrolled accumulation (partial sums combined
-// after the loop, see dotRef) is part of the package's determinism
-// contract: the blocked GEMM kernels and the SIMD implementations
-// reproduce exactly this order per output element.
+// mismatch. The accumulation order is fixed per kernel class (partial
+// sums combined left-to-right after the unrolled loop — see dotRef and
+// dotFMARef) and is part of the package's determinism contract: the
+// blocked GEMM kernels and every implementation of the active class
+// reproduce exactly that order per output element.
 func Dot(x, y []float64) float64 {
 	checkLen(len(x), len(y))
-	return dotKernel(x, y)
+	return kernels.dot(x, y)
 }
 
 // Axpy computes y += a*x in place (axpyRef order; elements are
-// independent, so vectorization changes no result bits).
+// independent, so vector width changes no result bits — only the FMA
+// tier's single rounding per element distinguishes classes). dst == x
+// aliasing is supported; partial overlap is not.
 func Axpy(a float64, x, y []float64) {
 	checkLen(len(x), len(y))
-	axpyKernel(a, x, y)
+	kernels.axpy(a, x, y)
 }
 
 // Scale computes x *= a in place.
@@ -209,7 +212,10 @@ func Clamp(x []float64, lo, hi float64) {
 	}
 }
 
-// LogSumExp returns log(sum_i exp(x_i)) with max-shifting for stability.
+// LogSumExp returns log(sum_i exp(x_i)) with max-shifting for
+// stability. The shifted exponentials come from the active kernel
+// class (math.Exp on the non-FMA rungs, the vectorized polynomial
+// exponential on the AVX2 tier) and are summed in index order.
 func LogSumExp(x []float64) float64 {
 	if len(x) == 0 {
 		panic("tensor: LogSumExp of empty slice")
@@ -218,21 +224,17 @@ func LogSumExp(x []float64) float64 {
 	if math.IsInf(m, -1) {
 		return math.Inf(-1)
 	}
-	s := 0.0
-	for _, v := range x {
-		s += math.Exp(v - m)
-	}
-	return m + math.Log(s)
+	return m + math.Log(kernels.sumExpShift(x, m))
 }
 
-// Softmax writes softmax(x) into dst (dst may alias x).
+// Softmax writes softmax(x) into dst (dst may alias x; partial overlap
+// is not supported).
 func Softmax(dst, x []float64) {
 	checkLen(len(dst), len(x))
 	m := Max(x)
+	kernels.expShift(dst, x, m)
 	s := 0.0
-	for i, v := range x {
-		e := math.Exp(v - m)
-		dst[i] = e
+	for _, e := range dst {
 		s += e
 	}
 	inv := 1 / s
