@@ -1,9 +1,9 @@
 #!/bin/sh
 # Performance gate: benchmarks the engine hot path, the distributed
 # wire runtime and the sweep scheduler and records the numbers in
-# BENCH_7.json so perf regressions are diffable in review.
+# BENCH_8.json so perf regressions are diffable in review.
 #
-#   ./bench.sh            # ~3 min, writes BENCH_7.json
+#   ./bench.sh            # ~4 min, writes BENCH_8.json
 #
 # BenchmarkEngineRound, BenchmarkSimnetRound and BenchmarkWireRound are
 # the round-level contract benchmarks: one HierMinimax round (Phase 1 +
@@ -14,35 +14,41 @@
 # the in-process round under every forced kernel class, so the file
 # carries directly comparable generic/sse2/avx2 numbers from one
 # machine and one invocation — the avx2/sse2 examples/sec ratio is the
-# AVX2 tier's acceptance headline. BenchmarkSweep is the run-level
+# AVX2 tier's acceptance headline and avx2f32/avx2 the float32 storage
+# tier's. BenchmarkWireRoundKernel repeats the socket round under avx2
+# and avx2f32: its wire-bytes/round records the on-the-wire payload
+# halving of float32 storage. BenchmarkSweep is the run-level
 # contract: the smoke Fig. 3 grid on the work-stealing pool with a hot
-# dataset cache, reporting runs/sec and allocs/run. SimnetRound
-# allocs/op (vs the BENCH_3.json record), Sweep allocs/run (vs
-# BENCH_5.json) and WireRound allocs/op (vs BENCH_7.json) are gated by
-# CI_BENCH=1 ./ci.sh.
+# dataset cache, reporting runs/sec and allocs/run. The EngineRound,
+# SimnetRound, Sweep and WireRound allocation footprints (vs the
+# BENCH_8.json records) are gated by CI_BENCH=1 ./ci.sh.
 #
 # Comparability: benchtime and repetition count are fixed (override
 # with BENCH_TIME / BENCH_COUNT for exploratory runs only — committed
 # records must use the defaults), the awk pass keeps the best (min
 # ns/op) of the repetitions to suppress scheduling noise, and the
-# output records the CPU model and the default kernel class so numbers
-# from different machines are never silently compared.
+# output records the CPU model, the default kernel class, the Go
+# toolchain and GOAMD64 so numbers from different machines or builds
+# are never silently compared.
 set -eu
 
-OUT=${1:-BENCH_7.json}
+OUT=${1:-BENCH_8.json}
 COUNT=${BENCH_COUNT:-3}
 TIME=${BENCH_TIME:-2s}
 
 CPU_MODEL=$(sed -n 's/^model name[^:]*: //p' /proc/cpuinfo 2>/dev/null | head -1)
 [ -n "$CPU_MODEL" ] || CPU_MODEL=unknown
-KERNEL_CLASS=$(go run ./cmd/hierminimax -print-kernel)
+KERNEL_CLASS=$(go run ./cmd/hierminimax -print-kernel | head -1)
+GO_VERSION=$(go env GOVERSION)
+GOAMD64_LEVEL=$(go env GOAMD64)
+[ -n "$GOAMD64_LEVEL" ] || GOAMD64_LEVEL=none
 
-RAW=$(go test -run '^$' -bench 'BenchmarkEngineRound$|BenchmarkEngineRoundKernel$|BenchmarkSimnetRound$|BenchmarkWireRound$|BenchmarkSweep$' \
+RAW=$(go test -run '^$' -bench 'BenchmarkEngineRound$|BenchmarkEngineRoundKernel$|BenchmarkSimnetRound$|BenchmarkWireRound$|BenchmarkWireRoundKernel$|BenchmarkSweep$' \
 	-benchmem -benchtime "$TIME" -count "$COUNT" .)
 echo "$RAW"
 
 echo "$RAW" | awk -v out="$OUT" -v cpu="$CPU_MODEL" -v kc="$KERNEL_CLASS" \
-	-v btime="$TIME" -v bcount="$COUNT" '
+	-v btime="$TIME" -v bcount="$COUNT" -v gover="$GO_VERSION" -v goamd="$GOAMD64_LEVEL" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
@@ -52,13 +58,14 @@ echo "$RAW" | awk -v out="$OUT" -v cpu="$CPU_MODEL" -v kc="$KERNEL_CLASS" \
 			# keep the best (min) of the repeated runs
 			ns[name] = $i + 0
 			bytes[name] = 0; allocs[name] = 0; eps[name] = 0
-			rps[name] = 0; apr[name] = 0
+			rps[name] = 0; apr[name] = 0; wbr[name] = 0
 			for (j = 2; j < NF; j++) {
 				if ($(j+1) == "B/op") bytes[name] = $j + 0
 				if ($(j+1) == "allocs/op") allocs[name] = $j + 0
 				if ($(j+1) == "examples/sec") eps[name] = $j + 0
 				if ($(j+1) == "runs/sec") rps[name] = $j + 0
 				if ($(j+1) == "allocs/run") apr[name] = $j + 0
+				if ($(j+1) == "wire-bytes/round") wbr[name] = $j + 0
 			}
 		}
 	}
@@ -68,13 +75,15 @@ END {
 	printf "{\n" > out
 	printf "  \"cpu_model\": \"%s\",\n", cpu > out
 	printf "  \"kernel_class\": \"%s\",\n", kc > out
+	printf "  \"go_version\": \"%s\",\n", gover > out
+	printf "  \"goamd64\": \"%s\",\n", goamd > out
 	printf "  \"benchtime\": \"%s\",\n", btime > out
 	printf "  \"count\": %d,\n", bcount > out
 	printf "  \"benchmarks\": [\n" > out
 	for (i = 1; i <= n; i++) {
 		name = order[i]
-		printf "    {\"name\": \"%s\", \"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f, \"examples_per_sec\": %.0f, \"runs_per_sec\": %.2f, \"allocs_per_run\": %.0f}%s\n", \
-			name, ns[name], bytes[name], allocs[name], eps[name], rps[name], apr[name], (i < n ? "," : "") > out
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f, \"examples_per_sec\": %.0f, \"runs_per_sec\": %.2f, \"allocs_per_run\": %.0f, \"wire_bytes_per_round\": %.0f}%s\n", \
+			name, ns[name], bytes[name], allocs[name], eps[name], rps[name], apr[name], wbr[name], (i < n ? "," : "") > out
 	}
 	printf "  ]\n}\n" > out
 }

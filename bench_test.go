@@ -18,6 +18,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/simnet"
 	"repro/internal/tensor"
+	"repro/internal/topology"
 )
 
 // reportFig attaches figure metrics for one algorithm's series.
@@ -172,12 +173,13 @@ func BenchmarkEngineRound(b *testing.B) {
 
 // BenchmarkEngineRoundKernel runs the EngineRound workload under each
 // forced kernel class, so one invocation yields the comparable
-// generic/sse2/avx2 numbers BENCH_7.json records (the AVX2 tier's
-// acceptance ratio is avx2 examples/sec over sse2 examples/sec from the
-// same run). SetKernel swaps happen strictly before and after Run, so
-// the unsynchronized dispatch swap is safe.
+// generic/sse2/avx2/avx2f32 numbers BENCH_8.json records (the AVX2
+// tier's acceptance ratio is avx2 examples/sec over sse2 examples/sec
+// from the same run; the float32 storage tier's is avx2f32 over avx2).
+// SetKernel swaps happen strictly before and after Run, so the
+// unsynchronized dispatch swap is safe.
 func BenchmarkEngineRoundKernel(b *testing.B) {
-	for _, c := range []tensor.KernelClass{tensor.KernelGeneric, tensor.KernelSSE2, tensor.KernelAVX2} {
+	for _, c := range []tensor.KernelClass{tensor.KernelGeneric, tensor.KernelSSE2, tensor.KernelAVX2, tensor.KernelAVX2F32} {
 		c := c
 		b.Run(c.String(), func(b *testing.B) {
 			restore := tensor.SetKernel(c)
@@ -223,8 +225,32 @@ func BenchmarkSimnetRound(b *testing.B) {
 // in-process twin of the cmd/hierminimax -role layout). The gap to
 // BenchmarkSimnetRound is the full cost of framing, socket I/O and the
 // connection pool; its allocs/op is the wire codec's contract number
-// (recorded in BENCH_7.json and gated by CI_BENCH=1 ./ci.sh).
+// (recorded in BENCH_8.json and gated by CI_BENCH=1 ./ci.sh).
+// wire-bytes/round is the ledger total over both links per training
+// round — the payload-size contract the float32 storage tier halves.
 func BenchmarkWireRound(b *testing.B) {
+	runWireRound(b)
+}
+
+// BenchmarkWireRoundKernel repeats the WireRound workload under the
+// float64 FMA tier and the float32 storage tier, so one BENCH_8.json
+// carries the byte-accounting evidence for the avx2f32 regime: its
+// wire-bytes/round must be about half the avx2 figure (4-byte vector
+// elements against 8-byte, with fixed framing overhead making up the
+// rest). generic and sse2 are omitted — they share avx2's 8-byte
+// payload layout, so their bytes are identical by construction.
+func BenchmarkWireRoundKernel(b *testing.B) {
+	for _, c := range []tensor.KernelClass{tensor.KernelAVX2, tensor.KernelAVX2F32} {
+		c := c
+		b.Run(c.String(), func(b *testing.B) {
+			restore := tensor.SetKernel(c)
+			defer restore()
+			runWireRound(b)
+		})
+	}
+}
+
+func runWireRound(b *testing.B) {
 	spec := benchBaseSpec()
 	spec.Engine = EngineSimNet
 	spec.Rounds = b.N
@@ -236,19 +262,22 @@ func BenchmarkWireRound(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, _, err := simnet.RunWireLoopback(func() *fl.Problem {
+	res, _, err := simnet.RunWireLoopback(func() *fl.Problem {
 		prob, _, err := spec.buildProblem()
 		if err != nil {
 			panic(err)
 		}
 		return prob
-	}, cfg); err != nil {
+	}, cfg)
+	if err != nil {
 		b.Fatal(err)
 	}
 	examples := spec.SampledEdges * spec.ClientsPerEdge * spec.Tau1 * spec.Tau2 * spec.BatchSize
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(examples*b.N)/sec, "examples/sec")
 	}
+	wireBytes := res.Ledger.Bytes[topology.ClientEdge] + res.Ledger.Bytes[topology.EdgeCloud]
+	b.ReportMetric(float64(wireBytes)/float64(b.N), "wire-bytes/round")
 }
 
 // BenchmarkSweep measures run-level throughput of the parallel sweep
@@ -294,9 +323,14 @@ func figSetup4(seed uint64) experiments.FigSetup {
 	return experiments.SetupFig4(experiments.Smoke, seed)
 }
 
+// benchBaseSpec is the shared workload of the round benchmarks. The
+// input dimension is 784 (28x28 — the paper's MNIST/FMNIST scale), so
+// per-round cost is dominated by model-vector traffic and GEMM work,
+// the regime the kernel tiers exist for; smaller dims measure mostly
+// fixed scheduling overhead and undersell every tier.
 func benchBaseSpec() Spec {
 	s := DefaultSpec(AlgHierMinimax)
-	s.InputDim = 48
+	s.InputDim = 784
 	s.TrainPerClass = 200
 	s.TestPerClass = 50
 	s.Rounds = 200

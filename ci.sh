@@ -15,11 +15,12 @@ go test -race ./internal/simnet/... ./internal/wire/... ./internal/obs/... ./int
 # Forced-kernel-class legs: every rung of the dispatch ladder must pass
 # the numeric property suites and reproduce its class's golden
 # trajectories, wherever CI runs — a class whose assembly the CPU lacks
-# falls back to its bit-identical pure-Go twin, so all three classes are
-# testable on any machine. -count=1 because the test cache does not key
-# on HIERFAIR_KERNEL. The race legs re-run the tensor suite (which
+# falls back to its bit-identical pure-Go twin, so all four classes
+# (including the avx2f32 float32 storage tier) are testable on any
+# machine. -count=1 because the test cache does not key on
+# HIERFAIR_KERNEL. The race legs re-run the tensor suite (which
 # exercises the parallel apply path) under each class's kernels.
-for KC in generic sse2 avx2; do
+for KC in generic sse2 avx2 avx2f32; do
 	HIERFAIR_KERNEL=$KC go test -count=1 ./internal/tensor/ ./internal/fl/ ./internal/invariance/
 	HIERFAIR_KERNEL=$KC go test -race -count=1 ./internal/tensor/
 done
@@ -83,14 +84,14 @@ grep -v 'listening on\|simnet pool:\|model written to' "$SMOKE/cloud.out" \
 	| sed 's|HierMinimax/wire|HierMinimax/simnet|' > "$SMOKE/cloud.cmp"
 diff "$SMOKE/ref.cmp" "$SMOKE/cloud.cmp"
 
-# Performance gate (optional, ~3 min): CI_BENCH=1 ./ci.sh benchmarks the
-# hot path into a scratch file and fails if SimnetRound allocs/op (the
-# zero-copy message fabric's contract, recorded in BENCH_3.json), Sweep
-# allocs/run (the run-level scheduler's contract, recorded in
-# BENCH_5.json) or WireRound allocs/op (the TCP codec's per-round
-# footprint, recorded in BENCH_7.json) regressed more than 20% over the
-# committed records. Refresh the records deliberately with ./bench.sh
-# when the change is intended.
+# Performance gate (optional, ~4 min): CI_BENCH=1 ./ci.sh benchmarks the
+# hot path into a scratch file and fails if EngineRound allocs/op (the
+# in-process training round's footprint), SimnetRound allocs/op (the
+# zero-copy message fabric's contract), Sweep allocs/run (the run-level
+# scheduler's contract) or WireRound allocs/op (the TCP codec's
+# per-round footprint) regressed more than 20% over the committed
+# BENCH_8.json records. Refresh the records deliberately with
+# ./bench.sh when the change is intended.
 if [ "${CI_BENCH:-0}" = "1" ]; then
 	TMP_BENCH=$(mktemp /tmp/bench_ci.XXXXXX.json)
 	./bench.sh "$TMP_BENCH"
@@ -123,9 +124,10 @@ if [ "${CI_BENCH:-0}" = "1" ]; then
 	}
 	BEGIN {
 		fails = 0
-		fails += gate("SimnetRound allocs/op", metric("BENCH_3.json", "SimnetRound", "allocs_per_op"), metric(ARGV[1], "SimnetRound", "allocs_per_op"))
-		fails += gate("Sweep allocs/run", metric("BENCH_5.json", "Sweep", "allocs_per_run"), metric(ARGV[1], "Sweep", "allocs_per_run"))
-		fails += gate("WireRound allocs/op", metric("BENCH_7.json", "WireRound", "allocs_per_op"), metric(ARGV[1], "WireRound", "allocs_per_op"))
+		fails += gate("EngineRound allocs/op", metric("BENCH_8.json", "EngineRound", "allocs_per_op"), metric(ARGV[1], "EngineRound", "allocs_per_op"))
+		fails += gate("SimnetRound allocs/op", metric("BENCH_8.json", "SimnetRound", "allocs_per_op"), metric(ARGV[1], "SimnetRound", "allocs_per_op"))
+		fails += gate("Sweep allocs/run", metric("BENCH_8.json", "Sweep", "allocs_per_run"), metric(ARGV[1], "Sweep", "allocs_per_run"))
+		fails += gate("WireRound allocs/op", metric("BENCH_8.json", "WireRound", "allocs_per_op"), metric(ARGV[1], "WireRound", "allocs_per_op"))
 		exit fails
 	}
 	' "$TMP_BENCH"

@@ -60,8 +60,11 @@ func main() {
 		os.Exit(1)
 	}
 	// Artifacts are reproducible per (seed, kernel class): the rounding
-	// regime is part of the provenance, so announce it before any run.
-	fmt.Printf("kernel class: %s\n", tensor.ActiveKernel())
+	// regime is part of the provenance, so announce the active class,
+	// the CPU-detected default and every rung's backing before any run
+	// (off amd64 the avx2f32 tier runs its bit-identical pure-Go twins).
+	fmt.Printf("kernel class: %s (detected %s, ladder %s)\n",
+		tensor.ActiveKernel(), tensor.DetectedKernel(), tensor.Ladder())
 
 	obsDone, err := obs.Setup(*metricsOut, *traceOut, *pprofDir)
 	if err != nil {

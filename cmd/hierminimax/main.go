@@ -76,15 +76,22 @@ func main() {
 	flag.Parse()
 
 	if *printKernel {
+		// First line: the bare active class (scripted by bench.sh).
+		// Then the full dispatch ladder, fastest first, with each
+		// rung's backing on this machine — off amd64 the avx2f32 tier
+		// shows pure-go: selectable and bit-identical, just unaccelerated.
 		fmt.Println(tensor.ActiveKernel())
+		fmt.Printf("detected: %s\n", tensor.DetectedKernel())
+		fmt.Printf("ladder: %s\n", tensor.Ladder())
 		return
 	}
 	// The kernel class is the rounding regime every result below depends
 	// on (DESIGN.md §8); print it up front so recorded runs are
 	// attributable, and so multi-process logs show at a glance why a
 	// mismatched peer was refused by the handshake fingerprint.
-	fmt.Printf("kernel class: %s (%s override: %s)\n",
-		tensor.ActiveKernel(), tensor.KernelEnv, envOr(tensor.KernelEnv, "unset"))
+	fmt.Printf("kernel class: %s (detected %s, %s override: %s; ladder %s)\n",
+		tensor.ActiveKernel(), tensor.DetectedKernel(),
+		tensor.KernelEnv, envOr(tensor.KernelEnv, "unset"), tensor.Ladder())
 
 	spec.Algorithm = hierfair.Algorithm(alg)
 	spec.Dataset = hierfair.Dataset(dataset)

@@ -92,12 +92,12 @@ func minimaxTwoLayerRound(k int, st *fl.State, pool *fl.ModelPool, tau1 int) {
 		finals = append(finals, o.finals...)
 		chks = append(chks, o.chks...)
 		if st.WSum != nil {
-			tensor.Axpy(1, o.iterSum, st.WSum)
+			tensor.StorageAdd(st.WSum, o.iterSum)
 			st.WCount += float64(tau1 * n0)
 		}
 	}
 	tensor.AverageInto(st.W, finals...)
-	prob.W.Project(st.W)
+	fl.ProjectW(prob.W, st.W)
 	wChk := make([]float64, len(st.W))
 	tensor.AverageInto(wChk, chks...)
 

@@ -55,12 +55,12 @@ func FedAvg(prob *fl.Problem, cfg fl.Config) (*fl.Result, error) {
 		st.Ledger.RecordRound(topology.ClientCloud, len(clients), dBytes)
 		if cfg.TrackAverages {
 			for _, s := range sums {
-				tensor.Axpy(1, s, st.WSum)
+				tensor.StorageAdd(st.WSum, s)
 				st.WCount += float64(cfg.Tau1)
 			}
 		}
 		tensor.AverageInto(st.W, finals...)
-		prob.W.Project(st.W)
+		fl.ProjectW(prob.W, st.W)
 	})
 }
 

@@ -55,7 +55,7 @@ func hierFAvgRound(k int, st *fl.State, pool *fl.ModelPool) {
 			}
 			st.Ledger.RecordRound(topology.ClientEdge, n0, dBytes)
 			tensor.AverageInto(we, finals...)
-			prob.W.Project(we)
+			fl.ProjectW(prob.W, we)
 		}
 		outs[i] = out{wEdge: we, iterSum: iterSum}
 	})
@@ -65,10 +65,10 @@ func hierFAvgRound(k int, st *fl.State, pool *fl.ModelPool) {
 	for i, o := range outs {
 		wVecs[i] = o.wEdge
 		if st.WSum != nil {
-			tensor.Axpy(1, o.iterSum, st.WSum)
+			tensor.StorageAdd(st.WSum, o.iterSum)
 			st.WCount += float64(cfg.Tau1 * cfg.Tau2 * n0)
 		}
 	}
 	tensor.AverageInto(st.W, wVecs...)
-	prob.W.Project(st.W)
+	fl.ProjectW(prob.W, st.W)
 }

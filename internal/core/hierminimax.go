@@ -11,9 +11,11 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/fl"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/rng"
+	"repro/internal/simplex"
 	"repro/internal/tensor"
 	"repro/internal/topology"
 )
@@ -60,18 +62,37 @@ func HierMinimaxWithOptions(prob *fl.Problem, cfg fl.Config, opts fl.RunOptions)
 
 // slotScratch holds every per-slot buffer of ModelUpdate. Instances
 // recycle through slotPool, so after the first few rounds Phase 1 runs
-// without allocating model-sized vectors.
+// without allocating model-sized vectors. On the avx2f32 tier the slot
+// additionally carries float32 mirrors of the per-client buffers: the
+// whole slot then runs in float32 storage (modelUpdate32) and only the
+// slot outputs (we, chkEdge, iterSum) are materialized in float64 for
+// the cloud aggregation.
 type slotScratch struct {
 	we, chkEdge, iterSum []float64
 	finals, chks, sums   [][]float64
 	bits                 []int64
+	we32, chkEdge32      []float32
+	iterSum32            []float32
+	finals32, chks32     [][]float32
+	sums32               [][]float32
 }
 
 var slotPool = sync.Pool{New: func() any { return new(slotScratch) }}
 
+// wChkPool recycles the per-round checkpoint average of Round (the only
+// model-sized vector Phase 1 would otherwise allocate each round).
+var wChkPool = sync.Pool{New: func() any { return new([]float64) }}
+
 func growVec(b []float64, n int) []float64 {
 	if cap(b) < n {
 		return make([]float64, n)
+	}
+	return b[:n]
+}
+
+func growVec32(b []float32, n int) []float32 {
+	if cap(b) < n {
+		return make([]float32, n)
 	}
 	return b[:n]
 }
@@ -89,23 +110,50 @@ func growRows(rows [][]float64, n, d int) [][]float64 {
 	return rows
 }
 
+func growRows32(rows [][]float32, n, d int) [][]float32 {
+	if cap(rows) < n {
+		grown := make([][]float32, n)
+		copy(grown, rows)
+		rows = grown
+	}
+	rows = rows[:n]
+	for i := range rows {
+		rows[i] = growVec32(rows[i], d)
+	}
+	return rows
+}
+
 // getSlotScratch sizes a pooled scratch for a d-parameter model and n0
 // clients. iterSum starts zeroed; the other buffers are overwritten
-// before use.
-func getSlotScratch(d, n0 int, trackAverages bool) *slotScratch {
+// before use. With f32 set the float32 mirrors are sized instead of the
+// per-client float64 rows (the slot outputs stay float64 either way).
+func getSlotScratch(d, n0 int, trackAverages, f32 bool) *slotScratch {
 	s := slotPool.Get().(*slotScratch)
 	s.we = growVec(s.we, d)
 	s.chkEdge = growVec(s.chkEdge, d)
-	s.finals = growRows(s.finals, n0, d)
-	s.chks = growRows(s.chks, n0, d)
 	if cap(s.bits) < n0 {
 		s.bits = make([]int64, n0)
 	}
 	s.bits = s.bits[:n0]
+	if f32 {
+		s.we32 = growVec32(s.we32, d)
+		s.chkEdge32 = growVec32(s.chkEdge32, d)
+		s.finals32 = growRows32(s.finals32, n0, d)
+		s.chks32 = growRows32(s.chks32, n0, d)
+	} else {
+		s.finals = growRows(s.finals, n0, d)
+		s.chks = growRows(s.chks, n0, d)
+	}
 	if trackAverages {
 		s.iterSum = growVec(s.iterSum, d)
 		tensor.Zero(s.iterSum)
-		s.sums = growRows(s.sums, n0, d)
+		if f32 {
+			s.iterSum32 = growVec32(s.iterSum32, d)
+			tensor.Zero32(s.iterSum32)
+			s.sums32 = growRows32(s.sums32, n0, d)
+		} else {
+			s.sums = growRows(s.sums, n0, d)
+		}
 	}
 	return s
 }
@@ -170,7 +218,7 @@ func Round(k int, st *fl.State, pool *fl.ModelPool) {
 		wVecs = append(wVecs, r.scratch.we)
 		chkVecs = append(chkVecs, r.scratch.chkEdge)
 		if st.WSum != nil {
-			tensor.Axpy(1, r.scratch.iterSum, st.WSum)
+			tensor.StorageAdd(st.WSum, r.scratch.iterSum)
 			st.WCount += r.iterCount
 		}
 	}
@@ -195,9 +243,12 @@ func Round(k int, st *fl.State, pool *fl.ModelPool) {
 	st.Ledger.RecordRound(topology.EdgeCloud, len(wVecs), ecUp)
 	tensor.AverageInto(st.W, wVecs...)
 	tp := obs.Now()
-	prob.W.Project(st.W)
+	fl.ProjectW(prob.W, st.W)
 	obs.ObserveSince("core_projection_ms", tp)
-	wChk := make([]float64, len(st.W))
+	wp := wChkPool.Get().(*[]float64)
+	*wp = growVec(*wp, len(st.W))
+	wChk := *wp
+	defer wChkPool.Put(wp)
 	tensor.AverageInto(wChk, chkVecs...)
 	if cfg.CheckpointOff {
 		// A1 ablation: estimate the p-gradient at the end-of-round model
@@ -296,7 +347,12 @@ func ModelUpdate(a modelUpdateArgs) slotResult {
 	n0 := len(a.area.Clients)
 	dBytes := topology.ModelBytes(len(a.wStart))
 
-	s := getSlotScratch(len(a.wStart), n0, cfg.TrackAverages)
+	if tensor.StorageF32() && cfg.Quantizer == nil {
+		if _, ok := prob.Model.(model.F32Model); ok {
+			return modelUpdate32(a)
+		}
+	}
+	s := getSlotScratch(len(a.wStart), n0, cfg.TrackAverages, false)
 	copy(s.we, a.wStart)
 	var iterCount float64
 
@@ -341,7 +397,7 @@ func ModelUpdate(a modelUpdateArgs) slotResult {
 		// engines produce identical wHat accumulators.
 		if cfg.TrackAverages {
 			for c := 0; c < n0; c++ {
-				tensor.Axpy(1, s.sums[c], s.iterSum)
+				tensor.StorageAdd(s.iterSum, s.sums[c])
 				iterCount += float64(cfg.Tau1)
 			}
 		}
@@ -361,7 +417,7 @@ func ModelUpdate(a modelUpdateArgs) slotResult {
 		a.ledger.RecordRound(topology.ClientEdge, n0, up)
 		// Client-edge aggregation.
 		tensor.AverageInto(s.we, s.finals...)
-		prob.W.Project(s.we)
+		fl.ProjectW(prob.W, s.we)
 		if t2 == a.c2 {
 			tensor.AverageInto(s.chkEdge, s.chks...)
 		}
@@ -373,6 +429,101 @@ func ModelUpdate(a modelUpdateArgs) slotResult {
 	}
 	// One SGD step evaluates BatchSize per-example gradients; the slot
 	// ran tau1*tau2 steps on each of its n0 clients.
+	gradEvals.Add(int64(cfg.Tau1 * cfg.Tau2 * n0 * cfg.BatchSize))
+	return slotResult{scratch: s, iterCount: iterCount}
+}
+
+// modelUpdate32 is ModelUpdate on the avx2f32 tier for models with a
+// native float32 path (and no quantizer — quantizers operate on the
+// float64 vectors): the whole slot stays in float32 storage. Clients run
+// LocalSGD32Scratch on float32 slot buffers — no per-client float64
+// round-trips — and the per-block aggregation widens the float32 finals
+// into a float64 accumulator with a single rounding back to storage
+// (AverageWidenInto), which is bit-for-bit AverageInto + Round32 on the
+// widened vectors. The trajectory is therefore identical to the
+// float64-interchange path while every client block moves half the
+// bytes; only the slot outputs (we, chkEdge, iterSum) are widened for
+// the cloud-level aggregation, once per slot.
+func modelUpdate32(a modelUpdateArgs) slotResult {
+	cfg := a.cfg
+	prob := a.prob
+	n0 := len(a.area.Clients)
+	dBytes := topology.ModelBytes(len(a.wStart))
+
+	s := getSlotScratch(len(a.wStart), n0, cfg.TrackAverages, true)
+	// Exact narrowing: the broadcast model is storage-representable.
+	tensor.ToF32(s.we32, a.wStart)
+	_, freeW := prob.W.(simplex.FullSpace)
+	var iterCount float64
+
+	for t2 := 0; t2 < cfg.Tau2; t2++ {
+		// Edge broadcasts w_e^(k,t2) to its clients.
+		a.ledger.RecordRound(topology.ClientEdge, n0, dBytes)
+		chkAt := 0
+		if t2 == a.c2 {
+			chkAt = a.c1
+		}
+		runClients := func(lo, hi int) {
+			mdl := a.pool.Get()
+			defer a.pool.Put(mdl)
+			fm := mdl.(model.F32Model)
+			for c := lo; c < hi; c++ {
+				r := a.stream.ChildN(uint64(t2), uint64(c))
+				var clientSum []float32
+				if cfg.TrackAverages {
+					clientSum = s.sums32[c]
+					tensor.Zero32(clientSum)
+				}
+				wf := s.finals32[c]
+				copy(wf, s.we32)
+				fl.LocalSGD32Into(fm, wf, a.area.Clients[c], cfg.Tau1, cfg.BatchSize, cfg.EtaW, prob.W, r, chkAt, clientSum, s.chks32[c])
+			}
+		}
+		if cfg.Sequential {
+			runClients(0, n0)
+		} else {
+			tensor.ParallelFor(n0, 1, runClients)
+		}
+		// Per-client iterate sums reduced in client order with float32
+		// adds — exactly StorageAdd on the widened mirrors.
+		if cfg.TrackAverages {
+			for c := 0; c < n0; c++ {
+				tensor.Axpy32(1, s.sums32[c], s.iterSum32)
+				iterCount += float64(cfg.Tau1)
+			}
+		}
+		// Clients upload their models (plus the checkpoint in block c2,
+		// plus the uncompressed iterate sum when tracking averages).
+		up := dBytes
+		if t2 == a.c2 {
+			up *= 2
+		}
+		if cfg.TrackAverages {
+			up += dBytes
+		}
+		a.ledger.RecordRound(topology.ClientEdge, n0, up)
+		// Client-edge aggregation in the regime's native float32
+		// arithmetic (the same bits AverageInto computes from widened
+		// mirrors). Under a trivial W the projection is a no-op and the
+		// average is already storage-representable, so the float64
+		// round-trip is skipped entirely.
+		tensor.Average32Into(s.we32, s.finals32...)
+		if !freeW {
+			tensor.ToF64(s.we, s.we32)
+			fl.ProjectW(prob.W, s.we)
+			tensor.ToF32(s.we32, s.we)
+		}
+		if t2 == a.c2 {
+			tensor.Average32Into(s.chkEdge32, s.chks32...)
+		}
+	}
+	// Widen the slot outputs once for the float64-interchange cloud
+	// aggregation (exact: all three hold storage-representable values).
+	tensor.ToF64(s.we, s.we32)
+	tensor.ToF64(s.chkEdge, s.chkEdge32)
+	if cfg.TrackAverages {
+		tensor.ToF64(s.iterSum, s.iterSum32)
+	}
 	gradEvals.Add(int64(cfg.Tau1 * cfg.Tau2 * n0 * cfg.BatchSize))
 	return slotResult{scratch: s, iterCount: iterCount}
 }

@@ -1,0 +1,63 @@
+package data
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func toySubset(n, dim int) Subset {
+	var s Subset
+	r := rng.New(31)
+	for i := 0; i < n; i++ {
+		x := make([]float64, dim)
+		r.Fill(x, 1)
+		s.Append(x, i%3)
+	}
+	return s
+}
+
+// TestSampleInto32MatchesSampleInto pins the stream contract of the
+// float32 fast path: the same seed draws the same examples as the
+// float64 sampler, and each float32 row is the rounded mirror of its
+// float64 source.
+func TestSampleInto32MatchesSampleInto(t *testing.T) {
+	s := toySubset(11, 6)
+	batch := 16
+	xs := make([][]float64, batch)
+	ys := make([]int, batch)
+	s.SampleInto(rng.New(5), xs, ys)
+
+	xs32 := make([][]float32, batch)
+	ys32 := make([]int, batch)
+	s.SampleInto32(rng.New(5), xs32, ys32)
+
+	for i := range ys {
+		if ys[i] != ys32[i] {
+			t.Fatalf("draw %d: label %d vs %d — streams diverged", i, ys[i], ys32[i])
+		}
+		for j := range xs[i] {
+			if xs32[i][j] != float32(xs[i][j]) {
+				t.Fatalf("draw %d elem %d: %v is not the float32 mirror of %v", i, j, xs32[i][j], xs[i][j])
+			}
+		}
+	}
+}
+
+// TestRowF32Cached pins the allocation contract of the mirror cache:
+// repeated lookups of the same row return the identical slice.
+func TestRowF32Cached(t *testing.T) {
+	x := []float64{1.5, 2.25, -0.75}
+	a := RowF32(x)
+	b := RowF32(x)
+	if &a[0] != &b[0] {
+		t.Fatal("RowF32 did not return the cached mirror")
+	}
+	if RowF32(nil) != nil {
+		t.Fatal("RowF32(nil) must be nil")
+	}
+	rows := RowsF32(nil, [][]float64{x, x})
+	if len(rows) != 2 || &rows[0][0] != &a[0] || &rows[1][0] != &a[0] {
+		t.Fatal("RowsF32 must reuse cached mirrors")
+	}
+}

@@ -22,6 +22,14 @@ type Scratch struct {
 	grad []float64
 	xs   [][]float64
 	ys   []int
+	// Float32 mirrors for the avx2f32 storage tier's fast path: the
+	// iterate, gradient, iterate-sum and batch views in native float32,
+	// plus a float64 staging buffer for non-trivial projections. Sized
+	// only when the fast path runs.
+	w32, grad32, iterSum32 []float32
+	chk32                  []float32
+	xs32                   [][]float32
+	proj                   []float64
 }
 
 var sgdPool = sync.Pool{New: func() any { return new(Scratch) }}
@@ -37,6 +45,26 @@ func (s *Scratch) size(dim, batch int) {
 	}
 	s.xs = s.xs[:batch]
 	s.ys = s.ys[:batch]
+}
+
+// size32 sizes the float32 mirrors (the float64 ys buffer is shared
+// with the regular path via size).
+func (s *Scratch) size32(dim, batch int) {
+	s.size(0, batch)
+	if cap(s.w32) < dim {
+		s.w32 = make([]float32, dim)
+		s.grad32 = make([]float32, dim)
+		s.iterSum32 = make([]float32, dim)
+		s.chk32 = make([]float32, dim)
+	}
+	s.w32 = s.w32[:dim]
+	s.grad32 = s.grad32[:dim]
+	s.iterSum32 = s.iterSum32[:dim]
+	s.chk32 = s.chk32[:dim]
+	if cap(s.xs32) < batch {
+		s.xs32 = make([][]float32, batch)
+	}
+	s.xs32 = s.xs32[:batch]
 }
 
 // LocalSGD runs `steps` projected SGD steps (Eq. 4) on one client's
@@ -75,6 +103,31 @@ func LocalSGDInto(m model.Model, w []float64, shard data.Subset, steps, batch in
 // the shared pool; actors that serve many requests keep one Scratch
 // resident and pass it here so the hot path is pool- and lock-free.
 func LocalSGDScratch(m model.Model, w []float64, shard data.Subset, steps, batch int, eta float64, W simplex.Set, r *rng.Stream, chkAt int, iterSum, wChk []float64, s *Scratch) bool {
+	if tensor.StorageF32() {
+		if fm, ok := m.(model.F32Model); ok {
+			return localSGD32(fm, w, shard, steps, batch, eta, W, r, chkAt, iterSum, wChk, s)
+		}
+		// Fallback regime for models without a float32 path: float64
+		// arithmetic with the iterate rounded back to storage after
+		// every step. Deterministic, but a different trajectory than
+		// the native float32 path.
+		s.size(len(w), batch)
+		checkpointed := false
+		for t := 0; t < steps; t++ {
+			if iterSum != nil {
+				tensor.StorageAdd(iterSum, w)
+			}
+			shard.SampleInto(r, s.xs, s.ys)
+			m.Grad(w, s.grad, s.xs, s.ys)
+			optim.SGDStep(w, s.grad, eta, W)
+			tensor.Round32(w)
+			if t+1 == chkAt {
+				copy(wChk, w)
+				checkpointed = true
+			}
+		}
+		return checkpointed
+	}
 	s.size(len(w), batch)
 	checkpointed := false
 	for t := 0; t < steps; t++ {
@@ -92,14 +145,116 @@ func LocalSGDScratch(m model.Model, w []float64, shard data.Subset, steps, batch
 	return checkpointed
 }
 
+// localSGD32 is the avx2f32 fast path of LocalSGDScratch: the float64
+// boundary adapter over LocalSGD32Scratch. It converts the iterate (and
+// iterate sum) to float32 mirrors, runs the native float32 block, and
+// widens the results back. All conversions are exact under the storage
+// invariant (w and iterSum hold float32-representable values), so the
+// float64 vectors the engines see are the float32 trajectory widened.
+func localSGD32(m model.F32Model, w []float64, shard data.Subset, steps, batch int, eta float64, W simplex.Set, r *rng.Stream, chkAt int, iterSum, wChk []float64, s *Scratch) bool {
+	s.size32(len(w), batch)
+	tensor.ToF32(s.w32, w)
+	summing := iterSum != nil
+	var sum32 []float32
+	if summing {
+		tensor.ToF32(s.iterSum32, iterSum)
+		sum32 = s.iterSum32
+	}
+	checkpointed := LocalSGD32Scratch(m, s.w32, shard, steps, batch, eta, W, r, chkAt, sum32, s.chk32, s)
+	tensor.ToF64(w, s.w32)
+	if summing {
+		tensor.ToF64(iterSum, s.iterSum32)
+	}
+	if checkpointed {
+		tensor.ToF64(wChk, s.chk32)
+	}
+	return checkpointed
+}
+
+// LocalSGD32Scratch is the native-float32 local SGD block: it advances
+// w32 in place through `steps` projected SGD steps with float32
+// sampling (same stream draws as the float64 path), GradF32 and a
+// float32 step, never leaving float32 storage except for a non-trivial
+// projection (the simplex.Set contract is float64). If chkAt is in
+// [1, steps], the iterate after chkAt steps is copied into wChk32 and
+// the function reports true. If iterSum32 is non-nil every pre-step
+// iterate is accumulated into it with one fma32 rounding per element —
+// exactly StorageAdd's float32 addition on the widened mirrors. w32,
+// wChk32 and iterSum32 may alias the scratch's own buffers or be
+// caller-owned (the core engine's float32 slot path passes its pooled
+// slot buffers directly, so client blocks run without any float64
+// round-trips).
+func LocalSGD32Scratch(m model.F32Model, w32 []float32, shard data.Subset, steps, batch int, eta float64, W simplex.Set, r *rng.Stream, chkAt int, iterSum32, wChk32 []float32, s *Scratch) bool {
+	s.size32(len(w32), batch)
+	_, freeW := W.(simplex.FullSpace)
+	eta32 := float32(eta)
+	checkpointed := false
+	for t := 0; t < steps; t++ {
+		if iterSum32 != nil {
+			tensor.Axpy32(1, w32, iterSum32)
+		}
+		shard.SampleInto32(r, s.xs32, s.ys)
+		m.GradF32(w32, s.grad32, s.xs32, s.ys)
+		tensor.Axpy32(-eta32, s.grad32, w32)
+		if !freeW {
+			// Non-trivial W: project in float64 (the Set contract) and
+			// round back to storage.
+			if cap(s.proj) < len(w32) {
+				s.proj = make([]float64, len(w32))
+			}
+			s.proj = s.proj[:len(w32)]
+			tensor.ToF64(s.proj, w32)
+			W.Project(s.proj)
+			tensor.Round32(s.proj)
+			tensor.ToF32(w32, s.proj)
+		}
+		if t+1 == chkAt {
+			copy(wChk32, w32)
+			checkpointed = true
+		}
+	}
+	return checkpointed
+}
+
+// LocalSGD32Into is LocalSGD32Scratch with working buffers drawn from
+// the internal pool — the float32 sibling of LocalSGDInto for callers
+// that own the iterate/checkpoint/sum buffers but not a Scratch.
+func LocalSGD32Into(m model.F32Model, w32 []float32, shard data.Subset, steps, batch int, eta float64, W simplex.Set, r *rng.Stream, chkAt int, iterSum32, wChk32 []float32) bool {
+	s := sgdPool.Get().(*Scratch)
+	checkpointed := LocalSGD32Scratch(m, w32, shard, steps, batch, eta, W, r, chkAt, iterSum32, wChk32, s)
+	sgdPool.Put(s)
+	return checkpointed
+}
+
 // ShardLossEstimate draws one mini-batch from the shard (consuming the
 // same stream values as Subset.Sample) and returns the model loss of w on
 // it, using the caller's Scratch for the batch views. It is the
 // allocation-free client half of the Phase-2 LossEstimation procedure.
 func ShardLossEstimate(m model.Model, w []float64, shard data.Subset, batch int, r *rng.Stream, s *Scratch) float64 {
+	if tensor.StorageF32() {
+		if fm, ok := m.(model.F32Model); ok {
+			s.size32(len(w), batch)
+			tensor.ToF32(s.w32, w)
+			shard.SampleInto32(r, s.xs32, s.ys)
+			return float64(fm.LossF32(s.w32, s.xs32, s.ys))
+		}
+	}
 	s.size(0, batch)
 	shard.SampleInto(r, s.xs, s.ys)
 	return m.Loss(w, s.xs, s.ys)
+}
+
+// ProjectW projects a model vector onto W in the active storage regime:
+// W.Project plus, on the avx2f32 tier, rounding the result back to
+// storage so the projected iterate stays float32-representable. Every
+// engine-side projection of a model vector goes through this helper
+// (the in-block projection of the SGD hot path handles the regime
+// itself).
+func ProjectW(W simplex.Set, w []float64) {
+	W.Project(w)
+	if tensor.StorageF32() {
+		tensor.Round32(w)
+	}
 }
 
 // AreaLossEstimate implements the LossEstimation procedure of Phase 2:
@@ -108,10 +263,24 @@ func ShardLossEstimate(m model.Model, w []float64, shard data.Subset, batch int,
 // unbiased estimate of f_e(w).
 func AreaLossEstimate(m model.Model, w []float64, area data.AreaData, lossBatch int, r *rng.Stream) float64 {
 	s := sgdPool.Get().(*Scratch)
+	defer sgdPool.Put(s)
 	total := 0.0
+	if tensor.StorageF32() {
+		if fm, ok := m.(model.F32Model); ok {
+			// Convert the checkpoint once per area, not once per client:
+			// same w32 bits and same per-client stream draws as routing
+			// every client through ShardLossEstimate.
+			s.size32(len(w), lossBatch)
+			tensor.ToF32(s.w32, w)
+			for c, shard := range area.Clients {
+				shard.SampleInto32(r.Child(uint64(c)), s.xs32, s.ys)
+				total += float64(fm.LossF32(s.w32, s.xs32, s.ys))
+			}
+			return total / float64(len(area.Clients))
+		}
+	}
 	for c, shard := range area.Clients {
 		total += ShardLossEstimate(m, w, shard, lossBatch, r.Child(uint64(c)), s)
 	}
-	sgdPool.Put(s)
 	return total / float64(len(area.Clients))
 }

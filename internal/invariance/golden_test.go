@@ -1,15 +1,17 @@
 // Package invariance_test pins the exact floating-point trajectories of
 // every training engine on the fltest fixtures, per kernel class. The
-// dispatch ladder (tensor.KernelClass) defines two rounding regimes:
+// dispatch ladder (tensor.KernelClass) defines three rounding regimes:
 // the non-FMA regime (generic and sse2, bitwise identical by contract)
-// pinned by testdata/trajectories.json, and the FMA regime (avx2, one
-// rounding per multiply-add) pinned by testdata/trajectories_avx2.json.
-// Any change to the arithmetic order of the hot path (kernels,
-// batching, parallel reductions) shows up here as a hash mismatch in
-// the affected regime. Regenerate both files deliberately with
-// `go test ./internal/invariance -update` after an intentional
-// trajectory change — update mode forces each regime in turn, so one
-// run on any machine rewrites both.
+// pinned by testdata/trajectories.json, the float64 FMA regime (avx2,
+// one rounding per multiply-add) pinned by
+// testdata/trajectories_avx2.json, and the float32 storage regime
+// (avx2f32, 24-bit significands end to end) pinned by
+// testdata/trajectories_avx2f32.json. Any change to the arithmetic
+// order of the hot path (kernels, batching, parallel reductions) shows
+// up here as a hash mismatch in the affected regime. Regenerate all
+// three files deliberately with `go test ./internal/invariance -update`
+// after an intentional trajectory change — update mode forces each
+// regime in turn, so one run on any machine rewrites them all.
 package invariance_test
 
 import (
@@ -128,10 +130,14 @@ func cases() map[string]func() (*fl.Result, error) {
 // goldenFile maps a kernel class to the fixture pinning its rounding
 // regime. generic and sse2 share one file — TestSSE2MatchesGeneric (in
 // internal/tensor) and TestCrossClassGoldens below keep that sharing
-// honest — while the FMA tier gets its own.
+// honest — while the float64 FMA tier and the float32 storage tier each
+// get their own.
 func goldenFile(c tensor.KernelClass) string {
-	if c == tensor.KernelAVX2 {
+	switch c {
+	case tensor.KernelAVX2:
 		return "testdata/trajectories_avx2.json"
+	case tensor.KernelAVX2F32:
+		return "testdata/trajectories_avx2f32.json"
 	}
 	return "testdata/trajectories.json"
 }
@@ -188,10 +194,10 @@ func readGolden(t *testing.T, path string) map[string]string {
 
 func TestTrajectoriesMatchGolden(t *testing.T) {
 	if *update {
-		// Regenerate both rounding regimes regardless of the active
+		// Regenerate every rounding regime regardless of the active
 		// class: the pure-Go fallbacks make every class bit-reproducible
 		// on any machine.
-		for _, c := range []tensor.KernelClass{tensor.KernelGeneric, tensor.KernelAVX2} {
+		for _, c := range []tensor.KernelClass{tensor.KernelGeneric, tensor.KernelAVX2, tensor.KernelAVX2F32} {
 			restore := tensor.SetKernel(c)
 			writeGolden(t, goldenFile(c), runAll(t))
 			restore()
@@ -216,13 +222,13 @@ func TestTrajectoriesMatchGolden(t *testing.T) {
 
 // TestCrossClassGoldens forces each dispatch rung in turn on a cheap
 // case pair and checks it against that rung's golden: sse2 and generic
-// must land on the identical (non-FMA) hash, avx2 on its own. This is
-// the in-process proof that a forced kernel class — not the hardware it
-// happens to run on — determines the trajectory.
+// must land on the identical (non-FMA) hash, avx2 and avx2f32 each on
+// their own. This is the in-process proof that a forced kernel class —
+// not the hardware it happens to run on — determines the trajectory.
 func TestCrossClassGoldens(t *testing.T) {
 	quick := []string{"hierminimax-seq", "fedavg"}
 	all := cases()
-	for _, c := range []tensor.KernelClass{tensor.KernelGeneric, tensor.KernelSSE2, tensor.KernelAVX2} {
+	for _, c := range []tensor.KernelClass{tensor.KernelGeneric, tensor.KernelSSE2, tensor.KernelAVX2, tensor.KernelAVX2F32} {
 		want := readGolden(t, goldenFile(c))
 		restore := tensor.SetKernel(c)
 		for _, name := range quick {

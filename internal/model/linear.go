@@ -23,6 +23,8 @@ type Linear struct {
 	logits []float64
 	// Batched scratch, reshaped per chunk.
 	z, dz tensor.Matrix
+	// Float32 batched scratch (the avx2f32 storage tier; see f32.go).
+	fz, fdz tensor.Matrix32
 }
 
 // NewLinear returns a logistic-regression model for inputDim features and

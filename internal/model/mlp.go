@@ -30,6 +30,9 @@ type MLP struct {
 	// Batched scratch, reshaped per chunk.
 	bz1, ba1, bz2, ba2, bz3 tensor.Matrix
 	dz3, da2, da1           tensor.Matrix
+	// Float32 batched scratch (the avx2f32 storage tier; see f32.go).
+	fz1, fa1, fz2, fa2, fz3 tensor.Matrix32
+	fdz3, fda2, fda1        tensor.Matrix32
 }
 
 // NewMLP returns an MLP with the given layer sizes.

@@ -181,7 +181,7 @@ func round(k int, st *fl.State, cfg *Config, pool *fl.ModelPool) {
 	}
 	st.Ledger.RecordRound(topology.EdgeCloud, len(results), 2*dBytes)
 	tensor.AverageInto(st.W, wVecs...)
-	prob.W.Project(st.W)
+	fl.ProjectW(prob.W, st.W)
 	wChk := make([]float64, len(st.W))
 	tensor.AverageInto(wChk, cVecs...)
 	if base.CheckpointOff {
@@ -257,7 +257,7 @@ func (n *nodeRun) run(v int, w []float64, stream *rng.Stream, leafLo int, inChk 
 		}
 		n.ledger.RecordRound(link, nc, up)
 		tensor.AverageInto(we, finals...)
-		n.prob.W.Project(we)
+		fl.ProjectW(n.prob.W, we)
 		if blockChk {
 			chkOut = make([]float64, len(we))
 			tensor.AverageInto(chkOut, chks...)

@@ -54,14 +54,17 @@ var (
 	edgeLossReplyPool  = &wire.EdgeLossReplyPool
 )
 
-// payloadBytes is the actual wire size of a set of payload vectors: 8
-// bytes per float64, nil vectors contribute nothing. All protocol
-// messages report their true transfer size so the per-link byte counters
-// and the latency model reflect what the round really moved.
+// payloadBytes is the actual wire size of a set of payload vectors —
+// tensor.ElemBytes() per element (8 in the float64 regimes, 4 on the
+// float32 storage tier, matching the codec's on-the-wire layout), nil
+// vectors contribute nothing. All protocol messages report their true
+// transfer size so the per-link byte counters and the latency model
+// reflect what the round really moved.
 func payloadBytes(vecs ...[]float64) int64 {
+	elem := int64(tensor.ElemBytes())
 	var n int64
 	for _, v := range vecs {
-		n += int64(len(v)) * 8
+		n += int64(len(v)) * elem
 	}
 	return n
 }
@@ -418,7 +421,7 @@ func (e *edgeActor) modelUpdate(req *edgeTrainReq, round int) *edgeTrainReply {
 				if e.sums[c] == nil {
 					continue
 				}
-				tensor.Axpy(1, e.sums[c], iterSum)
+				tensor.StorageAdd(iterSum, e.sums[c])
 				iterCount += float64(e.tau1)
 				pool.put(e.sums[c])
 				e.sums[c] = nil
@@ -437,7 +440,7 @@ func (e *edgeActor) modelUpdate(req *edgeTrainReq, round int) *edgeTrainReply {
 		e.live = live
 		if len(live) > 0 {
 			tensor.AverageInto(we, live...)
-			e.wSet.Project(we)
+			fl.ProjectW(e.wSet, we)
 		}
 		if t2 == req.C2 {
 			chkEdge = pool.get(d)

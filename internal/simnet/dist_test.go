@@ -154,7 +154,7 @@ func TestWireFingerprintCoversTrajectoryKnobs(t *testing.T) {
 	// The kernel class is a rounding regime, so two processes on
 	// different rungs must refuse each other's hello even with
 	// identical configs.
-	for _, c := range []tensor.KernelClass{tensor.KernelGeneric, tensor.KernelSSE2, tensor.KernelAVX2} {
+	for _, c := range []tensor.KernelClass{tensor.KernelGeneric, tensor.KernelSSE2, tensor.KernelAVX2, tensor.KernelAVX2F32} {
 		if c == tensor.ActiveKernel() {
 			continue
 		}

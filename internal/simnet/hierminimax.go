@@ -457,7 +457,7 @@ func (e *engine) round(k int, st *fl.State) {
 		e.wVecs = append(e.wVecs, r.WEdge)
 		e.chkVecs = append(e.chkVecs, r.WChk)
 		if st.WSum != nil {
-			tensor.Axpy(1, r.IterSum, st.WSum)
+			tensor.StorageAdd(st.WSum, r.IterSum)
 			st.WCount += r.IterCount
 		}
 	}
@@ -466,7 +466,7 @@ func (e *engine) round(k int, st *fl.State) {
 	}
 	st.Ledger.RecordRound(topology.EdgeCloud, len(e.wVecs), ecUp)
 	tensor.AverageInto(st.W, e.wVecs...)
-	prob.W.Project(st.W)
+	fl.ProjectW(prob.W, st.W)
 	tensor.AverageInto(e.wChk, e.chkVecs...)
 	if cfg.CheckpointOff {
 		copy(e.wChk, st.W)

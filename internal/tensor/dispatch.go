@@ -27,12 +27,22 @@ import (
 //     math.FMA pure-Go twins (simd_fma_ref.go) everywhere else — FMA
 //     is a correctly-rounded operation, so the class is reproducible
 //     on any hardware.
+//   - KernelAVX2F32: the float32 storage tier. Model vectors, gradient
+//     scratch and wire payloads hold float32-representable values
+//     (StorageF32), the training hot path runs the 8-wide float32
+//     AVX2+FMA kernels (simd_avx2f32_amd64.s, or the bit-identical
+//     fma32 pure-Go twins in simd_f32_ref.go off amd64), and every
+//     aggregation rounds its result back through float32. Residual
+//     float64 arithmetic (evaluation, the dual ascent on p) binds the
+//     KernelAVX2 set, so the class is "avx2 plus a float32 storage
+//     regime" — a fourth rounding regime with its own golden fixtures.
 type KernelClass uint8
 
 const (
 	KernelGeneric KernelClass = iota
 	KernelSSE2
 	KernelAVX2
+	KernelAVX2F32
 )
 
 func (c KernelClass) String() string {
@@ -43,15 +53,41 @@ func (c KernelClass) String() string {
 		return "sse2"
 	case KernelAVX2:
 		return "avx2"
+	case KernelAVX2F32:
+		return "avx2f32"
 	}
 	return fmt.Sprintf("KernelClass(%d)", uint8(c))
 }
 
+// Classes lists every dispatch rung, fastest first — the order the
+// startup banners print and ParseKernel's error message cites.
+func Classes() []KernelClass {
+	return []KernelClass{KernelAVX2F32, KernelAVX2, KernelSSE2, KernelGeneric}
+}
+
+// ParseKernel maps a HIERFAIR_KERNEL value to its class. An unknown
+// value is an error naming every valid class, so a typo fails fast at
+// process start instead of silently training in an unexpected regime
+// (the exact message is pinned by TestParseKernelUnknown).
+func ParseKernel(v string) (KernelClass, error) {
+	switch v {
+	case "avx2f32":
+		return KernelAVX2F32, nil
+	case "avx2":
+		return KernelAVX2, nil
+	case "sse2":
+		return KernelSSE2, nil
+	case "generic":
+		return KernelGeneric, nil
+	}
+	return 0, fmt.Errorf("tensor: unknown %s=%q (valid classes: avx2f32, avx2, sse2, generic)", KernelEnv, v)
+}
+
 // KernelEnv is the environment variable that forces a dispatch rung
-// (HIERFAIR_KERNEL=avx2|sse2|generic), read once at process start.
-// Tests and the ci.sh forced-class legs use it to pin a rounding
-// regime; an unknown value panics rather than silently training in an
-// unexpected regime.
+// (HIERFAIR_KERNEL=avx2f32|avx2|sse2|generic), read once at process
+// start. Tests and the ci.sh forced-class legs use it to pin a rounding
+// regime; an unknown value panics (with ParseKernel's class-listing
+// message) rather than silently training in an unexpected regime.
 const KernelEnv = "HIERFAIR_KERNEL"
 
 // kernelSet is one rung's implementation of every dispatched kernel.
@@ -95,22 +131,68 @@ var (
 )
 
 func init() {
-	switch v := os.Getenv(KernelEnv); v {
-	case "":
+	v := os.Getenv(KernelEnv)
+	if v == "" {
 		SetKernel(defaultKernel())
-	case "avx2":
-		SetKernel(KernelAVX2)
-	case "sse2":
-		SetKernel(KernelSSE2)
-	case "generic":
-		SetKernel(KernelGeneric)
-	default:
-		panic(fmt.Sprintf("tensor: unknown %s=%q (want avx2|sse2|generic)", KernelEnv, v))
+		return
 	}
+	c, err := ParseKernel(v)
+	if err != nil {
+		panic(err.Error())
+	}
+	SetKernel(c)
 }
 
 // ActiveKernel reports the dispatch rung currently in use.
 func ActiveKernel() KernelClass { return activeKernel }
+
+// DetectedKernel reports the rung the CPU probe would pick with no
+// HIERFAIR_KERNEL override — the "detected" half of the startup
+// banners' detected-vs-forced line (ActiveKernel is the forced half).
+func DetectedKernel() KernelClass { return defaultKernel() }
+
+// Backing reports how class c is served on this machine: "assembly"
+// when the class's SIMD kernels run, "pure-go" when its bit-identical
+// twins do. Off amd64 every class — including avx2f32 — is pure-go:
+// still selectable, same bits, just without the SIMD speed.
+func Backing(c KernelClass) string {
+	if backingAsm(c) {
+		return "assembly"
+	}
+	return "pure-go"
+}
+
+// Ladder returns a one-line summary of every dispatch rung and its
+// backing on this machine, fastest first — the availability listing the
+// startup banners and -print-kernel print.
+func Ladder() string {
+	s := ""
+	for i, c := range Classes() {
+		if i > 0 {
+			s += " "
+		}
+		s += c.String() + "=" + Backing(c)
+	}
+	return s
+}
+
+// StorageF32 reports whether the active class stores model state —
+// iterates, gradients, checkpoints, iterate sums, wire payloads — in
+// float32. Every model vector then holds float32-representable values
+// at all times (exact under float64 round-trips), which is what lets
+// the wire codec ship 4-byte elements losslessly.
+func StorageF32() bool { return activeKernel == KernelAVX2F32 }
+
+// ElemBytes returns the wire/ledger width of one model-vector element
+// under the active storage regime: 4 bytes on the float32 tier, 8
+// elsewhere. topology.ModelBytes and the wire codec derive their byte
+// accounting from it.
+func ElemBytes() int {
+	if StorageF32() {
+		return 4
+	}
+	return 8
+}
 
 // FusedCrossEntropy reports whether the active class uses the
 // single-exponential fused cross-entropy form (gradient row =
@@ -129,7 +211,7 @@ func FusedCrossEntropy() bool { return kernels.fusedCE }
 func SetKernel(c KernelClass) (restore func()) {
 	prev := activeKernel
 	switch c {
-	case KernelGeneric, KernelSSE2, KernelAVX2:
+	case KernelGeneric, KernelSSE2, KernelAVX2, KernelAVX2F32:
 	default:
 		panic(fmt.Sprintf("tensor: SetKernel(%v): unknown class", c))
 	}

@@ -9,9 +9,11 @@ import (
 // hits: GemmT 4×48×10 is one Linear forward chunk on the smoke spec,
 // 64×784×10 a full-width MNIST-scale logreg chunk, and Axpy 48 the
 // weight-gradient accumulation row. Every benchmark runs once per
-// dispatch rung (generic/sse2/avx2 sub-benchmarks via SetKernel), so a
-// single `go test -bench` invocation yields comparable per-class
-// numbers on one machine — the shape bench.sh records in BENCH_7.json.
+// dispatch rung (generic/sse2/avx2 sub-benchmarks via SetKernel; the
+// avx2f32 rung binds the avx2 set for these float64 kernels, so it
+// would only duplicate the avx2 rows), so a single `go test -bench`
+// invocation yields comparable per-class numbers on one machine — the
+// shape bench.sh records in BENCH_8.json.
 
 // benchClasses runs fn under each forced kernel class.
 func benchClasses(b *testing.B, fn func(b *testing.B)) {

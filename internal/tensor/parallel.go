@@ -93,9 +93,20 @@ func ReduceSum(n, grain int, term func(i int) float64) float64 {
 // AverageInto writes the elementwise average of the given vectors into
 // dst. All vectors must share dst's length; the list must be non-empty.
 // The summation order is the list order, so the result is deterministic.
+// Every engine aggregates model vectors through this one function — the
+// single chokepoint that defines the regime's averaging arithmetic. On
+// the float32 storage tier the average is computed natively in float32
+// (one float32 add per input in list order, one float32 scale; see
+// Average32Into), so engines holding float32 buffers and engines
+// holding widened float64 mirrors aggregate to identical bits, and the
+// result stays storage-representable.
 func AverageInto(dst []float64, vecs ...[]float64) {
 	if len(vecs) == 0 {
 		panic("tensor: AverageInto with no inputs")
+	}
+	if StorageF32() {
+		averageInto32Regime(dst, vecs)
+		return
 	}
 	Zero(dst)
 	for _, v := range vecs {

@@ -101,6 +101,19 @@ func sumExpShiftAsmChunked(x []float64, shift float64) float64 {
 // this machine (otherwise the rung is served by the pure-Go twins).
 func haveAVX2Asm() bool { return cpufeat.X86.HasAVX2 && cpufeat.X86.HasFMA }
 
+// backingAsm reports whether class c runs its SIMD assembly on this
+// CPU (false means the rung is served by the pure-Go twins). SSE2 is
+// amd64 baseline, so only the AVX2-family rungs depend on the probe.
+func backingAsm(c KernelClass) bool {
+	switch c {
+	case KernelAVX2, KernelAVX2F32:
+		return haveAVX2Asm()
+	case KernelSSE2:
+		return true
+	}
+	return false
+}
+
 // defaultKernel picks the fastest rung the CPU supports.
 func defaultKernel() KernelClass {
 	if haveAVX2Asm() {
@@ -109,10 +122,13 @@ func defaultKernel() KernelClass {
 	return KernelSSE2
 }
 
-// kernelsFor binds a class to its amd64 implementations.
+// kernelsFor binds a class to its amd64 implementations. The avx2f32
+// class binds the avx2 float64 set: its residual float64 arithmetic is
+// defined to be the FMA regime's, and the float32 hot path dispatches
+// separately through kernels32 (simd_f32_amd64.go).
 func kernelsFor(c KernelClass) kernelSet {
 	switch c {
-	case KernelAVX2:
+	case KernelAVX2, KernelAVX2F32:
 		if !haveAVX2Asm() {
 			return fmaRefKernels()
 		}

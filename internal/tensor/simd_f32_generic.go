@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package tensor
+
+// Off amd64 the float32 tier is served by the fma32 pure-Go twins,
+// which are bit-identical to the AVX2+FMA float32 assembly by the
+// round-to-odd construction in simd_f32_ref.go — the avx2f32 rounding
+// regime is reproducible on any hardware.
+
+func kernels32Impl() kernelSet32 {
+	return kernelSet32{
+		dot: dot32Ref, axpy: axpy32Ref, dot4: dot432Ref, axpy4: axpy432Ref,
+		expShift: expShift32Ref, sumExpShift: sumExpShift32Ref,
+	}
+}

@@ -5,14 +5,20 @@ package tensor
 // Non-amd64 dispatch table. The sse2 class is served by the generic
 // bodies — the SSE2 assembly is bit-identical to them by contract, so
 // the class's rounding regime is reproducible without the hardware —
-// and the avx2 class by the math.FMA twins, which are bit-identical to
-// the AVX2+FMA assembly for the same reason.
+// and the avx2/avx2f32 classes by the math.FMA twins, which are
+// bit-identical to the AVX2+FMA assembly for the same reason (the
+// avx2f32 float32 hot path binds the fma32 twins via kernels32 in
+// simd_f32_generic.go).
 
 func defaultKernel() KernelClass { return KernelGeneric }
 
 func kernelsFor(c KernelClass) kernelSet {
-	if c == KernelAVX2 {
+	if c == KernelAVX2 || c == KernelAVX2F32 {
 		return fmaRefKernels()
 	}
 	return genericKernels()
 }
+
+// backingAsm: no SIMD assembly off amd64 — every rung runs its
+// bit-identical pure-Go twin.
+func backingAsm(KernelClass) bool { return false }

@@ -3,6 +3,8 @@ package topology
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/tensor"
 )
 
 // Link identifies a class of network links in the hierarchy.
@@ -208,5 +210,7 @@ func (s LedgerSnapshot) TotalMessages() int64 {
 	return sum
 }
 
-// ModelBytes returns the wire size of a d-dimensional float64 model.
-func ModelBytes(d int) int64 { return int64(d) * 8 }
+// ModelBytes returns the wire size of a d-dimensional model vector
+// under the active storage regime: 4 bytes per element on the avx2f32
+// float32 tier, 8 elsewhere (tensor.ElemBytes).
+func ModelBytes(d int) int64 { return int64(d) * int64(tensor.ElemBytes()) }

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"repro/internal/rng"
+	"repro/internal/tensor"
 )
 
 // Frame layout: a 4-byte little-endian body length, then the body. The
@@ -139,12 +140,25 @@ func appendBool(b []byte, v bool) []byte {
 // appendVec encodes a nilable payload vector: a presence byte, then the
 // length and raw IEEE bits. nil and non-nil round-trip distinctly —
 // the protocol uses nil checkpoints and iterate sums as signals.
+//
+// On the avx2f32 storage tier the elements travel as 4-byte float32
+// bits: every payload vector is a model vector and the storage
+// invariant guarantees its values are float32-representable, so the
+// narrowing is exact and the payload halves. Both endpoints agree on
+// the width because the handshake fingerprint includes the kernel
+// class (mixed regimes are refused before any payload flows).
 func appendVec(b []byte, v []float64) []byte {
 	if v == nil {
 		return append(b, 0)
 	}
 	b = append(b, 1)
 	b = appendU32(b, uint32(len(v)))
+	if tensor.StorageF32() {
+		for _, x := range v {
+			b = appendU32(b, math.Float32bits(float32(x)))
+		}
+		return b
+	}
 	for _, x := range v {
 		b = appendU64(b, math.Float64bits(x))
 	}
@@ -383,6 +397,18 @@ func (r *bodyReader) vec(alloc AllocFunc) []float64 {
 	n := int(r.u32())
 	if r.err != nil {
 		return nil
+	}
+	if tensor.StorageF32() {
+		if n < 1 || r.off+n*4 > len(r.b) {
+			r.err = errors.New("wire: vector length exceeds frame body")
+			return nil
+		}
+		v := alloc(n)
+		for i := range v {
+			v[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(r.b[r.off+i*4:])))
+		}
+		r.off += n * 4
+		return v
 	}
 	if n < 1 || r.off+n*8 > len(r.b) {
 		r.err = errors.New("wire: vector length exceeds frame body")
