@@ -1,9 +1,9 @@
 #!/bin/sh
 # Performance gate: benchmarks the engine hot path, the distributed
 # wire runtime and the sweep scheduler and records the numbers in
-# BENCH_8.json so perf regressions are diffable in review.
+# BENCH_9.json so perf regressions are diffable in review.
 #
-#   ./bench.sh            # ~4 min, writes BENCH_8.json
+#   ./bench.sh            # ~4 min, writes BENCH_9.json
 #
 # BenchmarkEngineRound, BenchmarkSimnetRound and BenchmarkWireRound are
 # the round-level contract benchmarks: one HierMinimax round (Phase 1 +
@@ -17,11 +17,14 @@
 # AVX2 tier's acceptance headline and avx2f32/avx2 the float32 storage
 # tier's. BenchmarkWireRoundKernel repeats the socket round under avx2
 # and avx2f32: its wire-bytes/round records the on-the-wire payload
-# halving of float32 storage. BenchmarkSweep is the run-level
-# contract: the smoke Fig. 3 grid on the work-stealing pool with a hot
-# dataset cache, reporting runs/sec and allocs/run. The EngineRound,
-# SimnetRound, Sweep and WireRound allocation footprints (vs the
-# BENCH_8.json records) are gated by CI_BENCH=1 ./ci.sh.
+# halving of float32 storage. BenchmarkWireRoundCompressed repeats it
+# under the uniform-8bit uplink-compression regime (forced avx2): its
+# wire-bytes/round is the priced compressed-payload contract.
+# BenchmarkSweep is the run-level contract: the smoke Fig. 3 grid on
+# the work-stealing pool with a hot dataset cache, reporting runs/sec
+# and allocs/run. The EngineRound, SimnetRound, Sweep, WireRound and
+# WireRoundCompressed allocation footprints (vs the BENCH_9.json
+# records) are gated by CI_BENCH=1 ./ci.sh.
 #
 # Comparability: benchtime and repetition count are fixed (override
 # with BENCH_TIME / BENCH_COUNT for exploratory runs only — committed
@@ -32,7 +35,7 @@
 # are never silently compared.
 set -eu
 
-OUT=${1:-BENCH_8.json}
+OUT=${1:-BENCH_9.json}
 COUNT=${BENCH_COUNT:-3}
 TIME=${BENCH_TIME:-2s}
 
@@ -43,7 +46,7 @@ GO_VERSION=$(go env GOVERSION)
 GOAMD64_LEVEL=$(go env GOAMD64)
 [ -n "$GOAMD64_LEVEL" ] || GOAMD64_LEVEL=none
 
-RAW=$(go test -run '^$' -bench 'BenchmarkEngineRound$|BenchmarkEngineRoundKernel$|BenchmarkSimnetRound$|BenchmarkWireRound$|BenchmarkWireRoundKernel$|BenchmarkSweep$' \
+RAW=$(go test -run '^$' -bench 'BenchmarkEngineRound$|BenchmarkEngineRoundKernel$|BenchmarkSimnetRound$|BenchmarkWireRound$|BenchmarkWireRoundKernel$|BenchmarkWireRoundCompressed$|BenchmarkSweep$' \
 	-benchmem -benchtime "$TIME" -count "$COUNT" .)
 echo "$RAW"
 

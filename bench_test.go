@@ -173,7 +173,7 @@ func BenchmarkEngineRound(b *testing.B) {
 
 // BenchmarkEngineRoundKernel runs the EngineRound workload under each
 // forced kernel class, so one invocation yields the comparable
-// generic/sse2/avx2/avx2f32 numbers BENCH_8.json records (the AVX2
+// generic/sse2/avx2/avx2f32 numbers BENCH_9.json records (the AVX2
 // tier's acceptance ratio is avx2 examples/sec over sse2 examples/sec
 // from the same run; the float32 storage tier's is avx2f32 over avx2).
 // SetKernel swaps happen strictly before and after Run, so the
@@ -225,7 +225,7 @@ func BenchmarkSimnetRound(b *testing.B) {
 // in-process twin of the cmd/hierminimax -role layout). The gap to
 // BenchmarkSimnetRound is the full cost of framing, socket I/O and the
 // connection pool; its allocs/op is the wire codec's contract number
-// (recorded in BENCH_8.json and gated by CI_BENCH=1 ./ci.sh).
+// (recorded in BENCH_9.json and gated by CI_BENCH=1 ./ci.sh).
 // wire-bytes/round is the ledger total over both links per training
 // round — the payload-size contract the float32 storage tier halves.
 func BenchmarkWireRound(b *testing.B) {
@@ -233,7 +233,7 @@ func BenchmarkWireRound(b *testing.B) {
 }
 
 // BenchmarkWireRoundKernel repeats the WireRound workload under the
-// float64 FMA tier and the float32 storage tier, so one BENCH_8.json
+// float64 FMA tier and the float32 storage tier, so one BENCH_9.json
 // carries the byte-accounting evidence for the avx2f32 regime: its
 // wire-bytes/round must be about half the avx2 figure (4-byte vector
 // elements against 8-byte, with fixed framing overhead making up the
@@ -250,8 +250,29 @@ func BenchmarkWireRoundKernel(b *testing.B) {
 	}
 }
 
-func runWireRound(b *testing.B) {
+// BenchmarkWireRoundCompressed is the socket round under the
+// uniform-8bit uplink-compression regime: Packed payloads really cross
+// the codec, so its wire-bytes/round is the priced compressed payload
+// contract (about an eighth of the dense uplink traffic, with the dense
+// downlink broadcasts setting the floor) and its allocs/op is the
+// compressed codec path's footprint (recorded in BENCH_9.json and gated
+// by CI_BENCH=1 ./ci.sh). The kernel class is forced to avx2 — the
+// float32 storage tier refuses compression, so pinning the class keeps
+// the number comparable to WireRoundKernel/avx2, its dense twin, on any
+// machine.
+func BenchmarkWireRoundCompressed(b *testing.B) {
+	restore := tensor.SetKernel(tensor.KernelAVX2)
+	defer restore()
 	spec := benchBaseSpec()
+	spec.QuantBits = 8
+	runWireRoundSpec(b, spec)
+}
+
+func runWireRound(b *testing.B) {
+	runWireRoundSpec(b, benchBaseSpec())
+}
+
+func runWireRoundSpec(b *testing.B, spec Spec) {
 	spec.Engine = EngineSimNet
 	spec.Rounds = b.N
 	spec.EvalEvery = 0

@@ -10,7 +10,7 @@ set -eux
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/simnet/... ./internal/wire/... ./internal/obs/... ./internal/sched/... ./internal/data/...
+go test -race ./internal/simnet/... ./internal/wire/... ./internal/quant/... ./internal/obs/... ./internal/sched/... ./internal/data/...
 
 # Forced-kernel-class legs: every rung of the dispatch ladder must pass
 # the numeric property suites and reproduce its class's golden
@@ -29,22 +29,26 @@ done
 # seconds per target re-explores the corpus plus fresh mutations of the
 # feasibility, non-negativity and idempotence contracts (simplex) and
 # the never-crash / roundtrip / bounded-allocation contracts (wire
-# frame decoding). Long exploratory sessions stay manual
+# frame decoding, including the compressed-payload frame's
+# canonical-form contract). Long exploratory sessions stay manual
 # (go test -fuzz=... -fuzztime=5m ./internal/simplex).
 go test -run '^$' -fuzz '^FuzzSimplexProject$' -fuzztime 5s ./internal/simplex
 go test -run '^$' -fuzz '^FuzzCappedSimplexProject$' -fuzztime 5s ./internal/simplex
 go test -run '^$' -fuzz '^FuzzDecodeMessage$' -fuzztime 5s ./internal/wire
 go test -run '^$' -fuzz '^FuzzFrameReader$' -fuzztime 5s ./internal/wire
+go test -run '^$' -fuzz '^FuzzPackedVec$' -fuzztime 5s ./internal/wire
 
 # Multi-process smoke: the same seeded workload trained once in a
 # single simnet process and once split across five OS processes (cloud,
 # two edge servers, two client hosts) talking real TCP on loopback.
 # The saved models must be byte-identical, and every report line except
-# the per-process arena internals must match.
+# the per-process arena internals must match. The smoke runs twice —
+# dense uplinks, then a forced-compression leg (-quant-bits 8) in which
+# Packed payloads really cross the sockets — so the cross-process
+# determinism contract is proven for both regimes.
 SMOKE=$(mktemp -d /tmp/wire_smoke.XXXXXX)
 trap 'rm -rf "$SMOKE"' EXIT
 go build -o "$SMOKE/hierminimax" ./cmd/hierminimax
-WARGS="-dataset synthetic -edges 2 -clients 2 -me 2 -rounds 6 -eval 3 -tau1 1 -tau2 1 -batch 2 -dim 8 -train 40 -test 20 -seed 5"
 
 # wire_addr polls an output file until the role reports its bound port.
 wire_addr() {
@@ -60,38 +64,51 @@ wire_addr() {
 	return 1
 }
 
-"$SMOKE/hierminimax" $WARGS -engine simnet -savemodel "$SMOKE/ref.gob" > "$SMOKE/ref.out"
-"$SMOKE/hierminimax" $WARGS -role cloud -listen 127.0.0.1:0 -savemodel "$SMOKE/wire.gob" > "$SMOKE/cloud.out" &
-CLOUD=$!
-CLOUD_ADDR=$(wire_addr "$SMOKE/cloud.out" cloud)
-PIDS=""
-for e in 0 1; do
-	"$SMOKE/hierminimax" $WARGS -role edge -edge-index "$e" -listen 127.0.0.1:0 -connect "$CLOUD_ADDR" > "$SMOKE/edge$e.out" &
-	PIDS="$PIDS $!"
-	EDGE_ADDR=$(wire_addr "$SMOKE/edge$e.out" edge)
-	"$SMOKE/hierminimax" $WARGS -role client-host -edge-index "$e" -listen 127.0.0.1:0 -connect "$EDGE_ADDR" > "$SMOKE/ch$e.out" &
-	PIDS="$PIDS $!"
+for COMPRESS in "dense:" "compressed:-quant-bits 8"; do
+	LEG="$SMOKE/${COMPRESS%%:*}"
+	mkdir -p "$LEG"
+	WARGS="-dataset synthetic -edges 2 -clients 2 -me 2 -rounds 6 -eval 3 -tau1 1 -tau2 1 -batch 2 -dim 8 -train 40 -test 20 -seed 5 ${COMPRESS#*:}"
+
+	"$SMOKE/hierminimax" $WARGS -engine simnet -savemodel "$LEG/ref.gob" > "$LEG/ref.out"
+	"$SMOKE/hierminimax" $WARGS -role cloud -listen 127.0.0.1:0 -savemodel "$LEG/wire.gob" > "$LEG/cloud.out" &
+	CLOUD=$!
+	CLOUD_ADDR=$(wire_addr "$LEG/cloud.out" cloud)
+	PIDS=""
+	for e in 0 1; do
+		"$SMOKE/hierminimax" $WARGS -role edge -edge-index "$e" -listen 127.0.0.1:0 -connect "$CLOUD_ADDR" > "$LEG/edge$e.out" &
+		PIDS="$PIDS $!"
+		EDGE_ADDR=$(wire_addr "$LEG/edge$e.out" edge)
+		"$SMOKE/hierminimax" $WARGS -role client-host -edge-index "$e" -listen 127.0.0.1:0 -connect "$EDGE_ADDR" > "$LEG/ch$e.out" &
+		PIDS="$PIDS $!"
+	done
+	wait $CLOUD
+	for p in $PIDS; do
+		wait "$p"
+	done
+	cmp "$LEG/ref.gob" "$LEG/wire.gob"
+	# Reports must match line for line up to the engine tag and
+	# per-process arena internals.
+	grep -v 'listening on\|simnet pool:\|model written to' "$LEG/ref.out" > "$LEG/ref.cmp"
+	grep -v 'listening on\|simnet pool:\|model written to' "$LEG/cloud.out" \
+		| sed 's|HierMinimax/wire|HierMinimax/simnet|' > "$LEG/cloud.cmp"
+	diff "$LEG/ref.cmp" "$LEG/cloud.cmp"
 done
-wait $CLOUD
-for p in $PIDS; do
-	wait "$p"
-done
-cmp "$SMOKE/ref.gob" "$SMOKE/wire.gob"
-# Reports must match line for line up to the engine tag and per-process
-# arena internals.
-grep -v 'listening on\|simnet pool:\|model written to' "$SMOKE/ref.out" > "$SMOKE/ref.cmp"
-grep -v 'listening on\|simnet pool:\|model written to' "$SMOKE/cloud.out" \
-	| sed 's|HierMinimax/wire|HierMinimax/simnet|' > "$SMOKE/cloud.cmp"
-diff "$SMOKE/ref.cmp" "$SMOKE/cloud.cmp"
+# The compressed leg must actually have moved fewer bytes than the
+# dense leg (the report's traffic line prices the compressed payloads).
+DENSE_MB=$(sed -n 's/^traffic: cloud [0-9.]* MB, total \([0-9.]*\) MB$/\1/p' "$SMOKE/dense/ref.out")
+COMP_MB=$(sed -n 's/^traffic: cloud [0-9.]* MB, total \([0-9.]*\) MB$/\1/p' "$SMOKE/compressed/ref.out")
+awk -v d="$DENSE_MB" -v c="$COMP_MB" 'BEGIN { if (!(c + 0 < d + 0)) { print "ci: compressed traffic " c " MB not below dense " d " MB"; exit 1 } }'
 
 # Performance gate (optional, ~4 min): CI_BENCH=1 ./ci.sh benchmarks the
 # hot path into a scratch file and fails if EngineRound allocs/op (the
 # in-process training round's footprint), SimnetRound allocs/op (the
 # zero-copy message fabric's contract), Sweep allocs/run (the run-level
-# scheduler's contract) or WireRound allocs/op (the TCP codec's
-# per-round footprint) regressed more than 20% over the committed
-# BENCH_8.json records. Refresh the records deliberately with
-# ./bench.sh when the change is intended.
+# scheduler's contract), WireRound allocs/op (the TCP codec's
+# per-round footprint) or WireRoundCompressed allocs/op (the
+# compressed-uplink round's footprint — the Packed pool's contract)
+# regressed more than 20% over the committed BENCH_9.json records.
+# Refresh the records deliberately with ./bench.sh when the change is
+# intended.
 if [ "${CI_BENCH:-0}" = "1" ]; then
 	TMP_BENCH=$(mktemp /tmp/bench_ci.XXXXXX.json)
 	./bench.sh "$TMP_BENCH"
@@ -124,10 +141,11 @@ if [ "${CI_BENCH:-0}" = "1" ]; then
 	}
 	BEGIN {
 		fails = 0
-		fails += gate("EngineRound allocs/op", metric("BENCH_8.json", "EngineRound", "allocs_per_op"), metric(ARGV[1], "EngineRound", "allocs_per_op"))
-		fails += gate("SimnetRound allocs/op", metric("BENCH_8.json", "SimnetRound", "allocs_per_op"), metric(ARGV[1], "SimnetRound", "allocs_per_op"))
-		fails += gate("Sweep allocs/run", metric("BENCH_8.json", "Sweep", "allocs_per_run"), metric(ARGV[1], "Sweep", "allocs_per_run"))
-		fails += gate("WireRound allocs/op", metric("BENCH_8.json", "WireRound", "allocs_per_op"), metric(ARGV[1], "WireRound", "allocs_per_op"))
+		fails += gate("EngineRound allocs/op", metric("BENCH_9.json", "EngineRound", "allocs_per_op"), metric(ARGV[1], "EngineRound", "allocs_per_op"))
+		fails += gate("SimnetRound allocs/op", metric("BENCH_9.json", "SimnetRound", "allocs_per_op"), metric(ARGV[1], "SimnetRound", "allocs_per_op"))
+		fails += gate("Sweep allocs/run", metric("BENCH_9.json", "Sweep", "allocs_per_run"), metric(ARGV[1], "Sweep", "allocs_per_run"))
+		fails += gate("WireRound allocs/op", metric("BENCH_9.json", "WireRound", "allocs_per_op"), metric(ARGV[1], "WireRound", "allocs_per_op"))
+		fails += gate("WireRoundCompressed allocs/op", metric("BENCH_9.json", "WireRoundCompressed", "allocs_per_op"), metric(ARGV[1], "WireRoundCompressed", "allocs_per_op"))
 		exit fails
 	}
 	' "$TMP_BENCH"

@@ -5,6 +5,7 @@
 //	experiments -exp table2 -scale small   # Table 2 (fairness across datasets)
 //	experiments -exp table1 -scale small   # Table 1 companion (alpha sweep)
 //	experiments -exp ablations -scale smoke
+//	experiments -exp compression -scale smoke  # accuracy vs bytes-on-wire
 //	experiments -exp all -scale smoke -jobs 8
 //
 // -jobs N runs the independent training runs inside each experiment on
@@ -30,10 +31,11 @@ import (
 var knownExps = map[string]bool{
 	"fig3": true, "fig4": true, "table2": true, "table1": true,
 	"rates": true, "stationarity": true, "ablations": true, "chaos": true,
+	"compression": true,
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3|fig4|table2|table1|rates|stationarity|ablations|chaos|all")
+	exp := flag.String("exp", "all", "experiment: fig3|fig4|table2|table1|rates|stationarity|ablations|chaos|compression|all")
 	scaleName := flag.String("scale", "smoke", "scale: smoke|small|full")
 	seed := flag.Uint64("seed", 42, "random seed")
 	jobs := flag.Int("jobs", 0, "concurrent training runs (0 = GOMAXPROCS); any value yields identical artifacts")
@@ -56,7 +58,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *exp != "all" && !knownExps[*exp] {
-		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want fig3|fig4|table2|table1|rates|stationarity|ablations|chaos|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want fig3|fig4|table2|table1|rates|stationarity|ablations|chaos|compression|all)\n", *exp)
 		os.Exit(1)
 	}
 	// Artifacts are reproducible per (seed, kernel class): the rounding
@@ -138,6 +140,9 @@ func main() {
 	}
 	if all || *exp == "chaos" {
 		run("chaos", func() (experiments.Artifact, error) { return experiments.ChaosSweep(pool, scale, *seed) })
+	}
+	if all || *exp == "compression" {
+		run("compression", func() (experiments.Artifact, error) { return experiments.CompressionSweep(pool, scale, *seed) })
 	}
 
 	done, _ := pool.Done()

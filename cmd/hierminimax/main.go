@@ -55,7 +55,9 @@ func main() {
 	flag.Float64Var(&spec.EtaP, "etap", 0.0003, "weight learning rate")
 	flag.IntVar(&spec.BatchSize, "batch", 4, "local mini-batch size")
 	flag.IntVar(&spec.SampledEdges, "me", 5, "sampled edges per round m_E")
-	flag.UintVar(&spec.QuantBits, "quant", 0, "uplink quantization bits (0 = exact)")
+	flag.UintVar(&spec.QuantBits, "quant", 0, "uplink quantization bits (0 = exact; alias of -quant-bits)")
+	flag.UintVar(&spec.QuantBits, "quant-bits", 0, "stochastic uniform uplink quantization bits in [1,32] (0 = exact)")
+	flag.IntVar(&spec.TopK, "topk", 0, "top-k sparsified uplinks with error feedback: coordinates kept per vector (0 = exact; excludes -quant-bits)")
 	flag.Float64Var(&spec.DropoutProb, "dropout", 0, "per-slot dropout probability")
 	flag.Float64Var(&spec.PCap, "pcap", 0, "cap for the weight simplex (0 = none)")
 	flag.Float64Var(&spec.Chaos.CrashProb, "crash", 0, "per-round client crash probability (simnet)")

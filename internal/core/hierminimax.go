@@ -70,11 +70,15 @@ func HierMinimaxWithOptions(prob *fl.Problem, cfg fl.Config, opts fl.RunOptions)
 type slotScratch struct {
 	we, chkEdge, iterSum []float64
 	finals, chks, sums   [][]float64
-	bits                 []int64
-	we32, chkEdge32      []float32
-	iterSum32            []float32
-	finals32, chks32     [][]float32
-	sums32               [][]float32
+	// resid holds the per-client error-feedback residuals of top-k
+	// compression; residual state is slot-scoped (zeroed when the slot
+	// starts), matching the simnet client actors, which reset theirs on
+	// each slot's first aggregation block.
+	resid            [][]float64
+	we32, chkEdge32  []float32
+	iterSum32        []float32
+	finals32, chks32 [][]float32
+	sums32           [][]float32
 }
 
 var slotPool = sync.Pool{New: func() any { return new(slotScratch) }}
@@ -127,14 +131,16 @@ func growRows32(rows [][]float32, n, d int) [][]float32 {
 // clients. iterSum starts zeroed; the other buffers are overwritten
 // before use. With f32 set the float32 mirrors are sized instead of the
 // per-client float64 rows (the slot outputs stay float64 either way).
-func getSlotScratch(d, n0 int, trackAverages, f32 bool) *slotScratch {
+func getSlotScratch(d, n0 int, trackAverages, errorFeedback, f32 bool) *slotScratch {
 	s := slotPool.Get().(*slotScratch)
 	s.we = growVec(s.we, d)
 	s.chkEdge = growVec(s.chkEdge, d)
-	if cap(s.bits) < n0 {
-		s.bits = make([]int64, n0)
+	if errorFeedback {
+		s.resid = growRows(s.resid, n0, d)
+		for _, row := range s.resid {
+			tensor.Zero(row)
+		}
 	}
-	s.bits = s.bits[:n0]
 	if f32 {
 		s.we32 = growVec32(s.we32, d)
 		s.chkEdge32 = growVec32(s.chkEdge32, d)
@@ -236,7 +242,13 @@ func Round(k int, st *fl.State, pool *fl.ModelPool) {
 		return // every sampled edge failed this round; w and p carry over
 	}
 	// Edges upload (w_e, chk_e) — and the iterate sum when tracking.
-	ecUp := 2 * dBytes
+	// Compressed uplinks are priced at their exact wire size; the
+	// iterate sum always travels dense.
+	ecVec := dBytes
+	if cfg.Compression.Enabled() {
+		ecVec = cfg.Compression.VecWireBytes(len(st.W))
+	}
+	ecUp := 2 * ecVec
 	if cfg.TrackAverages {
 		ecUp += dBytes
 	}
@@ -347,12 +359,19 @@ func ModelUpdate(a modelUpdateArgs) slotResult {
 	n0 := len(a.area.Clients)
 	dBytes := topology.ModelBytes(len(a.wStart))
 
-	if tensor.StorageF32() && cfg.Quantizer == nil {
+	if tensor.StorageF32() {
+		// Validate refuses Compression on the f32 tier, so the float32
+		// fast path never has to model compressed uplinks.
 		if _, ok := prob.Model.(model.F32Model); ok {
 			return modelUpdate32(a)
 		}
 	}
-	s := getSlotScratch(len(a.wStart), n0, cfg.TrackAverages, false)
+	comp := cfg.Compression
+	upBytes := dBytes
+	if comp.Enabled() {
+		upBytes = comp.VecWireBytes(len(a.wStart))
+	}
+	s := getSlotScratch(len(a.wStart), n0, cfg.TrackAverages, comp.ErrorFeedback, false)
 	copy(s.we, a.wStart)
 	var iterCount float64
 
@@ -376,13 +395,18 @@ func ModelUpdate(a modelUpdateArgs) slotResult {
 				wf := s.finals[c]
 				copy(wf, s.we)
 				chked := fl.LocalSGDInto(mdl, wf, a.area.Clients[c], cfg.Tau1, cfg.BatchSize, cfg.EtaW, prob.W, r, chkAt, clientSum, s.chks[c])
-				// Uplink quantization (A3 extension): clients upload
-				// compressed models; the edge reconstructs the
-				// dequantized values.
-				if cfg.Quantizer != nil {
-					s.bits[c] = cfg.Quantizer.Quantize(wf, r.Child('q'))
+				// Uplink compression: clients upload compressed models;
+				// the edge reconstructs the decoded values. Checkpoint
+				// uploads compress without error feedback (they are
+				// one-shot, not part of the iterated model stream).
+				if comp.Enabled() {
+					var resid []float64
+					if comp.ErrorFeedback {
+						resid = s.resid[c]
+					}
+					comp.Apply(wf, resid, r.Child('q'))
 					if chked {
-						cfg.Quantizer.Quantize(s.chks[c], r.ChildN('q', 2))
+						comp.Apply(s.chks[c], nil, r.ChildN('q', 2))
 					}
 				}
 			}
@@ -401,13 +425,10 @@ func ModelUpdate(a modelUpdateArgs) slotResult {
 				iterCount += float64(cfg.Tau1)
 			}
 		}
-		uplinkBytes := dBytes
-		if cfg.Quantizer != nil {
-			uplinkBytes = (s.bits[n0-1] + 7) / 8
-		}
 		// Clients upload their models (plus the checkpoint in block c2,
 		// plus the uncompressed iterate sum when tracking averages).
-		up := uplinkBytes
+		// Compressed uplinks are priced at their exact wire size.
+		up := upBytes
 		if t2 == a.c2 {
 			up *= 2
 		}
@@ -422,10 +443,11 @@ func ModelUpdate(a modelUpdateArgs) slotResult {
 			tensor.AverageInto(s.chkEdge, s.chks...)
 		}
 	}
-	// Edge uploads (w_e, chk_e) to the cloud; quantize if configured.
-	if cfg.Quantizer != nil {
-		cfg.Quantizer.Quantize(s.we, a.stream.ChildN('Q', 1))
-		cfg.Quantizer.Quantize(s.chkEdge, a.stream.ChildN('Q', 2))
+	// Edge uploads (w_e, chk_e) to the cloud; compress if configured
+	// (no error feedback: edge uplinks happen once per round).
+	if comp.Enabled() {
+		comp.Apply(s.we, nil, a.stream.ChildN('Q', 1))
+		comp.Apply(s.chkEdge, nil, a.stream.ChildN('Q', 2))
 	}
 	// One SGD step evaluates BatchSize per-example gradients; the slot
 	// ran tau1*tau2 steps on each of its n0 clients.
@@ -434,8 +456,8 @@ func ModelUpdate(a modelUpdateArgs) slotResult {
 }
 
 // modelUpdate32 is ModelUpdate on the avx2f32 tier for models with a
-// native float32 path (and no quantizer — quantizers operate on the
-// float64 vectors): the whole slot stays in float32 storage. Clients run
+// native float32 path (never with compression — fl.Config.Validate
+// refuses that combination): the whole slot stays in float32 storage. Clients run
 // LocalSGD32Scratch on float32 slot buffers — no per-client float64
 // round-trips — and the per-block aggregation widens the float32 finals
 // into a float64 accumulator with a single rounding back to storage
@@ -450,7 +472,7 @@ func modelUpdate32(a modelUpdateArgs) slotResult {
 	n0 := len(a.area.Clients)
 	dBytes := topology.ModelBytes(len(a.wStart))
 
-	s := getSlotScratch(len(a.wStart), n0, cfg.TrackAverages, true)
+	s := getSlotScratch(len(a.wStart), n0, cfg.TrackAverages, false, true)
 	// Exact narrowing: the broadcast model is storage-representable.
 	tensor.ToF32(s.we32, a.wStart)
 	_, freeW := prob.W.(simplex.FullSpace)

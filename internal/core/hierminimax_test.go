@@ -204,7 +204,7 @@ func TestTotalDropoutRoundIsNoOp(t *testing.T) {
 func TestQuantizedUplinksStillLearn(t *testing.T) {
 	prob := fltest.ToyProblem(1)
 	cfg := fltest.ToyConfig()
-	cfg.Quantizer = quant.Uniform{Bits: 8}
+	cfg.Compression = quant.Config{Bits: 8}
 	res, err := HierMinimax(prob, cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -91,7 +91,7 @@ func Ablations(pool *sched.Pool, scale Scale, seed uint64) (*AblationResult, err
 	for _, bits := range []uint{8, 4} {
 		bits := bits
 		jobs = append(jobs, hmRun("A3-quantization", fmt.Sprintf("%dbit", bits), func(p *fl.Problem, c *fl.Config) {
-			c.Quantizer = quant.Uniform{Bits: bits}
+			c.Compression = quant.Config{Bits: bits}
 		}))
 	}
 

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/fl"
+	"repro/internal/quant"
+	"repro/internal/sched"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// CompressionRow is one (regime, fault-leg) cell of the compression
+// sweep: what a compressed-uplink deployment buys in bytes-on-wire and
+// what it costs in worst-group accuracy.
+type CompressionRow struct {
+	// Regime is quant.Config.Name() of the uplink compression setting
+	// ("none" for the dense reference rows).
+	Regime string
+	// Faulted marks the chaos leg: the same regime trained under client
+	// crashes and link loss with one retransmission.
+	Faulted bool
+	Summary
+	// WireBytes is the run's ledger total over both links (client-edge
+	// and edge-cloud, uplinks and downlinks): the bytes-on-wire axis.
+	// Compression shrinks only the uplinks, so the ratio floor is set by
+	// the dense downlink broadcasts.
+	WireBytes int64
+	// BytesRatio is WireBytes over the dense reference run of the same
+	// fault leg (1 for the reference rows themselves).
+	BytesRatio float64
+	// Fault activity observed by the run (zero on the clean leg).
+	Crashes, MessagesLost int64
+}
+
+// CompressionResult is the worst-group-accuracy-vs-bytes-on-wire table:
+// the communication–computation trade-off the hierarchical design
+// targets, priced with the exact compressed wire sizes the ledger
+// charges. Rows come in two legs — clean and chaos-faulted — so the
+// table also shows that compression composes with fault injection.
+type CompressionResult struct {
+	Rows []CompressionRow
+}
+
+// compressionGrid is the swept regime ladder for a d-dimensional model:
+// the dense reference, the three uniform quantization widths (int16,
+// int8 and the sub-byte 4-bit grid), and top-k sparsification with
+// error feedback keeping 1/16 of the coordinates.
+func compressionGrid(d int) []quant.Config {
+	k := d / 16
+	if k < 1 {
+		k = 1
+	}
+	return []quant.Config{
+		{}, // dense reference
+		{Bits: 16},
+		{Bits: 8},
+		{Bits: 4},
+		{TopK: k, ErrorFeedback: true},
+	}
+}
+
+// compressionRegimes is the grid size (rows per fault leg).
+const compressionRegimes = 5
+
+// CompressionSweep trains HierMinimax on the simnet engine under each
+// uplink-compression regime, twice: once clean and once under a chaos
+// schedule (client crashes plus link loss with one retransmission), and
+// records the fairness outcome against the exact bytes that crossed the
+// wire. Every run is an independent scheduler job over the shared
+// cached workload, deterministic from the spec alone, so the artifact
+// is bitwise identical for any -jobs value.
+func CompressionSweep(pool *sched.Pool, scale Scale, seed uint64) (*CompressionResult, error) {
+	rows, err := sched.Map(pool, "compression", compressionRegimes*2, func(i int) (CompressionRow, error) {
+		faulted := i >= compressionRegimes
+		setup := convexSetup(scale, seed)
+		prob := fl.NewProblem(setup.Fed, setup.Model.Clone())
+		cfg := setup.Base
+		comp := compressionGrid(prob.Model.Dim())[i%compressionRegimes]
+		cfg.Compression = comp
+		var opts []simnet.Option
+		if faulted {
+			opts = append(opts, simnet.WithChaos(&chaos.Schedule{
+				Seed:       seed + 7919,
+				CrashProb:  0.1,
+				LossProb:   0.02,
+				MaxRetries: 1,
+			}))
+		}
+		out, stats, err := simnet.HierMinimax(prob, cfg, opts...)
+		if err != nil {
+			return CompressionRow{}, fmt.Errorf("experiments: compression sweep %s (faulted=%v): %w", comp.Name(), faulted, err)
+		}
+		f := out.History.Final().Fair
+		return CompressionRow{
+			Regime:       comp.Name(),
+			Faulted:      faulted,
+			Summary:      Summary{Average: f.Average, Worst: f.Worst, Variance: f.Variance},
+			WireBytes:    out.Ledger.Bytes[topology.ClientEdge] + out.Ledger.Bytes[topology.EdgeCloud],
+			Crashes:      stats.Crashes,
+			MessagesLost: stats.MessagesLost,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Price each row against the dense reference of its own fault leg
+	// (row 0 of the leg); under faults both numerator and denominator
+	// saw the same deterministic fault schedule.
+	for i := range rows {
+		dense := rows[(i/compressionRegimes)*compressionRegimes]
+		rows[i].BytesRatio = float64(rows[i].WireBytes) / float64(dense.WireBytes)
+	}
+	return &CompressionResult{Rows: rows}, nil
+}
+
+// Render prints the accuracy-vs-bytes table, clean leg first.
+func (c *CompressionResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Compression (HierMinimax, simnet engine, convex workload) ==\n")
+	fmt.Fprintf(&b, "%-14s %7s %9s %9s %10s %10s %7s %9s %9s\n",
+		"regime", "faults", "average", "worst", "variance", "wireMB", "ratio", "crashes", "lost")
+	for _, r := range c.Rows {
+		leg := "clean"
+		if r.Faulted {
+			leg = "chaos"
+		}
+		fmt.Fprintf(&b, "%-14s %7s %9.4f %9.4f %10.4f %10.2f %7.3f %9d %9d\n",
+			r.Regime, leg, r.Average, r.Worst, r.Variance,
+			float64(r.WireBytes)/1e6, r.BytesRatio, r.Crashes, r.MessagesLost)
+	}
+	return b.String()
+}
+
+// WriteFiles writes the sweep rows as CSV and JSON.
+func (c *CompressionResult) WriteFiles(dir, base string) error {
+	rows := make([][]string, 0, len(c.Rows))
+	for _, r := range c.Rows {
+		rows = append(rows, []string{
+			r.Regime, strconv.FormatBool(r.Faulted),
+			ftoa(r.Average), ftoa(r.Worst), ftoa(r.Variance),
+			strconv.FormatInt(r.WireBytes, 10), ftoa(r.BytesRatio),
+			strconv.FormatInt(r.Crashes, 10), strconv.FormatInt(r.MessagesLost, 10),
+		})
+	}
+	if err := writeCSV(filepath.Join(dir, base+".csv"),
+		[]string{"regime", "faulted", "average", "worst", "variance", "wire_bytes", "bytes_ratio", "crashes", "messages_lost"}, rows); err != nil {
+		return err
+	}
+	return writeJSON(filepath.Join(dir, base+".json"), c)
+}

@@ -52,6 +52,10 @@ func TestArtifactsIdenticalAcrossWorkerCounts(t *testing.T) {
 		{"stationarity", func(p *sched.Pool) (Artifact, error) { return Stationarity(p, Smoke, 42) }},
 		{"ablations", func(p *sched.Pool) (Artifact, error) { return Ablations(p, Smoke, 42) }},
 		{"chaos", func(p *sched.Pool) (Artifact, error) { return ChaosSweep(p, Smoke, 42) }},
+		// The compression sweep rides the same contract: compressed-uplink
+		// runs (both legs, including the chaos-faulted one) must produce
+		// bitwise-identical artifacts at any worker count.
+		{"compression", func(p *sched.Pool) (Artifact, error) { return CompressionSweep(p, Smoke, 42) }},
 	}
 	workerCounts := []int{1, 4, 13}
 	for _, d := range drivers {

@@ -250,6 +250,67 @@ func TestChaosSweepShape(t *testing.T) {
 	}
 }
 
+func TestCompressionSweepShape(t *testing.T) {
+	res, err := CompressionSweep(nil, Smoke, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != compressionRegimes*2 {
+		t.Fatalf("expected %d rows, got %d", compressionRegimes*2, len(res.Rows))
+	}
+	for leg := 0; leg < 2; leg++ {
+		rows := res.Rows[leg*compressionRegimes : (leg+1)*compressionRegimes]
+		dense := rows[0]
+		if dense.Regime != "none" || dense.BytesRatio != 1 {
+			t.Fatalf("leg %d: dense reference row is %+v", leg, dense)
+		}
+		faulted := leg == 1
+		for _, r := range rows {
+			if r.Faulted != faulted {
+				t.Fatalf("row %+v on wrong leg", r)
+			}
+			if faulted && (r.Crashes == 0 || r.MessagesLost == 0) {
+				t.Fatalf("chaos leg %s saw no faults: %+v", r.Regime, r)
+			}
+			if !faulted && (r.Crashes != 0 || r.MessagesLost != 0) {
+				t.Fatalf("clean leg %s reports fault activity: %+v", r.Regime, r)
+			}
+			// Compression is a usable operating point, not just a
+			// consistent one: every regime still learns.
+			if r.Average < 0.6 {
+				t.Fatalf("%s (faulted=%v) average %v", r.Regime, faulted, r.Average)
+			}
+		}
+		// Every compressed regime moves strictly fewer bytes than dense,
+		// and the uniform widths order as 16 > 8 > 4 bits.
+		for _, r := range rows[1:] {
+			if r.WireBytes >= dense.WireBytes || r.BytesRatio >= 1 {
+				t.Fatalf("%s (faulted=%v) not cheaper than dense: %d vs %d", r.Regime, faulted, r.WireBytes, dense.WireBytes)
+			}
+		}
+		if !(rows[1].WireBytes > rows[2].WireBytes && rows[2].WireBytes > rows[3].WireBytes) {
+			t.Fatalf("uniform widths not ordered: %d, %d, %d bytes",
+				rows[1].WireBytes, rows[2].WireBytes, rows[3].WireBytes)
+		}
+	}
+	txt := res.Render()
+	if !strings.Contains(txt, "uniform-8bit") || !strings.Contains(txt, "topk-") || !strings.Contains(txt, "chaos") {
+		t.Fatal("Render incomplete")
+	}
+}
+
+func TestCompressionExport(t *testing.T) {
+	dir := t.TempDir()
+	res := &CompressionResult{Rows: []CompressionRow{{
+		Regime: "uniform-8bit", Faulted: true,
+		Summary:   Summary{Average: 0.9, Worst: 0.8, Variance: 1.5},
+		WireBytes: 123456, BytesRatio: 0.5, Crashes: 2, MessagesLost: 3,
+	}}}
+	if err := res.WriteFiles(dir, "compression"); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestChaosExport(t *testing.T) {
 	dir := t.TempDir()
 	res := &ChaosResult{Rows: []ChaosRow{{

@@ -27,6 +27,7 @@ var (
 	_ Artifact = (*TradeoffResult)(nil)
 	_ Artifact = (*AblationResult)(nil)
 	_ Artifact = (*ChaosResult)(nil)
+	_ Artifact = (*CompressionResult)(nil)
 )
 
 // writeCSV creates path and streams rows through a csv.Writer.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/quant"
+	"repro/internal/tensor"
 )
 
 // Config controls one training run. The zero value is not runnable; call
@@ -42,10 +43,15 @@ type Config struct {
 	// that the convex analysis evaluates (Eq. 8). Costs one extra
 	// d-vector accumulation per local step.
 	TrackAverages bool
-	// Quantizer, when non-nil, compresses every uplink model transfer
-	// (client->edge and edge->cloud); the A3 ablation. nil means exact
-	// float64 uplinks.
-	Quantizer quant.Quantizer
+	// Compression, when enabled, compresses every uplink model transfer
+	// (client->edge and edge->cloud) under one regime: stochastic
+	// uniform quantization (Bits) or top-k sparsification (TopK,
+	// optionally with per-client error-feedback residuals). Downlink
+	// broadcasts stay dense. The zero value means exact uplinks. Each
+	// setting is a deterministic rounding regime — bitwise-reproducible
+	// from the seed and identical across the core, simnet and wire
+	// engines — priced exactly in the topology ledger.
+	Compression quant.Config
 	// DropoutProb is the probability that a sampled slot (Phase 1) or
 	// sampled edge (Phase 2) silently fails for the round; failure
 	// injection for the robustness tests. 0 disables. Both engines
@@ -104,6 +110,21 @@ func (c Config) Validate(p *Problem) error {
 	}
 	if c.DropoutProb < 0 || c.DropoutProb >= 1 {
 		return fmt.Errorf("fl: DropoutProb %g outside [0,1)", c.DropoutProb)
+	}
+	if err := c.Compression.Validate(); err != nil {
+		return err
+	}
+	if c.Compression.Enabled() {
+		if d := p.Model.Dim(); c.Compression.TopK > d {
+			return fmt.Errorf("fl: Compression.TopK %d exceeds model dimension %d", c.Compression.TopK, d)
+		}
+		if tensor.StorageF32() {
+			// The float32 storage tier narrows dense wire payloads to
+			// f32; dequantized grid values are generally not
+			// f32-representable, so the regimes cannot compose without
+			// corrupting the trajectory contract.
+			return fmt.Errorf("fl: compression is not supported on the %s storage tier", tensor.ActiveKernel())
+		}
 	}
 	return nil
 }

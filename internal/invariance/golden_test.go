@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fl"
 	"repro/internal/fl/fltest"
+	"repro/internal/quant"
 	"repro/internal/simnet"
 	"repro/internal/tensor"
 )
@@ -85,7 +86,13 @@ func cases() map[string]func() (*fl.Result, error) {
 	aflCfg := twoLayer
 	aflCfg.Tau1 = 1
 
-	return map[string]func() (*fl.Result, error){
+	quant8 := fltest.ToyConfig()
+	quant8.Compression = quant.Config{Bits: 8}
+
+	topkEF := fltest.ToyConfig()
+	topkEF.Compression = quant.Config{TopK: 8, ErrorFeedback: true}
+
+	m := map[string]func() (*fl.Result, error){
 		"hierminimax-seq": func() (*fl.Result, error) {
 			return core.HierMinimax(fltest.ToyProblem(3), seqCfg)
 		},
@@ -125,6 +132,29 @@ func cases() map[string]func() (*fl.Result, error) {
 			return baselines.HierFAvg(fltest.ToyProblem(3), fltest.ToyConfig())
 		},
 	}
+	// Compression regimes are pinned per kernel class like everything
+	// else — but only where they exist: the float32 storage tier refuses
+	// compression (fl.Config.Validate), so its golden file carries no
+	// compressed entries. The simnet and wire cases must land on the
+	// same hash as their core twins; recording all three pins the
+	// cross-engine equality into the fixtures themselves.
+	if !tensor.StorageF32() {
+		m["hierminimax-quant8"] = func() (*fl.Result, error) {
+			return core.HierMinimax(fltest.ToyProblem(3), quant8)
+		}
+		m["hierminimax-topk-ef"] = func() (*fl.Result, error) {
+			return core.HierMinimax(fltest.ToyProblem(3), topkEF)
+		}
+		m["hierminimax-simnet-quant8"] = func() (*fl.Result, error) {
+			res, _, err := simnet.HierMinimax(fltest.ToyProblem(3), quant8)
+			return res, err
+		}
+		m["hierminimax-wire-topk-ef"] = func() (*fl.Result, error) {
+			res, _, err := simnet.RunWireLoopback(func() *fl.Problem { return fltest.ToyProblem(3) }, topkEF)
+			return res, err
+		}
+	}
+	return m
 }
 
 // goldenFile maps a kernel class to the fixture pinning its rounding

@@ -36,7 +36,7 @@ import (
 // Config configures an L-layer HierMinimax run.
 type Config struct {
 	// Base supplies rounds, learning rates, batch sizes, sampling and
-	// seed. Base.Tau1/Tau2 are ignored (Taus rules); Base.Quantizer,
+	// seed. Base.Tau1/Tau2 are ignored (Taus rules); Base.Compression,
 	// Base.DropoutProb and Base.TrackAverages are not supported here.
 	Base fl.Config
 	// Branching[v] is the number of children of a node at level v+1;
@@ -99,8 +99,8 @@ func (c Config) Validate(prob *fl.Problem) error {
 	if got, want := prob.Fed.ClientsPerArea(), c.LeavesPerArea(); got != want {
 		return fmt.Errorf("multilayer: federation has %d clients per area, tree wants %d", got, want)
 	}
-	if c.Base.Quantizer != nil {
-		return fmt.Errorf("multilayer: uplink quantization is not supported")
+	if c.Base.Compression.Enabled() {
+		return fmt.Errorf("multilayer: uplink compression is not supported")
 	}
 	if c.Base.DropoutProb != 0 {
 		return fmt.Errorf("multilayer: dropout injection is not supported")

@@ -184,9 +184,9 @@ func TestValidation(t *testing.T) {
 		}
 	}
 	withQuant := base
-	withQuant.Quantizer = quant.Uniform{Bits: 8}
+	withQuant.Compression = quant.Config{Bits: 8}
 	if _, err := HierMinimax(prob, threeLayer(withQuant, 2, 4)); err == nil {
-		t.Fatal("quantizer accepted")
+		t.Fatal("compression accepted")
 	}
 	withDrop := base
 	withDrop.DropoutProb = 0.5

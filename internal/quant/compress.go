@@ -1,0 +1,404 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Config selects the uplink-compression regime for an engine run. The
+// zero value means exact (uncompressed) uplinks. Exactly one of Bits or
+// TopK may be set:
+//
+//   - Bits in [1, 32]: unbiased stochastic uniform quantization onto a
+//     2^Bits-level grid over the vector's [min, max] range — the same
+//     grid, stochastic rounding and stream draws as the legacy Uniform
+//     quantizer, so trajectories are bit-identical to it.
+//   - TopK > 0: top-k magnitude sparsification; the k largest-|y|
+//     coordinates travel as (index, value) pairs, the rest as zero.
+//     With ErrorFeedback, the dropped mass accumulates in a per-client
+//     residual that is added back before the next selection, so no
+//     gradient signal is ever permanently discarded
+//     (y = Q(y) + residual holds exactly every round).
+//
+// Like a kernel class, a compression setting is a rounding regime: the
+// whole trajectory is bitwise-reproducible from the seed, identical
+// across the core, simnet and wire engines, and refused by the wire
+// fingerprint when peers disagree.
+type Config struct {
+	// Bits enables stochastic uniform quantization (levels = 2^Bits).
+	Bits uint
+	// TopK enables top-k sparsification (k coordinates kept per vector).
+	TopK int
+	// ErrorFeedback accumulates the sparsification error in a per-client
+	// residual (top-k only; model uplinks only, not checkpoints).
+	ErrorFeedback bool
+}
+
+// Enabled reports whether any compression is configured.
+func (c Config) Enabled() bool { return c.Bits > 0 || c.TopK > 0 }
+
+// Validate rejects inconsistent settings.
+func (c Config) Validate() error {
+	if c.Bits > 0 && c.TopK > 0 {
+		return fmt.Errorf("quant: Bits and TopK are mutually exclusive")
+	}
+	if c.Bits > 32 {
+		return fmt.Errorf("quant: Bits = %d outside [1,32]", c.Bits)
+	}
+	if c.TopK < 0 {
+		return fmt.Errorf("quant: TopK = %d negative", c.TopK)
+	}
+	if c.ErrorFeedback && c.TopK == 0 {
+		return fmt.Errorf("quant: ErrorFeedback requires TopK")
+	}
+	return nil
+}
+
+// Name identifies the regime for manifests and artifact rows.
+func (c Config) Name() string {
+	switch {
+	case c.Bits > 0:
+		return "uniform-" + itoa(int(c.Bits)) + "bit"
+	case c.TopK > 0:
+		if c.ErrorFeedback {
+			return "topk-" + itoa(c.TopK) + "+ef"
+		}
+		return "topk-" + itoa(c.TopK)
+	}
+	return "none"
+}
+
+// VecWireBytes is the exact priced wire size of one compressed
+// d-dimensional vector: Bits per element rounded up to whole bytes plus
+// the two float64 range scalars (uniform), or 4-byte index + 8-byte
+// value per kept coordinate (top-k). Sizes depend only on the config
+// and the dimension, never on the data, so ledger pricing stays
+// constant per regime. Disabled configs price the dense payload.
+func (c Config) VecWireBytes(d int) int64 {
+	switch {
+	case c.Bits > 0:
+		return int64((d*int(c.Bits)+7)/8) + 16
+	case c.TopK > 0:
+		k := c.TopK
+		if k > d {
+			k = d
+		}
+		return int64(k) * 12
+	}
+	return int64(d) * int64(tensor.ElemBytes())
+}
+
+// Scheme discriminates Packed payload kinds on the wire.
+type Scheme uint8
+
+// Packed payload schemes (0 is reserved for "absent" on the wire).
+const (
+	SchemeUniform Scheme = 1
+	SchemeTopK    Scheme = 2
+)
+
+// Packed is the compressed form of one model vector — what actually
+// crosses a link under a Compression regime. Uniform packs one Bits-wide
+// code per element into an LSB-first bitstream; top-k carries ascending
+// indices and their exact values. Instances are pooled (GetPacked /
+// PutPacked) and their slices grow in place, so the steady-state hot
+// path allocates nothing.
+type Packed struct {
+	Scheme Scheme
+	Dim    int
+	// Uniform fields: the grid range and the code bitstream
+	// (ceil(Dim*Bits/8) bytes, LSB-first; trailing bits zero).
+	Bits   uint8
+	Lo, Hi float64
+	Code   []byte
+	// Top-k fields: strictly increasing indices < Dim and their values.
+	Idx  []uint32
+	Vals []float64
+
+	// Selection scratch (never serialized).
+	heapAbs []float64
+	heapIdx []uint32
+}
+
+var packedPool = sync.Pool{New: func() any { return new(Packed) }}
+
+// GetPacked returns a pooled Packed ready to be filled by Pack or a
+// codec decode.
+func GetPacked() *Packed { return packedPool.Get().(*Packed) }
+
+// PutPacked resets p and returns it to the pool. nil is a no-op.
+func PutPacked(p *Packed) {
+	if p == nil {
+		return
+	}
+	p.Scheme, p.Dim, p.Bits, p.Lo, p.Hi = 0, 0, 0, 0, 0
+	p.Code = p.Code[:0]
+	p.Idx = p.Idx[:0]
+	p.Vals = p.Vals[:0]
+	packedPool.Put(p)
+}
+
+// Pack compresses x into p under the config and returns the priced wire
+// size (always VecWireBytes(len(x))). x is not modified. resid is the
+// caller's error-feedback residual: when non-nil (top-k only) the
+// selection runs on y = x + resid and resid is updated in place to the
+// unselected mass, so y = Q(y) + resid exactly. The stream is consumed
+// only by uniform quantization (one draw per element, identical to the
+// legacy Uniform quantizer; none when the vector is constant).
+func (c Config) Pack(p *Packed, x, resid []float64, r *rng.Stream) int64 {
+	switch {
+	case c.Bits > 0:
+		c.packUniform(p, x, r)
+	case c.TopK > 0:
+		c.packTopK(p, x, resid)
+	default:
+		panic("quant: Pack on a disabled Config")
+	}
+	return c.VecWireBytes(len(x))
+}
+
+// Apply is the in-place form used by the single-process core engine:
+// it replaces x with its dequantized compression (exactly what a
+// receiver reconstructs from the Packed wire form — the two paths are
+// one code path) and returns the priced wire size. resid follows the
+// Pack contract.
+func (c Config) Apply(x, resid []float64, r *rng.Stream) int64 {
+	p := GetPacked()
+	n := c.Pack(p, x, resid, r)
+	p.UnpackInto(x)
+	PutPacked(p)
+	return n
+}
+
+// WireBytes is the priced wire size of the packed vector — identical to
+// Config.VecWireBytes of the config that produced it. 0 for an empty
+// Packed.
+func (p *Packed) WireBytes() int64 {
+	switch p.Scheme {
+	case SchemeUniform:
+		return int64((p.Dim*int(p.Bits)+7)/8) + 16
+	case SchemeTopK:
+		return int64(len(p.Idx)) * 12
+	}
+	return 0
+}
+
+// UnpackInto reconstructs the dequantized vector into x
+// (len(x) == p.Dim).
+func (p *Packed) UnpackInto(x []float64) {
+	if len(x) != p.Dim {
+		panic("quant: UnpackInto dimension mismatch")
+	}
+	switch p.Scheme {
+	case SchemeUniform:
+		if p.Hi == p.Lo {
+			// Constant vector: exact at any width.
+			for i := range x {
+				x[i] = p.Lo
+			}
+			return
+		}
+		bits := uint(p.Bits)
+		levels := float64(uint64(1)<<bits - 1)
+		scale := (p.Hi - p.Lo) / levels
+		for i := range x {
+			x[i] = p.Lo + float64(getCode(p.Code, i*int(bits), bits))*scale
+		}
+	case SchemeTopK:
+		for i := range x {
+			x[i] = 0
+		}
+		for j, idx := range p.Idx {
+			x[idx] = p.Vals[j]
+		}
+	default:
+		panic("quant: UnpackInto on an empty Packed")
+	}
+}
+
+// packUniform quantizes x onto the 2^Bits grid over [min, max] with
+// unbiased stochastic rounding. The arithmetic, stream draws and
+// resulting grid values are bit-identical to the legacy
+// Uniform.Quantize: the code is the integral float64 base truncated to
+// an integer (exact for Bits <= 32), and dequantization recomputes
+// lo + code*scale with the same float64 operations.
+func (c Config) packUniform(p *Packed, x []float64, r *rng.Stream) {
+	bits := c.Bits
+	if bits < 1 || bits > 32 {
+		panic("quant: Bits outside [1,32]")
+	}
+	d := len(x)
+	p.Scheme, p.Dim, p.Bits = SchemeUniform, d, uint8(bits)
+	p.Code = growBytes(p.Code, (d*int(bits)+7)/8)
+	for i := range p.Code {
+		p.Code[i] = 0
+	}
+	if d == 0 {
+		p.Lo, p.Hi = 0, 0
+		return
+	}
+	lo, hi := tensor.Min(x), tensor.Max(x)
+	p.Lo, p.Hi = lo, hi
+	if hi == lo {
+		// Constant vector: all-zero codes, no stream draws.
+		return
+	}
+	levels := float64(uint64(1)<<bits - 1)
+	scale := (hi - lo) / levels
+	for i, v := range x {
+		t := (v - lo) / scale
+		base := math.Floor(t)
+		frac := t - base
+		if r.Float64() < frac {
+			base++
+		}
+		if base > levels {
+			base = levels
+		}
+		putCode(p.Code, i*int(bits), bits, uint64(base))
+	}
+}
+
+// packTopK selects the k largest-|y| coordinates of y = x (+ resid),
+// deterministically: ties break toward the lower index. Indices are
+// emitted in ascending order and values are the exact y values. When
+// resid is non-nil it is updated in place to the unselected mass.
+func (c Config) packTopK(p *Packed, x, resid []float64) {
+	d := len(x)
+	k := c.TopK
+	if k > d {
+		k = d
+	}
+	p.Scheme, p.Dim = SchemeTopK, d
+	p.Idx = growU32(p.Idx, k)
+	p.Vals = growF64(p.Vals, k)
+	y := x
+	if resid != nil {
+		// Fold x into the residual so resid holds y; the selected
+		// entries are zeroed below, leaving exactly the dropped mass.
+		for i := range resid {
+			resid[i] += x[i]
+		}
+		y = resid
+	}
+	// Min-heap of the k kept coordinates keyed (|y| asc, index desc):
+	// the root is the weakest keeper — smallest magnitude, and among
+	// equals the highest index, so lower indices win ties.
+	habs := growF64(p.heapAbs, k)
+	hidx := growU32(p.heapIdx, k)
+	size := 0
+	weaker := func(aAbs float64, aIdx uint32, bAbs float64, bIdx uint32) bool {
+		return aAbs < bAbs || (aAbs == bAbs && aIdx > bIdx)
+	}
+	siftDown := func(i int) {
+		for {
+			l, rr := 2*i+1, 2*i+2
+			m := i
+			if l < size && weaker(habs[l], hidx[l], habs[m], hidx[m]) {
+				m = l
+			}
+			if rr < size && weaker(habs[rr], hidx[rr], habs[m], hidx[m]) {
+				m = rr
+			}
+			if m == i {
+				return
+			}
+			habs[i], habs[m] = habs[m], habs[i]
+			hidx[i], hidx[m] = hidx[m], hidx[i]
+			i = m
+		}
+	}
+	for i := 0; i < d; i++ {
+		a := math.Abs(y[i])
+		if size < k {
+			// Sift up.
+			j := size
+			habs[j], hidx[j] = a, uint32(i)
+			size++
+			for j > 0 {
+				parent := (j - 1) / 2
+				if !weaker(habs[j], hidx[j], habs[parent], hidx[parent]) {
+					break
+				}
+				habs[j], habs[parent] = habs[parent], habs[j]
+				hidx[j], hidx[parent] = hidx[parent], hidx[j]
+				j = parent
+			}
+			continue
+		}
+		if k > 0 && weaker(habs[0], hidx[0], a, uint32(i)) {
+			habs[0], hidx[0] = a, uint32(i)
+			siftDown(0)
+		}
+	}
+	copy(p.Idx, hidx[:size])
+	sort.Slice(p.Idx, func(a, b int) bool { return p.Idx[a] < p.Idx[b] })
+	for j, idx := range p.Idx {
+		p.Vals[j] = y[idx]
+		if resid != nil {
+			resid[idx] = 0
+		}
+	}
+	p.heapAbs, p.heapIdx = habs, hidx
+}
+
+// putCode writes the low `bits` bits of v at bit offset pos, LSB-first.
+// The buffer must be pre-zeroed at the target bits.
+func putCode(buf []byte, pos int, bits uint, v uint64) {
+	for bits > 0 {
+		off := uint(pos & 7)
+		n := 8 - off
+		if n > bits {
+			n = bits
+		}
+		mask := byte(uint16(1)<<n - 1)
+		buf[pos>>3] |= (byte(v) & mask) << off
+		v >>= n
+		pos += int(n)
+		bits -= n
+	}
+}
+
+// getCode reads `bits` bits at bit offset pos, LSB-first.
+func getCode(buf []byte, pos int, bits uint) uint64 {
+	var v uint64
+	var got uint
+	for got < bits {
+		off := uint(pos & 7)
+		n := 8 - off
+		if n > bits-got {
+			n = bits - got
+		}
+		mask := byte(uint16(1)<<n - 1)
+		v |= uint64((buf[pos>>3]>>off)&mask) << got
+		pos += int(n)
+		got += n
+	}
+	return v
+}
+
+func growBytes(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+func growU32(b []uint32, n int) []uint32 {
+	if cap(b) < n {
+		return make([]uint32, n)
+	}
+	return b[:n]
+}
+
+func growF64(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}

@@ -1,0 +1,330 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestUniformPackBitCompat pins the wire path to the legacy in-place
+// quantizer: Pack followed by UnpackInto must reproduce Uniform.Quantize
+// bit for bit — same grid values, same stream draws — for every bit
+// width class and many seeds. This is the contract that lets the core
+// engine apply compression in place while the simnet/wire engines ship
+// the Packed form, with bitwise-identical trajectories.
+func TestUniformPackBitCompat(t *testing.T) {
+	for _, bits := range []uint{1, 2, 4, 8, 13, 16, 32} {
+		for seed := uint64(1); seed <= 20; seed++ {
+			r := rng.New(seed)
+			x := make([]float64, 257)
+			r.Fill(x, 2.5)
+
+			legacy := append([]float64(nil), x...)
+			legacyStream := rng.New(seed + 1000)
+			Uniform{Bits: bits}.Quantize(legacy, legacyStream)
+
+			cfg := Config{Bits: bits}
+			p := GetPacked()
+			packStream := rng.New(seed + 1000)
+			cfg.Pack(p, x, nil, packStream)
+			got := make([]float64, len(x))
+			p.UnpackInto(got)
+			PutPacked(p)
+
+			for i := range got {
+				if got[i] != legacy[i] {
+					t.Fatalf("bits=%d seed=%d: element %d: packed %v, legacy %v",
+						bits, seed, i, got[i], legacy[i])
+				}
+			}
+			// Identical stream consumption: the next draw must agree.
+			if a, b := legacyStream.Float64(), packStream.Float64(); a != b {
+				t.Fatalf("bits=%d seed=%d: streams diverged after quantize (%v vs %v)", bits, seed, a, b)
+			}
+		}
+	}
+}
+
+// TestApplyEqualsPackUnpack pins Apply (the core engine's in-place
+// path) to Pack+UnpackInto (the wire path) for both schemes, residuals
+// included.
+func TestApplyEqualsPackUnpack(t *testing.T) {
+	cfgs := []Config{
+		{Bits: 8},
+		{TopK: 17},
+		{TopK: 17, ErrorFeedback: true},
+	}
+	for _, cfg := range cfgs {
+		r := rng.New(7)
+		x := make([]float64, 101)
+		r.Fill(x, 1)
+		var residA, residB []float64
+		if cfg.ErrorFeedback {
+			residA = make([]float64, len(x))
+			residB = make([]float64, len(x))
+			rng.New(8).Fill(residA, 0.3)
+			copy(residB, residA)
+		}
+
+		applied := append([]float64(nil), x...)
+		nA := cfg.Apply(applied, residA, rng.New(9))
+
+		p := GetPacked()
+		nB := cfg.Pack(p, x, residB, rng.New(9))
+		unpacked := make([]float64, len(x))
+		p.UnpackInto(unpacked)
+		PutPacked(p)
+
+		if nA != nB {
+			t.Fatalf("%s: Apply bytes %d, Pack bytes %d", cfg.Name(), nA, nB)
+		}
+		for i := range x {
+			if applied[i] != unpacked[i] {
+				t.Fatalf("%s: element %d: Apply %v, Pack+Unpack %v", cfg.Name(), i, applied[i], unpacked[i])
+			}
+			if residA != nil && residA[i] != residB[i] {
+				t.Fatalf("%s: residual %d diverged: %v vs %v", cfg.Name(), i, residA[i], residB[i])
+			}
+		}
+	}
+}
+
+// TestPackedUniformUnbiased: E[Q(x)] = x within statistical tolerance
+// over many independently seeded streams (the unbiasedness property the
+// convergence analysis of stochastic quantization rests on).
+func TestPackedUniformUnbiased(t *testing.T) {
+	orig := []float64{0.13, 0.37, -0.92, 0.5, 0.0, -0.001}
+	cfg := Config{Bits: 2}
+	const trials = 20000
+	sums := make([]float64, len(orig))
+	x := make([]float64, len(orig))
+	for trial := uint64(0); trial < trials; trial++ {
+		copy(x, orig)
+		cfg.Apply(x, nil, rng.New(trial+1))
+		for i, v := range x {
+			sums[i] += v
+		}
+	}
+	for i := range sums {
+		mean := sums[i] / trials
+		if math.Abs(mean-orig[i]) > 0.01 {
+			t.Fatalf("coordinate %d mean %v, want %v (biased quantizer)", i, mean, orig[i])
+		}
+	}
+}
+
+// TestPackedUniformRangePreserved: quantized values never leave the
+// original [min, max] envelope.
+func TestPackedUniformRangePreserved(t *testing.T) {
+	r := rng.New(11)
+	x := make([]float64, 1000)
+	r.Fill(x, 3)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range x {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	Config{Bits: 4}.Apply(x, nil, r)
+	for _, v := range x {
+		if v < lo || v > hi {
+			t.Fatalf("quantized value %v outside [%v,%v]", v, lo, hi)
+		}
+	}
+}
+
+// TestWireBytesExact pins the priced wire size to the bytes actually
+// present in the Packed form, and to the legacy bit accounting.
+func TestWireBytesExact(t *testing.T) {
+	r := rng.New(12)
+	for _, d := range []int{1, 7, 8, 9, 100, 257} {
+		x := make([]float64, d)
+		r.Fill(x, 1)
+		for _, bits := range []uint{1, 3, 8, 16, 32} {
+			cfg := Config{Bits: bits}
+			p := GetPacked()
+			got := cfg.Pack(p, x, nil, rng.New(1))
+			// Payload content: the code bitstream plus the two range
+			// scalars.
+			if want := int64(len(p.Code)) + 16; got != want {
+				t.Fatalf("d=%d bits=%d: priced %d, packed content %d", d, bits, got, want)
+			}
+			// Legacy accounting agreement: ceil((d*bits + 128) / 8).
+			legacyBits := Uniform{Bits: bits}.Quantize(append([]float64(nil), x...), rng.New(1))
+			if want := (legacyBits + 7) / 8; got != want {
+				t.Fatalf("d=%d bits=%d: priced %d, legacy bytes %d", d, bits, got, want)
+			}
+			if got != cfg.VecWireBytes(d) {
+				t.Fatalf("d=%d bits=%d: Pack returned %d, VecWireBytes %d", d, bits, got, cfg.VecWireBytes(d))
+			}
+			PutPacked(p)
+		}
+		for _, k := range []int{1, 5, d, d + 10} {
+			cfg := Config{TopK: k}
+			p := GetPacked()
+			got := cfg.Pack(p, x, nil, nil)
+			if want := int64(len(p.Idx))*4 + int64(len(p.Vals))*8; got != want {
+				t.Fatalf("d=%d k=%d: priced %d, packed content %d", d, k, got, want)
+			}
+			if got != cfg.VecWireBytes(d) {
+				t.Fatalf("d=%d k=%d: Pack returned %d, VecWireBytes %d", d, k, got, cfg.VecWireBytes(d))
+			}
+			PutPacked(p)
+		}
+	}
+}
+
+// TestTopKResidualConservation: with error feedback, y = Q(y) + resid
+// holds exactly after every round — compression delays signal, it never
+// destroys it.
+func TestTopKResidualConservation(t *testing.T) {
+	cfg := Config{TopK: 8, ErrorFeedback: true}
+	d := 50
+	resid := make([]float64, d)
+	r := rng.New(21)
+	for round := 0; round < 30; round++ {
+		x := make([]float64, d)
+		r.Fill(x, 1)
+		y := make([]float64, d) // y = x + resid before the update
+		for i := range y {
+			y[i] = x[i] + resid[i]
+		}
+		q := append([]float64(nil), x...)
+		cfg.Apply(q, resid, nil)
+		nonzero := 0
+		for i := range y {
+			if q[i]+resid[i] != y[i] {
+				t.Fatalf("round %d, coord %d: Q(y)+resid = %v + %v != y = %v",
+					round, i, q[i], resid[i], y[i])
+			}
+			if q[i] != 0 {
+				nonzero++
+				if resid[i] != 0 {
+					t.Fatalf("round %d, coord %d: selected coordinate kept residual %v", round, i, resid[i])
+				}
+			}
+		}
+		if nonzero != cfg.TopK {
+			t.Fatalf("round %d: %d nonzero coordinates, want %d", round, nonzero, cfg.TopK)
+		}
+	}
+}
+
+// TestTopKSelection pins the deterministic selection order: largest
+// magnitudes win, ties break toward the lower index, indices come out
+// strictly increasing.
+func TestTopKSelection(t *testing.T) {
+	x := []float64{1, -3, 2, 3, -3, 0.5}
+	p := GetPacked()
+	defer PutPacked(p)
+	Config{TopK: 3}.Pack(p, x, nil, nil)
+	// |values| = 1,3,2,3,3,0.5 — the three magnitude-3 entries at
+	// indices 1,3,4 win; index order must be ascending.
+	wantIdx := []uint32{1, 3, 4}
+	wantVal := []float64{-3, 3, -3}
+	if len(p.Idx) != len(wantIdx) {
+		t.Fatalf("selected %d coords, want %d", len(p.Idx), len(wantIdx))
+	}
+	for j := range wantIdx {
+		if p.Idx[j] != wantIdx[j] || p.Vals[j] != wantVal[j] {
+			t.Fatalf("selection[%d] = (%d, %v), want (%d, %v)",
+				j, p.Idx[j], p.Vals[j], wantIdx[j], wantVal[j])
+		}
+	}
+
+	// Tie-break: all-equal magnitudes keep the lowest indices.
+	eq := []float64{2, -2, 2, -2, 2}
+	Config{TopK: 2}.Pack(p, eq, nil, nil)
+	if p.Idx[0] != 0 || p.Idx[1] != 1 {
+		t.Fatalf("tie-break selected %v, want [0 1]", p.Idx)
+	}
+
+	// k >= d keeps everything exactly.
+	Config{TopK: 10}.Pack(p, x, nil, nil)
+	if len(p.Idx) != len(x) {
+		t.Fatalf("k>=d selected %d of %d", len(p.Idx), len(x))
+	}
+	got := make([]float64, len(x))
+	p.UnpackInto(got)
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatalf("k>=d not identity at %d: %v vs %v", i, got[i], x[i])
+		}
+	}
+}
+
+// TestConstantVectorConsumesNoStream: a constant vector packs without
+// touching the stream (the legacy contract), and unpacks exactly.
+func TestConstantVectorConsumesNoStream(t *testing.T) {
+	x := []float64{2, 2, 2, 2}
+	r := rng.New(31)
+	p := GetPacked()
+	defer PutPacked(p)
+	Config{Bits: 1}.Pack(p, x, nil, r)
+	if a, b := r.Float64(), rng.New(31).Float64(); a != b {
+		t.Fatal("constant-vector pack consumed stream draws")
+	}
+	got := make([]float64, len(x))
+	p.UnpackInto(got)
+	for _, v := range got {
+		if v != 2 {
+			t.Fatalf("constant vector distorted: %v", got)
+		}
+	}
+}
+
+// TestBitstreamRoundtrip is the putCode/getCode property: random codes
+// at every width survive the bitstream roundtrip.
+func TestBitstreamRoundtrip(t *testing.T) {
+	r := rng.New(41)
+	for _, bits := range []uint{1, 2, 3, 5, 7, 8, 11, 16, 31, 32} {
+		n := 67
+		buf := make([]byte, (n*int(bits)+7)/8)
+		codes := make([]uint64, n)
+		mask := uint64(1)<<bits - 1
+		for i := range codes {
+			codes[i] = r.Uint64() & mask
+			putCode(buf, i*int(bits), bits, codes[i])
+		}
+		for i := range codes {
+			if got := getCode(buf, i*int(bits), bits); got != codes[i] {
+				t.Fatalf("bits=%d: code %d roundtripped %d -> %d", bits, i, codes[i], got)
+			}
+		}
+	}
+}
+
+func TestConfigValidateAndName(t *testing.T) {
+	valid := []Config{{}, {Bits: 8}, {Bits: 32}, {TopK: 5}, {TopK: 5, ErrorFeedback: true}}
+	for _, c := range valid {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%+v rejected: %v", c, err)
+		}
+	}
+	invalid := []Config{
+		{Bits: 8, TopK: 5},
+		{Bits: 33},
+		{TopK: -1},
+		{ErrorFeedback: true},
+	}
+	for _, c := range invalid {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("%+v accepted", c)
+		}
+	}
+	names := map[string]Config{
+		"none":          {},
+		"uniform-8bit":  {Bits: 8},
+		"topk-32":       {TopK: 32},
+		"topk-32+ef":    {TopK: 32, ErrorFeedback: true},
+		"uniform-16bit": {Bits: 16},
+	}
+	for want, c := range names {
+		if got := c.Name(); got != want {
+			t.Fatalf("Name(%+v) = %q, want %q", c, got, want)
+		}
+	}
+	if (Config{}).Enabled() || !(Config{Bits: 8}).Enabled() || !(Config{TopK: 1}).Enabled() {
+		t.Fatal("Enabled misreports")
+	}
+}

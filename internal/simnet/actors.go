@@ -7,6 +7,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/fl"
 	"repro/internal/model"
+	"repro/internal/quant"
 	"repro/internal/simplex"
 	"repro/internal/tensor"
 	"repro/internal/wire"
@@ -69,6 +70,20 @@ func payloadBytes(vecs ...[]float64) int64 {
 	return n
 }
 
+// packedBytes is the priced wire size of a set of compressed payloads;
+// nil entries contribute nothing. Compressed sizes are constant per
+// regime (quant.Config.VecWireBytes), so the per-link byte counters
+// stay exactly reproducible.
+func packedBytes(ps ...*quant.Packed) int64 {
+	var n int64
+	for _, p := range ps {
+		if p != nil {
+			n += p.WireBytes()
+		}
+	}
+	return n
+}
+
 // nackTrainReply releases the reply's pooled vectors back to the arena
 // and converts it into a timeout nack: the struct itself travels on as
 // control traffic (abandoned payloads must not leak — the vectors stay
@@ -88,6 +103,9 @@ func nackTrainReply(r *trainReply, pool *vecPool) {
 		pool.put(r.IterSum)
 		r.IterSum = nil
 	}
+	quant.PutPacked(r.WFinalP)
+	quant.PutPacked(r.WChkP)
+	r.WFinalP, r.WChkP = nil, nil
 	r.Failed = true
 }
 
@@ -107,6 +125,9 @@ func nackEdgeTrainReply(r *edgeTrainReply, pool *vecPool) {
 		pool.put(r.IterSum)
 		r.IterSum = nil
 	}
+	quant.PutPacked(r.WEdgeP)
+	quant.PutPacked(r.WChkP)
+	r.WEdgeP, r.WChkP = nil, nil
 	r.IterCount = 0
 	r.Failed = true
 }
@@ -125,6 +146,14 @@ type clientActor struct {
 	model   model.Model
 	wSet    simplex.Set
 	track   bool // accumulate iterates for wHat
+	comp    quant.Config
+	// resid is the client's error-feedback residual (top-k + EF only).
+	// It is slot-scoped like core's: reset on each slot's first
+	// aggregation block (TrainReq.Block == 0). Under chaos a lost
+	// block-0 request carries the previous slot's residual forward —
+	// deterministic under the fault schedule, and identical between the
+	// in-process and wire runtimes (same actor code on both).
+	resid   []float64
 	scratch fl.Scratch
 	chaos   *chaos.Schedule
 	retries int
@@ -174,13 +203,41 @@ func (c *clientActor) run(wg *sync.WaitGroup) {
 				pool.put(wChk)
 				wChk = nil
 			}
+			// Uplink compression: the model (and checkpoint) travel as
+			// Packed payloads; the dense vectors go home. Stream keys
+			// match core's — LocalSGD advanced req.Stream in place, so
+			// ChildVal('q') here is core's post-SGD r.Child('q').
+			var wp, chkp *quant.Packed
+			if c.comp.Enabled() {
+				var resid []float64
+				if c.comp.ErrorFeedback {
+					if len(c.resid) != len(w) {
+						c.resid = make([]float64, len(w))
+					} else if req.Block == 0 {
+						tensor.Zero(c.resid)
+					}
+					resid = c.resid
+				}
+				qs := req.Stream.ChildVal('q')
+				wp = quant.GetPacked()
+				c.comp.Pack(wp, w, resid, &qs)
+				pool.put(w)
+				w = nil
+				if wChk != nil {
+					cs := req.Stream.ChildVal('q').ChildVal(2)
+					chkp = quant.GetPacked()
+					c.comp.Pack(chkp, wChk, nil, &cs)
+					pool.put(wChk)
+					wChk = nil
+				}
+			}
 			client := req.Client
 			trainReqPool.Put(req)
 			reply := trainReplyPool.Get().(*trainReply)
-			*reply = trainReply{Client: client, WFinal: w, WChk: wChk, IterSum: iterSum}
+			*reply = trainReply{Client: client, WFinal: w, WChk: wChk, WFinalP: wp, WChkP: chkp, IterSum: iterSum}
 			ok := c.net.SendRetry(Message{
 				From: c.id, To: msg.From, Kind: "train-reply",
-				Round: msg.Round, Bytes: payloadBytes(w, wChk, iterSum), Payload: reply,
+				Round: msg.Round, Bytes: payloadBytes(w, wChk, iterSum) + packedBytes(wp, chkp), Payload: reply,
 			}, c.retries)
 			if !ok {
 				nackTrainReply(reply, pool)
@@ -257,6 +314,7 @@ type edgeActor struct {
 	eta      float64
 	wSet     simplex.Set
 	track    bool
+	comp     quant.Config
 	retries  int
 	finals   [][]float64
 	chks     [][]float64
@@ -296,7 +354,8 @@ func (e *edgeActor) run(wg *sync.WaitGroup) {
 			edgeTrainReqPool.Put(req)
 			ok := e.net.SendRetry(Message{
 				From: e.id, To: msg.From, Kind: "edge-train-reply", Round: round,
-				Bytes: payloadBytes(reply.WEdge, reply.WChk, reply.IterSum), Payload: reply,
+				Bytes: payloadBytes(reply.WEdge, reply.WChk, reply.IterSum) +
+					packedBytes(reply.WEdgeP, reply.WChkP), Payload: reply,
 			}, e.retries)
 			if !ok {
 				nackEdgeTrainReply(reply, pool)
@@ -375,7 +434,7 @@ func (e *edgeActor) modelUpdate(req *edgeTrainReq, round int) *edgeTrainReply {
 			copy(w, we)
 			tr := trainReqPool.Get().(*trainReq)
 			*tr = trainReq{
-				W: w, Steps: e.tau1, Batch: e.batch, ChkAt: chkAt, Eta: e.eta,
+				W: w, Steps: e.tau1, Batch: e.batch, ChkAt: chkAt, Block: t2, Eta: e.eta,
 				Stream: blockStream.ChildVal(uint64(c)),
 				Client: c,
 			}
@@ -407,8 +466,25 @@ func (e *edgeActor) modelUpdate(req *edgeTrainReq, round int) *edgeTrainReply {
 				continue
 			}
 			acct.Up(msg.Bytes)
-			e.finals[r.Client] = r.WFinal
-			e.chks[r.Client] = r.WChk
+			// Compressed replies are decoded at the fan-in: the edge
+			// reconstructs the dequantized vectors into pooled buffers —
+			// exactly what core's in-place Apply leaves behind.
+			wf := r.WFinal
+			if r.WFinalP != nil {
+				wf = pool.get(d)
+				r.WFinalP.UnpackInto(wf)
+				quant.PutPacked(r.WFinalP)
+				r.WFinalP = nil
+			}
+			chk := r.WChk
+			if r.WChkP != nil {
+				chk = pool.get(d)
+				r.WChkP.UnpackInto(chk)
+				quant.PutPacked(r.WChkP)
+				r.WChkP = nil
+			}
+			e.finals[r.Client] = wf
+			e.chks[r.Client] = chk
 			e.sums[r.Client] = r.IterSum
 			trainReplyPool.Put(r)
 		}
@@ -471,8 +547,27 @@ func (e *edgeActor) modelUpdate(req *edgeTrainReq, round int) *edgeTrainReply {
 		}
 	}
 	acct.Blocks = e.tau2
+	// Edge uplink compression: pack the aggregated model and checkpoint
+	// for the cloud (no error feedback — edge uplinks happen once per
+	// slot) with core's 'Q' stream keys; req.Stream was never advanced,
+	// so it is exactly core's slot stream.
+	var weP, chkP *quant.Packed
+	if e.comp.Enabled() {
+		qs := req.Stream.ChildVal('Q').ChildVal(1)
+		weP = quant.GetPacked()
+		e.comp.Pack(weP, we, nil, &qs)
+		pool.put(we)
+		we = nil
+		if chkEdge != nil {
+			cs := req.Stream.ChildVal('Q').ChildVal(2)
+			chkP = quant.GetPacked()
+			e.comp.Pack(chkP, chkEdge, nil, &cs)
+			pool.put(chkEdge)
+			chkEdge = nil
+		}
+	}
 	reply := edgeTrainReplyPool.Get().(*edgeTrainReply)
-	*reply = edgeTrainReply{Slot: req.Slot, WEdge: we, WChk: chkEdge, IterSum: iterSum, IterCount: iterCount, Acct: acct}
+	*reply = edgeTrainReply{Slot: req.Slot, WEdge: we, WChk: chkEdge, WEdgeP: weP, WChkP: chkP, IterSum: iterSum, IterCount: iterCount, Acct: acct}
 	return reply
 }
 

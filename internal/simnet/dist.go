@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/fl"
+	"repro/internal/quant"
 	"repro/internal/tensor"
 	"repro/internal/topology"
 	"repro/internal/wire"
@@ -81,8 +82,10 @@ func (dc *DistConfig) normalize() {
 // the active tensor kernel class is folded in too, silently mix
 // rounding regimes (an AVX2+FMA cloud and an SSE2 edge would each be
 // self-consistent yet produce different bits; the handshake refuses the
-// pairing instead). It hashes explicit fields (never reflection over
-// Config — Quantizer is an interface and has no stable rendering).
+// pairing instead). Compression knobs are folded in for the same
+// reason: a compression setting is a rounding regime, and mixed peers
+// would silently diverge. It hashes explicit fields, never reflection
+// over Config, so the hash stays stable as Config grows.
 func Fingerprint(cfg fl.Config, top topology.Topology, sched *chaos.Schedule) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(tensor.ActiveKernel().String()))
@@ -114,6 +117,9 @@ func Fingerprint(cfg fl.Config, top topology.Topology, sched *chaos.Schedule) ui
 	f(cfg.DropoutProb)
 	b(cfg.TrackAverages)
 	b(cfg.CheckpointOff)
+	u(uint64(cfg.Compression.Bits))
+	u(uint64(cfg.Compression.TopK))
+	b(cfg.Compression.ErrorFeedback)
 	u(uint64(top.NumEdges))
 	u(uint64(top.ClientsPerEdge))
 	if sched != nil {
@@ -170,6 +176,8 @@ func releaseMessage(pool *vecPool) func(Message) {
 			putVec(p.WFinal)
 			putVec(p.WChk)
 			putVec(p.IterSum)
+			quant.PutPacked(p.WFinalP)
+			quant.PutPacked(p.WChkP)
 			*p = trainReply{}
 			trainReplyPool.Put(p)
 		case *lossReq:
@@ -187,6 +195,8 @@ func releaseMessage(pool *vecPool) func(Message) {
 			putVec(p.WEdge)
 			putVec(p.WChk)
 			putVec(p.IterSum)
+			quant.PutPacked(p.WEdgeP)
+			quant.PutPacked(p.WChkP)
 			*p = edgeTrainReply{}
 			edgeTrainReplyPool.Put(p)
 		case *edgeLossReq:

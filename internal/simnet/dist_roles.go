@@ -22,9 +22,6 @@ import (
 // (each process reports its own at shutdown via stats frames).
 func ServeCloud(prob *fl.Problem, cfg fl.Config, dc DistConfig, opts ...Option) (*fl.Result, RunStats, error) {
 	dc.normalize()
-	if cfg.Quantizer != nil {
-		return nil, RunStats{}, fmt.Errorf("simnet: quantization is not supported by the actor engine")
-	}
 	e := &engine{prob: prob, cfg: cfg.WithDefaults(), lat: DefaultLatency()}
 	for _, o := range opts {
 		o(e)
@@ -379,6 +376,7 @@ func ServeEdge(prob *fl.Problem, cfg fl.Config, dc DistConfig, opts ...Option) e
 		eta:     e.cfg.EtaW,
 		wSet:    prob.W,
 		track:   e.cfg.TrackAverages,
+		comp:    e.cfg.Compression,
 		retries: e.retries,
 	}
 	for c := 0; c < top.ClientsPerEdge; c++ {
@@ -461,6 +459,7 @@ func ServeClientHost(prob *fl.Problem, cfg fl.Config, dc DistConfig, opts ...Opt
 			model:   prob.Model.Clone(),
 			wSet:    prob.W,
 			track:   e.cfg.TrackAverages,
+			comp:    e.cfg.Compression,
 			chaos:   e.chaos,
 			retries: e.retries,
 		}

@@ -137,6 +137,11 @@ func TestWireFingerprintCoversTrajectoryKnobs(t *testing.T) {
 		func(c *fl.Config) { c.Seed++ },
 		func(c *fl.Config) { c.DropoutProb = 0.5 },
 		func(c *fl.Config) { c.TrackAverages = true },
+		// A compression setting is a rounding regime: mixed peers would
+		// silently diverge, so every knob must flip the fingerprint.
+		func(c *fl.Config) { c.Compression.Bits = 8 },
+		func(c *fl.Config) { c.Compression.TopK = 4 },
+		func(c *fl.Config) { c.Compression.ErrorFeedback = true },
 	}
 	for i, mut := range mutations {
 		c := base

@@ -1,7 +1,6 @@
 package simnet
 
 import (
-	"fmt"
 	"math"
 	"sync"
 	"time"
@@ -10,6 +9,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/obs"
 	"repro/internal/optim"
+	"repro/internal/quant"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 	"repro/internal/topology"
@@ -89,11 +89,12 @@ type RunStats struct {
 // tests); Config.DropoutProb drops the same slots as core does on the
 // same seed (both engines decide via fl.SlotDropped). Transport-level
 // faults — crashes, partitions, link loss, stragglers — come from
-// WithChaos. Config.Quantizer is not supported by the actor engine.
+// WithChaos. Config.Compression compresses uplinks with the same stream
+// keys and decode arithmetic as core, so compressed trajectories stay
+// bitwise-identical too; the compressed payloads really cross the
+// message fabric (and, in the wire runtimes, the sockets) as Packed
+// structs, priced at their exact wire size.
 func HierMinimax(prob *fl.Problem, cfg fl.Config, opts ...Option) (*fl.Result, RunStats, error) {
-	if cfg.Quantizer != nil {
-		return nil, RunStats{}, fmt.Errorf("simnet: quantization is not supported by the actor engine")
-	}
 	e := &engine{prob: prob, cfg: cfg.WithDefaults(), lat: DefaultLatency()}
 	for _, o := range opts {
 		o(e)
@@ -211,6 +212,7 @@ func (e *engine) start() error {
 			eta:     e.cfg.EtaW,
 			wSet:    e.prob.W,
 			track:   e.cfg.TrackAverages,
+			comp:    e.cfg.Compression,
 			retries: e.retries,
 		}
 		for c := 0; c < e.top.ClientsPerEdge; c++ {
@@ -228,6 +230,7 @@ func (e *engine) start() error {
 				model:   e.prob.Model.Clone(),
 				wSet:    e.prob.W,
 				track:   e.cfg.TrackAverages,
+				comp:    e.cfg.Compression,
 				chaos:   e.chaos,
 				retries: e.retries,
 			}
@@ -422,15 +425,22 @@ func (e *engine) round(k int, st *fl.State) {
 		}
 	}
 	blockCompute := float64(cfg.Tau1) * e.computeMs * slowest
-	ecUp := 2 * dBytes
+	// Uplink model transfers travel compressed when a regime is on;
+	// downlinks and iterate sums stay dense — identical to core's
+	// ledger pricing, and identical to the Bytes the messages carried.
+	upVec := dBytes
+	if cfg.Compression.Enabled() {
+		upVec = cfg.Compression.VecWireBytes(d)
+	}
+	ecUp := 2 * upVec
 	if track {
 		ecUp += dBytes
 	}
 	phase1Ms := e.lat.EdgeCloudCost(dBytes) + e.lat.EdgeCloudCost(ecUp)
 	for t2 := 0; t2 < cfg.Tau2; t2++ {
-		up := dBytes
+		up := upVec
 		if t2 == c2 {
-			up += dBytes
+			up += upVec
 		}
 		if track {
 			up += dBytes
@@ -453,6 +463,22 @@ func (e *engine) round(k int, st *fl.State) {
 	for _, r := range e.results {
 		if r == nil {
 			continue
+		}
+		// Compressed edge uplinks are decoded at the cloud into pooled
+		// vectors; the cleanup below returns them like dense payloads.
+		if r.WEdgeP != nil {
+			v := pool.get(d)
+			r.WEdgeP.UnpackInto(v)
+			quant.PutPacked(r.WEdgeP)
+			r.WEdgeP = nil
+			r.WEdge = v
+		}
+		if r.WChkP != nil {
+			v := pool.get(d)
+			r.WChkP.UnpackInto(v)
+			quant.PutPacked(r.WChkP)
+			r.WChkP = nil
+			r.WChk = v
 		}
 		e.wVecs = append(e.wVecs, r.WEdge)
 		e.chkVecs = append(e.chkVecs, r.WChk)

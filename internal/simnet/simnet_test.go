@@ -259,9 +259,9 @@ func TestSimnetSurvivesMessageLoss(t *testing.T) {
 
 func TestSimnetRejectsUnsupportedConfig(t *testing.T) {
 	cfg := fltest.ToyConfig()
-	cfg.Quantizer = quant.Uniform{Bits: 8}
+	cfg.Compression = quant.Config{Bits: 8, TopK: 4} // mutually exclusive regimes
 	if _, _, err := HierMinimax(fltest.ToyProblem(1), cfg); err == nil {
-		t.Fatal("Quantizer accepted")
+		t.Fatal("invalid compression config accepted")
 	}
 	cfg = fltest.ToyConfig()
 	bad := &chaos.Schedule{CrashProb: 1.5}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/quant"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 )
@@ -165,6 +166,35 @@ func appendVec(b []byte, v []float64) []byte {
 	return b
 }
 
+// appendPacked encodes a nilable compressed payload. The leading byte is
+// 0x00 for absent, else the quant.Scheme. Uniform frames carry no code
+// length — it is implied by (dim, bits) — so a frame cannot lie about
+// its own size; top-k counts are validated against the dimension and
+// the received body before any allocation on decode.
+func appendPacked(b []byte, p *quant.Packed) []byte {
+	if p == nil {
+		return append(b, 0)
+	}
+	b = append(b, byte(p.Scheme))
+	b = appendU32(b, uint32(p.Dim))
+	switch p.Scheme {
+	case quant.SchemeUniform:
+		b = append(b, p.Bits)
+		b = appendF64(b, p.Lo)
+		b = appendF64(b, p.Hi)
+		b = append(b, p.Code...)
+	case quant.SchemeTopK:
+		b = appendU32(b, uint32(len(p.Idx)))
+		for _, i := range p.Idx {
+			b = appendU32(b, i)
+		}
+		for _, v := range p.Vals {
+			b = appendF64(b, v)
+		}
+	}
+	return b
+}
+
 func appendAcct(b []byte, a SlotAcct) []byte {
 	b = appendU32(b, uint32(a.Blocks))
 	b = appendU64(b, uint64(a.DownMsgs))
@@ -201,6 +231,7 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 			b = appendU32(b, uint32(p.Steps))
 			b = appendU32(b, uint32(p.Batch))
 			b = appendU32(b, uint32(p.ChkAt))
+			b = appendU32(b, uint32(p.Block))
 			b = appendF64(b, p.Eta)
 			b = p.Stream.AppendBinary(b)
 			b = appendU32(b, uint32(p.Client))
@@ -211,6 +242,8 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 			b = appendVec(b, p.WFinal)
 			b = appendVec(b, p.WChk)
 			b = appendVec(b, p.IterSum)
+			b = appendPacked(b, p.WFinalP)
+			b = appendPacked(b, p.WChkP)
 			b = appendBool(b, p.Failed)
 		case *LossReq:
 			b = append(b, frameLossReq)
@@ -241,6 +274,8 @@ func AppendMessage(buf []byte, m Message) ([]byte, error) {
 			b = appendVec(b, p.WEdge)
 			b = appendVec(b, p.WChk)
 			b = appendVec(b, p.IterSum)
+			b = appendPacked(b, p.WEdgeP)
+			b = appendPacked(b, p.WChkP)
 			b = appendF64(b, p.IterCount)
 			b = appendBool(b, p.Failed)
 			b = appendBool(b, p.Doomed)
@@ -422,6 +457,88 @@ func (r *bodyReader) vec(alloc AllocFunc) []float64 {
 	return v
 }
 
+// packed decodes a nilable compressed payload into a pooled
+// quant.Packed. Every count is validated against the bytes actually
+// present (and against the declared dimension) before anything is
+// allocated or copied, and the decoded form is canonical: trailing
+// bitstream bits must be zero and top-k indices strictly increasing
+// below the dimension. On error nothing is retained.
+func (r *bodyReader) packed() *quant.Packed {
+	scheme := r.u8()
+	if r.err != nil || scheme == 0 {
+		return nil
+	}
+	dim := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if dim < 1 {
+		r.err = errors.New("wire: packed dimension must be positive")
+		return nil
+	}
+	switch quant.Scheme(scheme) {
+	case quant.SchemeUniform:
+		bits := r.u8()
+		lo := r.f64()
+		hi := r.f64()
+		if r.err != nil {
+			return nil
+		}
+		if bits < 1 || bits > 32 {
+			r.err = errors.New("wire: packed bits outside [1,32]")
+			return nil
+		}
+		code := r.take((dim*int(bits) + 7) / 8)
+		if r.err != nil {
+			return nil
+		}
+		if tb := (dim * int(bits)) % 8; tb != 0 && code[len(code)-1]>>uint(tb) != 0 {
+			r.err = errors.New("wire: nonzero trailing bits in packed code")
+			return nil
+		}
+		p := quant.GetPacked()
+		p.Scheme, p.Dim, p.Bits, p.Lo, p.Hi = quant.SchemeUniform, dim, bits, lo, hi
+		p.Code = append(p.Code[:0], code...)
+		return p
+	case quant.SchemeTopK:
+		k := int(r.u32())
+		if r.err != nil {
+			return nil
+		}
+		if k < 1 || k > dim {
+			r.err = errors.New("wire: packed top-k count outside [1,dim]")
+			return nil
+		}
+		if r.off+k*12 > len(r.b) {
+			r.fail()
+			return nil
+		}
+		p := quant.GetPacked()
+		p.Scheme, p.Dim = quant.SchemeTopK, dim
+		idx := p.Idx[:0]
+		prev := -1
+		for j := 0; j < k; j++ {
+			v := r.u32()
+			if int(v) <= prev || int(v) >= dim {
+				r.err = errors.New("wire: packed top-k indices must be strictly increasing below the dimension")
+				quant.PutPacked(p)
+				return nil
+			}
+			prev = int(v)
+			idx = append(idx, v)
+		}
+		p.Idx = idx
+		vals := p.Vals[:0]
+		for j := 0; j < k; j++ {
+			vals = append(vals, r.f64())
+		}
+		p.Vals = vals
+		return p
+	}
+	r.err = fmt.Errorf("wire: unknown packed scheme %d", scheme)
+	return nil
+}
+
 func (r *bodyReader) acct() SlotAcct {
 	var a SlotAcct
 	a.Blocks = int(r.u32())
@@ -531,7 +648,7 @@ func DecodeMessage(body []byte, alloc AllocFunc, free func([]float64)) (Message,
 		w := r.vec(alloc)
 		p := TrainReqPool.Get().(*TrainReq)
 		*p = TrainReq{W: w, Steps: int(r.u32()), Batch: int(r.u32()), ChkAt: int(r.u32()),
-			Eta: r.f64(), Stream: r.stream(), Client: int(r.u32())}
+			Block: int(r.u32()), Eta: r.f64(), Stream: r.stream(), Client: int(r.u32())}
 		if err := r.finish(); err != nil {
 			release(w)
 			TrainReqPool.Put(p)
@@ -543,10 +660,15 @@ func DecodeMessage(body []byte, alloc AllocFunc, free func([]float64)) (Message,
 		wFinal := r.vec(alloc)
 		wChk := r.vec(alloc)
 		iterSum := r.vec(alloc)
+		wFinalP := r.packed()
+		wChkP := r.packed()
 		p := TrainReplyPool.Get().(*TrainReply)
-		*p = TrainReply{Client: client, WFinal: wFinal, WChk: wChk, IterSum: iterSum, Failed: r.boolByte()}
+		*p = TrainReply{Client: client, WFinal: wFinal, WChk: wChk, IterSum: iterSum,
+			WFinalP: wFinalP, WChkP: wChkP, Failed: r.boolByte()}
 		if err := r.finish(); err != nil {
 			release(wFinal, wChk, iterSum)
+			quant.PutPacked(wFinalP)
+			quant.PutPacked(wChkP)
 			TrainReplyPool.Put(p)
 			return Message{}, err
 		}
@@ -585,11 +707,16 @@ func DecodeMessage(body []byte, alloc AllocFunc, free func([]float64)) (Message,
 		wEdge := r.vec(alloc)
 		wChk := r.vec(alloc)
 		iterSum := r.vec(alloc)
+		wEdgeP := r.packed()
+		wChkP := r.packed()
 		p := EdgeTrainReplyPool.Get().(*EdgeTrainReply)
 		*p = EdgeTrainReply{Slot: slot, WEdge: wEdge, WChk: wChk, IterSum: iterSum,
+			WEdgeP: wEdgeP, WChkP: wChkP,
 			IterCount: r.f64(), Failed: r.boolByte(), Doomed: r.boolByte(), Acct: r.acct()}
 		if err := r.finish(); err != nil {
 			release(wEdge, wChk, iterSum)
+			quant.PutPacked(wEdgeP)
+			quant.PutPacked(wChkP)
 			EdgeTrainReplyPool.Put(p)
 			return Message{}, err
 		}

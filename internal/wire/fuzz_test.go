@@ -5,6 +5,7 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/quant"
 	"repro/internal/rng"
 )
 
@@ -15,11 +16,20 @@ import (
 func FuzzDecodeMessage(f *testing.F) {
 	// Seed with valid frames of each shape so the fuzzer starts from
 	// deep coverage, plus degenerate inputs.
+	pk := func(c quant.Config) *quant.Packed {
+		p := quant.GetPacked()
+		c.Pack(p, []float64{0.5, -1.25, 3, 0, 0.125, -2, 7, -0.5}, nil, rng.New(11))
+		return p
+	}
 	seedMsgs := []Message{
 		{From: NodeID{Kind: Cloud}, To: NodeID{Kind: Edge, Index: 1},
 			Payload: &EdgeTrainReq{W: []float64{1, 2, 3}, C1: 0, C2: 2, Slot: 1, Stream: *rng.New(7)}},
 		{From: NodeID{Kind: Edge, Index: 1}, To: NodeID{Kind: Cloud},
 			Payload: &EdgeTrainReply{Slot: 1, WEdge: []float64{4, 5}, IterSum: []float64{6, 7}, IterCount: 2}},
+		{From: NodeID{Kind: Client, Index: 1}, To: NodeID{Kind: Edge, Index: 0},
+			Payload: &TrainReply{Client: 1, WFinalP: pk(quant.Config{Bits: 8}), WChkP: pk(quant.Config{Bits: 16}), IterSum: []float64{1, 2}}},
+		{From: NodeID{Kind: Edge, Index: 0}, To: NodeID{Kind: Cloud},
+			Payload: &EdgeTrainReply{Slot: 2, WEdgeP: pk(quant.Config{TopK: 3}), IterCount: 2}},
 		{From: NodeID{Kind: Client, Index: 3}, To: NodeID{Kind: Edge, Index: 0},
 			Payload: &TrainReply{Client: 3, WFinal: []float64{1}, WChk: []float64{2}}},
 		{From: NodeID{Kind: Cloud}, To: NodeID{Kind: Client, Index: 0},
@@ -103,6 +113,63 @@ func FuzzFrameReader(f *testing.F) {
 			default:
 				DecodeMessage(body, func(d int) []float64 { return make([]float64, d) }, nil)
 			}
+		}
+	})
+}
+
+// FuzzPackedVec feeds arbitrary bytes into the compressed-payload frame
+// decoder. The invariants: never panic, validate every count against
+// the bytes actually present before allocating, and admit only
+// canonical frames — an accepted payload re-encodes to exactly the
+// bytes consumed, expands without panicking, and prices at a positive
+// wire size. A rejected frame retains nothing (the pooled Packed goes
+// straight back).
+func FuzzPackedVec(f *testing.F) {
+	// Seed one valid frame per scheme and width, plus the absent marker
+	// and shape-corrupt variants.
+	vec := []float64{0.5, -1.25, 3, 0, 0.125, -2, 7, -0.5}
+	for _, c := range []quant.Config{
+		{Bits: 1}, {Bits: 4}, {Bits: 8}, {Bits: 16}, {Bits: 32},
+		{TopK: 1}, {TopK: 3}, {TopK: 8},
+	} {
+		p := quant.GetPacked()
+		c.Pack(p, vec, nil, rng.New(42))
+		f.Add(appendPacked(nil, p))
+		quant.PutPacked(p)
+	}
+	f.Add([]byte{0})                               // absent marker
+	f.Add([]byte{})                                // truncated before the scheme
+	f.Add([]byte{3, 1, 0, 0, 0})                   // unknown scheme
+	f.Add([]byte{1, 0, 0, 0, 0, 8})                // zero dimension
+	f.Add([]byte{2, 2, 0, 0, 0, 9, 0, 0, 0})       // top-k count above dim
+	f.Add([]byte{1, 255, 255, 255, 255, 32, 0, 0}) // hostile dim, short body
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		r := &bodyReader{b: body}
+		p := r.packed()
+		if r.err != nil {
+			if p != nil {
+				t.Fatal("failed decode still returned a payload")
+			}
+			return
+		}
+		if p == nil {
+			return // absent marker
+		}
+		defer quant.PutPacked(p)
+		// Canonical form: re-encoding reproduces exactly the consumed
+		// prefix, so there is one byte representation per payload.
+		if enc := appendPacked(nil, p); !bytes.Equal(enc, body[:r.off]) {
+			t.Fatalf("accepted frame is not canonical: %x consumed, %x re-encoded", body[:r.off], enc)
+		}
+		// Every accepted payload must expand cleanly and carry a
+		// positive wire price (the ledger counts it).
+		if p.Dim <= 1<<16 {
+			out := make([]float64, p.Dim)
+			p.UnpackInto(out)
+		}
+		if p.WireBytes() <= 0 {
+			t.Fatalf("accepted payload prices at %d bytes", p.WireBytes())
 		}
 	})
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/quant"
 	"repro/internal/rng"
 )
 
@@ -105,12 +106,16 @@ func (m Message) IsControl() bool {
 // Streams are embedded by value so deriving a per-message stream
 // allocates nothing.
 
-// TrainReq asks a client to run local SGD from W.
+// TrainReq asks a client to run local SGD from W. Block is the
+// aggregation-block index t2 within the slot: clients running top-k
+// compression with error feedback reset their residual on Block 0, so
+// residual state is slot-scoped exactly like the core engine's.
 type TrainReq struct {
 	W      []float64
 	Steps  int
 	Batch  int
 	ChkAt  int
+	Block  int
 	Eta    float64
 	Stream rng.Stream
 	Client int // client index within its area
@@ -120,9 +125,16 @@ type TrainReq struct {
 // (when iterate tracking is on) the sum of visited iterates. Failed
 // marks a timeout nack: the client crashed or its reply was lost — the
 // vectors are nil and the edge aggregates without this client.
+//
+// Under a compression regime the model and checkpoint travel as Packed
+// payloads (WFinalP/WChkP, pooled via quant.GetPacked) instead of dense
+// vectors; the dense fields stay nil and the iterate sum always travels
+// dense. At most one form of each payload is set.
 type TrainReply struct {
 	Client       int
 	WFinal, WChk []float64
+	WFinalP      *quant.Packed
+	WChkP        *quant.Packed
 	IterSum      []float64
 	Failed       bool
 }
@@ -176,10 +188,14 @@ type EdgeTrainReq struct {
 // EdgeTrainReply returns the slot's aggregated edge model, checkpoint,
 // and (when tracking) iterate sum. Failed marks a nack (doomed slot,
 // partitioned edge or lost uplink); Acct always carries the slot's
-// delivered client-edge traffic.
+// delivered client-edge traffic. Under a compression regime the model
+// and checkpoint travel as Packed payloads (WEdgeP/WChkP) instead of
+// the dense vectors, like TrainReply's.
 type EdgeTrainReply struct {
 	Slot        int
 	WEdge, WChk []float64
+	WEdgeP      *quant.Packed
+	WChkP       *quant.Packed
 	IterSum     []float64
 	IterCount   float64
 	Failed      bool

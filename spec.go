@@ -144,7 +144,14 @@ type Spec struct {
 	Taus      []int
 
 	// Extensions and constraints.
-	QuantBits uint // >0: stochastic uniform uplink quantization
+	// QuantBits and TopK select the uplink-compression regime (mutually
+	// exclusive): QuantBits > 0 enables stochastic uniform quantization
+	// at that bit width; TopK > 0 enables top-k sparsification with
+	// per-client error-feedback residuals. Both engines price the
+	// compressed payloads exactly in the byte ledger, and the wire
+	// transport actually ships the compressed form.
+	QuantBits uint
+	TopK      int
 	// DropoutProb drops each sampled client slot for a whole round with
 	// this probability. It is one knob for both engines: the in-process
 	// and simnet runs make identical seeded drop decisions, so their
@@ -253,6 +260,9 @@ func (s *Spec) normalize() error {
 	}
 	if s.Chaos != (Chaos{}) && s.Engine != EngineSimNet {
 		return fmt.Errorf("hierfair: Spec.Chaos fault injection requires Engine == %q", EngineSimNet)
+	}
+	if s.QuantBits > 0 && s.TopK > 0 {
+		return fmt.Errorf("hierfair: Spec.QuantBits and Spec.TopK are mutually exclusive")
 	}
 	if s.Dataset == "" {
 		s.Dataset = DatasetEMNIST
@@ -425,7 +435,10 @@ func (s *Spec) buildProblem() (*fl.Problem, fl.Config, error) {
 		CheckpointOff: s.CheckpointOff,
 	}
 	if s.QuantBits > 0 {
-		cfg.Quantizer = quant.Uniform{Bits: s.QuantBits}
+		cfg.Compression = quant.Config{Bits: s.QuantBits}
+	}
+	if s.TopK > 0 {
+		cfg.Compression = quant.Config{TopK: s.TopK, ErrorFeedback: true}
 	}
 	return prob, cfg, nil
 }

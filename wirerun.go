@@ -40,9 +40,6 @@ func (s Spec) distProblem() (*fl.Problem, fl.Config, *chaos.Schedule, error) {
 	if len(s.Branching) > 0 {
 		return nil, fl.Config{}, nil, fmt.Errorf("hierfair: distributed roles do not support multi-layer trees")
 	}
-	if s.QuantBits > 0 {
-		return nil, fl.Config{}, nil, fmt.Errorf("hierfair: distributed roles do not support quantization")
-	}
 	prob, cfg, err := s.buildProblem()
 	if err != nil {
 		return nil, fl.Config{}, nil, err
