@@ -1,9 +1,9 @@
 #!/bin/sh
 # Performance gate: benchmarks the engine hot path, the distributed
 # wire runtime and the sweep scheduler and records the numbers in
-# BENCH_9.json so perf regressions are diffable in review.
+# BENCH_10.json so perf regressions are diffable in review.
 #
-#   ./bench.sh            # ~4 min, writes BENCH_9.json
+#   ./bench.sh            # ~4 min, writes BENCH_10.json
 #
 # BenchmarkEngineRound, BenchmarkSimnetRound and BenchmarkWireRound are
 # the round-level contract benchmarks: one HierMinimax round (Phase 1 +
@@ -22,9 +22,15 @@
 # wire-bytes/round is the priced compressed-payload contract.
 # BenchmarkSweep is the run-level contract: the smoke Fig. 3 grid on
 # the work-stealing pool with a hot dataset cache, reporting runs/sec
-# and allocs/run. The EngineRound, SimnetRound, Sweep, WireRound and
-# WireRoundCompressed allocation footprints (vs the BENCH_9.json
-# records) are gated by CI_BENCH=1 ./ci.sh.
+# and allocs/run. BenchmarkPopulationSample draws a full round of
+# sparse-population cohorts (10k sampled clients) at 100k and 1M
+# registered clients: the two legs' ns/op must match (the roster
+# sampler's cost is O(sampled), never O(population)) and their
+# allocs/op must stay 0. BenchmarkEngineRoundPopulation is the
+# training round at a million registered clients, fifty materialized
+# per round. The EngineRound, SimnetRound, Sweep, WireRound,
+# WireRoundCompressed and PopulationSample allocation footprints (vs
+# the BENCH_10.json records) are gated by CI_BENCH=1 ./ci.sh.
 #
 # Comparability: benchtime and repetition count are fixed (override
 # with BENCH_TIME / BENCH_COUNT for exploratory runs only — committed
@@ -35,7 +41,7 @@
 # are never silently compared.
 set -eu
 
-OUT=${1:-BENCH_9.json}
+OUT=${1:-BENCH_10.json}
 COUNT=${BENCH_COUNT:-3}
 TIME=${BENCH_TIME:-2s}
 
@@ -46,7 +52,7 @@ GO_VERSION=$(go env GOVERSION)
 GOAMD64_LEVEL=$(go env GOAMD64)
 [ -n "$GOAMD64_LEVEL" ] || GOAMD64_LEVEL=none
 
-RAW=$(go test -run '^$' -bench 'BenchmarkEngineRound$|BenchmarkEngineRoundKernel$|BenchmarkSimnetRound$|BenchmarkWireRound$|BenchmarkWireRoundKernel$|BenchmarkWireRoundCompressed$|BenchmarkSweep$' \
+RAW=$(go test -run '^$' -bench 'BenchmarkEngineRound$|BenchmarkEngineRoundKernel$|BenchmarkEngineRoundPopulation$|BenchmarkSimnetRound$|BenchmarkWireRound$|BenchmarkWireRoundKernel$|BenchmarkWireRoundCompressed$|BenchmarkSweep$|BenchmarkPopulationSample$' \
 	-benchmem -benchtime "$TIME" -count "$COUNT" .)
 echo "$RAW"
 

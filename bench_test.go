@@ -10,11 +10,13 @@ package hierfair
 // EXPERIMENTS.md; regenerate them with cmd/experiments.
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
 	"repro/internal/fl"
+	"repro/internal/population"
 	"repro/internal/sched"
 	"repro/internal/simnet"
 	"repro/internal/tensor"
@@ -173,7 +175,7 @@ func BenchmarkEngineRound(b *testing.B) {
 
 // BenchmarkEngineRoundKernel runs the EngineRound workload under each
 // forced kernel class, so one invocation yields the comparable
-// generic/sse2/avx2/avx2f32 numbers BENCH_9.json records (the AVX2
+// generic/sse2/avx2/avx2f32 numbers BENCH_10.json records (the AVX2
 // tier's acceptance ratio is avx2 examples/sec over sse2 examples/sec
 // from the same run; the float32 storage tier's is avx2f32 over avx2).
 // SetKernel swaps happen strictly before and after Run, so the
@@ -195,6 +197,55 @@ func BenchmarkEngineRoundKernel(b *testing.B) {
 				b.ReportMetric(float64(examples*b.N)/sec, "examples/sec")
 			}
 		})
+	}
+}
+
+// BenchmarkPopulationSample draws one full round of roster cohorts —
+// 10k sampled clients across 100 edges — at two registered population
+// sizes. The ns/op of the two legs must match (sampling walks only the
+// sampled lots, never the roster) and allocs/op must stay 0 in the
+// steady state: both are recorded in BENCH_10.json, the allocation
+// contract gated by CI_BENCH=1 ./ci.sh.
+func BenchmarkPopulationSample(b *testing.B) {
+	const edges, cohort = 100, 100 // 10k sampled clients per round
+	for _, size := range []int{100000, 1000000} {
+		size := size
+		b.Run(fmt.Sprintf("pop%d", size), func(b *testing.B) {
+			roster := population.New(8, size, edges, cohort)
+			if err := roster.Validate(); err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]int, 0, cohort)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for e := 0; e < edges; e++ {
+					buf = roster.CohortInto(buf, i, e)
+				}
+			}
+			b.ReportMetric(float64(edges*cohort), "sampled/op")
+		})
+	}
+}
+
+// BenchmarkEngineRoundPopulation measures one HierMinimax round with a
+// million registered clients, fifty of which materialize per round (ten
+// per sampled edge). The per-round cost and allocation footprint are
+// O(sampled), independent of the registered population — compare
+// against BenchmarkEngineRound, whose resident roster does the same
+// per-round gradient work. Recorded in BENCH_10.json.
+func BenchmarkEngineRoundPopulation(b *testing.B) {
+	spec := benchBaseSpec()
+	spec.Population = 1000000
+	spec.SamplePerRound = 50
+	spec.Rounds = b.N
+	spec.EvalEvery = 0
+	if _, err := Run(spec); err != nil {
+		b.Fatal(err)
+	}
+	examples := spec.SamplePerRound * spec.Tau1 * spec.Tau2 * spec.BatchSize
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(examples*b.N)/sec, "examples/sec")
 	}
 }
 
@@ -225,7 +276,7 @@ func BenchmarkSimnetRound(b *testing.B) {
 // in-process twin of the cmd/hierminimax -role layout). The gap to
 // BenchmarkSimnetRound is the full cost of framing, socket I/O and the
 // connection pool; its allocs/op is the wire codec's contract number
-// (recorded in BENCH_9.json and gated by CI_BENCH=1 ./ci.sh).
+// (recorded in BENCH_10.json and gated by CI_BENCH=1 ./ci.sh).
 // wire-bytes/round is the ledger total over both links per training
 // round — the payload-size contract the float32 storage tier halves.
 func BenchmarkWireRound(b *testing.B) {
@@ -233,7 +284,7 @@ func BenchmarkWireRound(b *testing.B) {
 }
 
 // BenchmarkWireRoundKernel repeats the WireRound workload under the
-// float64 FMA tier and the float32 storage tier, so one BENCH_9.json
+// float64 FMA tier and the float32 storage tier, so one BENCH_10.json
 // carries the byte-accounting evidence for the avx2f32 regime: its
 // wire-bytes/round must be about half the avx2 figure (4-byte vector
 // elements against 8-byte, with fixed framing overhead making up the
@@ -255,7 +306,7 @@ func BenchmarkWireRoundKernel(b *testing.B) {
 // the codec, so its wire-bytes/round is the priced compressed payload
 // contract (about an eighth of the dense uplink traffic, with the dense
 // downlink broadcasts setting the floor) and its allocs/op is the
-// compressed codec path's footprint (recorded in BENCH_9.json and gated
+// compressed codec path's footprint (recorded in BENCH_10.json and gated
 // by CI_BENCH=1 ./ci.sh). The kernel class is forced to avx2 — the
 // float32 storage tier refuses compression, so pinning the class keeps
 // the number comparable to WireRoundKernel/avx2, its dense twin, on any

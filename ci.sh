@@ -10,7 +10,7 @@ set -eux
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/simnet/... ./internal/wire/... ./internal/quant/... ./internal/obs/... ./internal/sched/... ./internal/data/...
+go test -race ./internal/simnet/... ./internal/wire/... ./internal/quant/... ./internal/obs/... ./internal/sched/... ./internal/data/... ./internal/population/...
 
 # Forced-kernel-class legs: every rung of the dispatch ladder must pass
 # the numeric property suites and reproduce its class's golden
@@ -19,9 +19,13 @@ go test -race ./internal/simnet/... ./internal/wire/... ./internal/quant/... ./i
 # (including the avx2f32 float32 storage tier) are testable on any
 # machine. -count=1 because the test cache does not key on
 # HIERFAIR_KERNEL. The race legs re-run the tensor suite (which
-# exercises the parallel apply path) under each class's kernels.
+# exercises the parallel apply path) under each class's kernels. The
+# facade population tests ride along because the sparse regime's lazily
+# materialized shards exercise per-class storage paths the resident
+# fixtures don't (notably the float32 shard-mirror resolution).
 for KC in generic sse2 avx2 avx2f32; do
 	HIERFAIR_KERNEL=$KC go test -count=1 ./internal/tensor/ ./internal/fl/ ./internal/invariance/
+	HIERFAIR_KERNEL=$KC go test -count=1 -run 'Population' .
 	HIERFAIR_KERNEL=$KC go test -race -count=1 ./internal/tensor/
 done
 
@@ -99,14 +103,27 @@ DENSE_MB=$(sed -n 's/^traffic: cloud [0-9.]* MB, total \([0-9.]*\) MB$/\1/p' "$S
 COMP_MB=$(sed -n 's/^traffic: cloud [0-9.]* MB, total \([0-9.]*\) MB$/\1/p' "$SMOKE/compressed/ref.out")
 awk -v d="$DENSE_MB" -v c="$COMP_MB" 'BEGIN { if (!(c + 0 < d + 0)) { print "ci: compressed traffic " c " MB not below dense " d " MB"; exit 1 } }'
 
+# Sparse-population smoke: the same smoke-scale Fig. 3 comparison with
+# a hundred thousand registered clients (twenty materialized per round)
+# run on 1 and then 4 sweep workers must produce byte-identical
+# artifacts — the roster sampler and the streaming cohort folds are
+# pure functions of (seed, round, edge), independent of scheduling.
+go build -o "$SMOKE/experiments" ./cmd/experiments
+mkdir -p "$SMOKE/pop1" "$SMOKE/pop4"
+"$SMOKE/experiments" -exp fig3 -scale smoke -population 100000 -sample-per-round 20 -jobs 1 -out "$SMOKE/pop1" > /dev/null
+"$SMOKE/experiments" -exp fig3 -scale smoke -population 100000 -sample-per-round 20 -jobs 4 -out "$SMOKE/pop4" > /dev/null
+diff -r "$SMOKE/pop1" "$SMOKE/pop4"
+
 # Performance gate (optional, ~4 min): CI_BENCH=1 ./ci.sh benchmarks the
 # hot path into a scratch file and fails if EngineRound allocs/op (the
 # in-process training round's footprint), SimnetRound allocs/op (the
 # zero-copy message fabric's contract), Sweep allocs/run (the run-level
 # scheduler's contract), WireRound allocs/op (the TCP codec's
-# per-round footprint) or WireRoundCompressed allocs/op (the
-# compressed-uplink round's footprint — the Packed pool's contract)
-# regressed more than 20% over the committed BENCH_9.json records.
+# per-round footprint), WireRoundCompressed allocs/op (the
+# compressed-uplink round's footprint — the Packed pool's contract) or
+# PopulationSample allocs/op at a million registered clients (the
+# roster sampler's zero-allocation contract) regressed more than 20%
+# over the committed BENCH_10.json records.
 # Refresh the records deliberately with ./bench.sh when the change is
 # intended.
 if [ "${CI_BENCH:-0}" = "1" ]; then
@@ -141,11 +158,12 @@ if [ "${CI_BENCH:-0}" = "1" ]; then
 	}
 	BEGIN {
 		fails = 0
-		fails += gate("EngineRound allocs/op", metric("BENCH_9.json", "EngineRound", "allocs_per_op"), metric(ARGV[1], "EngineRound", "allocs_per_op"))
-		fails += gate("SimnetRound allocs/op", metric("BENCH_9.json", "SimnetRound", "allocs_per_op"), metric(ARGV[1], "SimnetRound", "allocs_per_op"))
-		fails += gate("Sweep allocs/run", metric("BENCH_9.json", "Sweep", "allocs_per_run"), metric(ARGV[1], "Sweep", "allocs_per_run"))
-		fails += gate("WireRound allocs/op", metric("BENCH_9.json", "WireRound", "allocs_per_op"), metric(ARGV[1], "WireRound", "allocs_per_op"))
-		fails += gate("WireRoundCompressed allocs/op", metric("BENCH_9.json", "WireRoundCompressed", "allocs_per_op"), metric(ARGV[1], "WireRoundCompressed", "allocs_per_op"))
+		fails += gate("EngineRound allocs/op", metric("BENCH_10.json", "EngineRound", "allocs_per_op"), metric(ARGV[1], "EngineRound", "allocs_per_op"))
+		fails += gate("SimnetRound allocs/op", metric("BENCH_10.json", "SimnetRound", "allocs_per_op"), metric(ARGV[1], "SimnetRound", "allocs_per_op"))
+		fails += gate("Sweep allocs/run", metric("BENCH_10.json", "Sweep", "allocs_per_run"), metric(ARGV[1], "Sweep", "allocs_per_run"))
+		fails += gate("WireRound allocs/op", metric("BENCH_10.json", "WireRound", "allocs_per_op"), metric(ARGV[1], "WireRound", "allocs_per_op"))
+		fails += gate("WireRoundCompressed allocs/op", metric("BENCH_10.json", "WireRoundCompressed", "allocs_per_op"), metric(ARGV[1], "WireRoundCompressed", "allocs_per_op"))
+		fails += gate("PopulationSample/pop1000000 allocs/op", metric("BENCH_10.json", "PopulationSample/pop1000000", "allocs_per_op"), metric(ARGV[1], "PopulationSample/pop1000000", "allocs_per_op"))
 		exit fails
 	}
 	' "$TMP_BENCH"

@@ -39,6 +39,8 @@ func main() {
 	scaleName := flag.String("scale", "smoke", "scale: smoke|small|full")
 	seed := flag.Uint64("seed", 42, "random seed")
 	jobs := flag.Int("jobs", 0, "concurrent training runs (0 = GOMAXPROCS); any value yields identical artifacts")
+	population := flag.Int("population", 0, "registered client population for the sparse regime (fig3|fig4 only; requires -sample-per-round)")
+	samplePerRound := flag.Int("sample-per-round", 0, "clients sampled per round from -population")
 	out := flag.String("out", "", "directory for CSV/JSON artifacts (empty = none)")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus-text metrics here at exit (plus a .json snapshot beside it)")
 	traceOut := flag.String("trace-out", "", "stream a JSONL span/event trace journal to this path")
@@ -59,6 +61,14 @@ func main() {
 	}
 	if *exp != "all" && !knownExps[*exp] {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want fig3|fig4|table2|table1|rates|stationarity|ablations|chaos|compression|all)\n", *exp)
+		os.Exit(1)
+	}
+	if (*population > 0) != (*samplePerRound > 0) {
+		fmt.Fprintf(os.Stderr, "experiments: -population and -sample-per-round must be set together\n")
+		os.Exit(1)
+	}
+	if *population > 0 && *exp != "fig3" && *exp != "fig4" {
+		fmt.Fprintf(os.Stderr, "experiments: -population applies to -exp fig3 or fig4 only\n")
 		os.Exit(1)
 	}
 	// Artifacts are reproducible per (seed, kernel class): the rounding
@@ -117,10 +127,20 @@ func main() {
 
 	all := *exp == "all"
 	if all || *exp == "fig3" {
-		run("fig3", func() (experiments.Artifact, error) { return experiments.Fig3(pool, scale, *seed) })
+		run("fig3", func() (experiments.Artifact, error) {
+			if *population > 0 {
+				return experiments.Fig3Population(pool, scale, *seed, *population, *samplePerRound)
+			}
+			return experiments.Fig3(pool, scale, *seed)
+		})
 	}
 	if all || *exp == "fig4" {
-		run("fig4", func() (experiments.Artifact, error) { return experiments.Fig4(pool, scale, *seed) })
+		run("fig4", func() (experiments.Artifact, error) {
+			if *population > 0 {
+				return experiments.Fig4Population(pool, scale, *seed, *population, *samplePerRound)
+			}
+			return experiments.Fig4(pool, scale, *seed)
+		})
 	}
 	if all || *exp == "table2" {
 		run("table2", func() (experiments.Artifact, error) { return experiments.Table2(pool, scale, *seed) })

@@ -55,6 +55,8 @@ func main() {
 	flag.Float64Var(&spec.EtaP, "etap", 0.0003, "weight learning rate")
 	flag.IntVar(&spec.BatchSize, "batch", 4, "local mini-batch size")
 	flag.IntVar(&spec.SampledEdges, "me", 5, "sampled edges per round m_E")
+	flag.IntVar(&spec.Population, "population", 0, "registered client population for the sparse regime: clients exist as seed records and only sampled cohorts materialize (0 = every client resident; requires -sample-per-round)")
+	flag.IntVar(&spec.SamplePerRound, "sample-per-round", 0, "clients sampled per round from -population, split evenly across the sampled edges")
 	flag.UintVar(&spec.QuantBits, "quant", 0, "uplink quantization bits (0 = exact; alias of -quant-bits)")
 	flag.UintVar(&spec.QuantBits, "quant-bits", 0, "stochastic uniform uplink quantization bits in [1,32] (0 = exact)")
 	flag.IntVar(&spec.TopK, "topk", 0, "top-k sparsified uplinks with error feedback: coordinates kept per vector (0 = exact; excludes -quant-bits)")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fl"
+	"repro/internal/model"
 	"repro/internal/tensor"
 	"repro/internal/topology"
 )
@@ -23,8 +24,9 @@ func StochasticAFL(prob *fl.Problem, cfg fl.Config) (*fl.Result, error) {
 		return nil, fmt.Errorf("baselines: Stochastic-AFL uses single-step updates; Tau1 must be 1, got %d", cfg.Tau1)
 	}
 	pool := fl.NewModelPool(prob.Model)
+	var folds []cohortFold
 	return fl.Run("Stochastic-AFL", prob, cfg, func(k int, st *fl.State) {
-		minimaxTwoLayerRound(k, st, pool, 1)
+		minimaxTwoLayerRound(k, st, pool, 1, &folds)
 	})
 }
 
@@ -38,27 +40,92 @@ func DRFA(prob *fl.Problem, cfg fl.Config) (*fl.Result, error) {
 		return nil, err
 	}
 	pool := fl.NewModelPool(prob.Model)
+	var folds []cohortFold
 	return fl.Run("DRFA", prob, cfg, func(k int, st *fl.State) {
-		minimaxTwoLayerRound(k, st, pool, cfg.WithDefaults().Tau1)
+		minimaxTwoLayerRound(k, st, pool, cfg.WithDefaults().Tau1, &folds)
 	})
 }
 
 // minimaxTwoLayerRound advances one round of a two-layer minimax method
 // with tau1 local steps. With tau1 = 1 it is Stochastic-AFL (the
 // checkpoint after 1 step is exactly the aggregated next iterate); with
-// tau1 > 1 it is DRFA.
-func minimaxTwoLayerRound(k int, st *fl.State, pool *fl.ModelPool, tau1 int) {
+// tau1 > 1 it is DRFA. folds is caller-owned per-slot scratch for the
+// population regime's streaming aggregation, reused across rounds.
+func minimaxTwoLayerRound(k int, st *fl.State, pool *fl.ModelPool, tau1 int, folds *[]cohortFold) {
 	cfg := &st.Cfg
 	prob := st.Prob
 	top := prob.Topology()
 	n0 := top.ClientsPerEdge
-	dBytes := topology.ModelBytes(len(st.W))
+	d := len(st.W)
+	dBytes := topology.ModelBytes(d)
 	kr := st.Root.ChildN('k', uint64(k))
 
-	// Sample edge slots by p^(k); every client of a sampled slot
-	// participates, so m = m_E * N0 clients are touched.
-	slots := sampleEdgeSlotsByP(kr.Child(1), cfg.SampledEdges, st.P)
+	// Sample edge slots i.i.d. from the categorical distribution p^(k)
+	// (with replacement), as Phase-1 unbiasedness requires — the same
+	// deterministic draw HierMinimax makes from its own stream keys.
+	slots := kr.Child(1).SampleWeighted(cfg.SampledEdges, st.P)
 	c1 := 1 + kr.Child(2).Intn(tau1) // checkpoint step (DRFA); trivial for tau1=1
+
+	if cfg.PopulationEnabled() {
+		// Sparse population: each sampled slot trains its (k, edge)
+		// roster cohort — the identical sampler the HierMinimax engines
+		// use — and streams the cohort's models and checkpoints into
+		// per-slot MeanAccumulators. The server then averages the slot
+		// means (cohorts share a size, so the uniform weighting over
+		// participants is preserved) and ascends p on cohort loss
+		// estimates at the checkpoint average.
+		roster := cfg.Roster(prob.Fed.NumAreas())
+		if len(*folds) < len(slots) {
+			*folds = make([]cohortFold, len(slots))
+		}
+		type slotOut struct {
+			wSlot, chkSlot, iterSum []float64
+			n                       int
+		}
+		outs := make([]slotOut, len(slots))
+		cfg.ForEach(len(slots), func(i int) {
+			e := slots[i]
+			fd := &(*folds)[i]
+			corpus := prob.Fed.Areas[e].Train
+			fd.cohort = roster.CohortInto(fd.cohort, k, e)
+			var iterSum []float64
+			if cfg.TrackAverages {
+				iterSum = make([]float64, d)
+			}
+			n := fd.run(cfg, pool, d, len(fd.cohort), cfg.TrackAverages,
+				func(m model.Model, lane, c int, wf, chk, sum []float64) bool {
+					shard := roster.ShardInto(fd.cohort[c], corpus, &fd.shards[lane])
+					copy(wf, st.W)
+					return fl.LocalSGDInto(m, wf, shard, tau1, cfg.BatchSize, cfg.EtaW, prob.W, kr.ChildN(3, uint64(i), uint64(c)), c1, sum, chk)
+				}, iterSum)
+			wSlot := make([]float64, d)
+			fd.wAcc.FinishInto(wSlot)
+			chkSlot := make([]float64, d)
+			fd.chkAcc.FinishInto(chkSlot)
+			outs[i] = slotOut{wSlot: wSlot, chkSlot: chkSlot, iterSum: iterSum, n: n}
+		})
+		nTot := 0
+		wVecs := make([][]float64, len(outs))
+		chkVecs := make([][]float64, len(outs))
+		for i, o := range outs {
+			nTot += o.n
+			wVecs[i] = o.wSlot
+			chkVecs[i] = o.chkSlot
+			if st.WSum != nil {
+				tensor.StorageAdd(st.WSum, o.iterSum)
+				st.WCount += float64(tau1 * o.n)
+			}
+		}
+		st.Ledger.RecordRound(topology.ClientCloud, nTot, dBytes)
+		st.Ledger.RecordRound(topology.ClientCloud, nTot, 2*dBytes)
+		tensor.AverageInto(st.W, wVecs...)
+		fl.ProjectW(prob.W, st.W)
+		wChk := make([]float64, d)
+		tensor.AverageInto(wChk, chkVecs...)
+		v := uniformLossEstimatesPop(st, pool, roster, k, wChk, kr.Child(4), topology.ClientCloud)
+		ascendP(st, v, cfg.EtaP*float64(tau1))
+		return
+	}
 
 	st.Ledger.RecordRound(topology.ClientCloud, len(slots)*n0, dBytes)
 	type slotOut struct {

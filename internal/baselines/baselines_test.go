@@ -232,11 +232,14 @@ func TestUniformLossEstimatesUnbiased(t *testing.T) {
 }
 
 func TestSampleEdgeSlotsByPFavorsHeavy(t *testing.T) {
+	// The minimax baselines draw their Phase-1 slots straight from
+	// rng.SampleWeighted (the bespoke wrapper was deleted); this pins
+	// the distributional property at the call they actually make.
 	r := rng.New(1)
 	p := []float64{0.7, 0.1, 0.1, 0.1}
 	counts := make([]int, 4)
 	for trial := 0; trial < 2000; trial++ {
-		for _, e := range sampleEdgeSlotsByP(r, 2, p) {
+		for _, e := range r.SampleWeighted(2, p) {
 			counts[e]++
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/fl"
+	"repro/internal/model"
 	"repro/internal/optim"
 	"repro/internal/rng"
 	"repro/internal/tensor"
@@ -29,6 +30,37 @@ func FedAvg(prob *fl.Problem, cfg fl.Config) (*fl.Result, error) {
 	}
 	pool := fl.NewModelPool(prob.Model)
 	top := prob.Topology()
+	if cfg.PopulationEnabled() {
+		// Sparse population: SamplePerRound clients are drawn uniformly
+		// from the registered roster (FedAvg's sampling distribution is
+		// uniform over clients, not p-weighted over edges), their shards
+		// materialize lazily from the striped edge corpora, and the
+		// server average streams through one MeanAccumulator — O(sampled)
+		// work and O(popLanes*d) live buffers, never O(Population).
+		var fold cohortFold
+		return fl.Run("FedAvg", prob, cfg, func(k int, st *fl.State) {
+			cfg := &st.Cfg
+			d := len(st.W)
+			roster := cfg.Roster(prob.Fed.NumAreas())
+			dBytes := topology.ModelBytes(d)
+			kr := st.Root.ChildN('k', uint64(k))
+			clients := kr.Child(1).SampleUniform(cfg.SamplePerRound, cfg.Population)
+			st.Ledger.RecordRound(topology.ClientCloud, len(clients), dBytes)
+			n := fold.run(cfg, pool, d, len(clients), cfg.TrackAverages,
+				func(m model.Model, lane, i int, wf, chk, sum []float64) bool {
+					id := clients[i]
+					shard := roster.ShardInto(id, prob.Fed.Areas[roster.EdgeOf(id)].Train, &fold.shards[lane])
+					copy(wf, st.W)
+					return fl.LocalSGDInto(m, wf, shard, cfg.Tau1, cfg.BatchSize, cfg.EtaW, prob.W, kr.ChildN(2, uint64(i)), 0, sum, chk)
+				}, st.WSum)
+			if cfg.TrackAverages {
+				st.WCount += float64(cfg.Tau1 * n)
+			}
+			st.Ledger.RecordRound(topology.ClientCloud, n, dBytes)
+			fold.wAcc.FinishInto(st.W)
+			fl.ProjectW(prob.W, st.W)
+		})
+	}
 	return fl.Run("FedAvg", prob, cfg, func(k int, st *fl.State) {
 		cfg := &st.Cfg
 		dBytes := topology.ModelBytes(len(st.W))
@@ -71,13 +103,6 @@ func requireTwoLayer(name string, cfg fl.Config) error {
 		return fmt.Errorf("baselines: %s is a two-layer method; Tau2 must be 1, got %d", name, cfg.Tau2)
 	}
 	return nil
-}
-
-// sampleEdgeSlotsByP draws m_E edge slots i.i.d. from the categorical
-// distribution p (with replacement), as the minimax methods' Phase-1
-// sampling requires for unbiasedness.
-func sampleEdgeSlotsByP(r *rng.Stream, mE int, p []float64) []int {
-	return r.SampleWeighted(mE, p)
 }
 
 // uniformLossEstimates samples m_E edges uniformly, estimates each

@@ -2,6 +2,7 @@ package baselines
 
 import (
 	"repro/internal/fl"
+	"repro/internal/model"
 	"repro/internal/tensor"
 	"repro/internal/topology"
 )
@@ -14,22 +15,78 @@ import (
 // the minimax fairness mechanism (Table 2's comparison).
 func HierFAvg(prob *fl.Problem, cfg fl.Config) (*fl.Result, error) {
 	pool := fl.NewModelPool(prob.Model)
+	var folds []cohortFold
 	return fl.Run("HierFAvg", prob, cfg, func(k int, st *fl.State) {
-		hierFAvgRound(k, st, pool)
+		hierFAvgRound(k, st, pool, &folds)
 	})
 }
 
-func hierFAvgRound(k int, st *fl.State, pool *fl.ModelPool) {
+func hierFAvgRound(k int, st *fl.State, pool *fl.ModelPool, folds *[]cohortFold) {
 	cfg := &st.Cfg
 	prob := st.Prob
 	top := prob.Topology()
 	n0 := top.ClientsPerEdge
-	dBytes := topology.ModelBytes(len(st.W))
+	d := len(st.W)
+	dBytes := topology.ModelBytes(d)
 	kr := st.Root.ChildN('k', uint64(k))
 
 	// Uniform edge sampling (no p).
 	edges := kr.Child(1).SampleUniform(cfg.SampledEdges, prob.Fed.NumAreas())
 	st.Ledger.RecordRound(topology.EdgeCloud, len(edges), dBytes)
+
+	if cfg.PopulationEnabled() {
+		// Sparse population: each sampled edge runs its tau2 aggregation
+		// blocks over the (k, edge) roster cohort, folding every block's
+		// client models through a streaming MeanAccumulator — the same
+		// sampler and aggregation chokepoint as HierMinimax, with
+		// HierFAvg's uniform edge weights.
+		roster := cfg.Roster(prob.Fed.NumAreas())
+		if len(*folds) < len(edges) {
+			*folds = make([]cohortFold, len(edges))
+		}
+		type out struct {
+			wEdge, iterSum []float64
+			n              int
+		}
+		outs := make([]out, len(edges))
+		cfg.ForEach(len(edges), func(i int) {
+			e := edges[i]
+			fd := &(*folds)[i]
+			corpus := prob.Fed.Areas[e].Train
+			fd.cohort = roster.CohortInto(fd.cohort, k, e)
+			n := len(fd.cohort)
+			var iterSum []float64
+			if cfg.TrackAverages {
+				iterSum = make([]float64, d)
+			}
+			we := append([]float64(nil), st.W...)
+			for t2 := 0; t2 < cfg.Tau2; t2++ {
+				st.Ledger.RecordRound(topology.ClientEdge, n, dBytes)
+				fd.run(cfg, pool, d, n, cfg.TrackAverages,
+					func(m model.Model, lane, c int, wf, chk, sum []float64) bool {
+						shard := roster.ShardInto(fd.cohort[c], corpus, &fd.shards[lane])
+						copy(wf, we)
+						return fl.LocalSGDInto(m, wf, shard, cfg.Tau1, cfg.BatchSize, cfg.EtaW, prob.W, kr.ChildN(2, uint64(i), uint64(t2), uint64(c)), 0, sum, chk)
+					}, iterSum)
+				st.Ledger.RecordRound(topology.ClientEdge, n, dBytes)
+				fd.wAcc.FinishInto(we)
+				fl.ProjectW(prob.W, we)
+			}
+			outs[i] = out{wEdge: we, iterSum: iterSum, n: n}
+		})
+		st.Ledger.RecordRound(topology.EdgeCloud, len(edges), dBytes)
+		wVecs := make([][]float64, len(outs))
+		for i, o := range outs {
+			wVecs[i] = o.wEdge
+			if st.WSum != nil {
+				tensor.StorageAdd(st.WSum, o.iterSum)
+				st.WCount += float64(cfg.Tau1 * cfg.Tau2 * o.n)
+			}
+		}
+		tensor.AverageInto(st.W, wVecs...)
+		fl.ProjectW(prob.W, st.W)
+		return
+	}
 
 	type out struct {
 		wEdge   []float64

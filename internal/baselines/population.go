@@ -1,0 +1,141 @@
+package baselines
+
+import (
+	"repro/internal/fl"
+	"repro/internal/model"
+	"repro/internal/population"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/topology"
+)
+
+// popLanes is the chunk width of the baselines' streaming cohort folds:
+// sampled clients run popLanes at a time on parallel workers, then
+// their models stream into MeanAccumulators in sample order. Live
+// model-sized buffers are bounded at O(popLanes*d) regardless of how
+// many clients a round samples; the fold order — and therefore the
+// trajectory — is independent of the chunking and the worker count.
+const popLanes = 32
+
+// cohortFold owns the lane buffers of one streaming cohort fold and is
+// reused across rounds (baseline round closures keep one per slot
+// lane). Everything here is O(popLanes*d) or O(shard).
+type cohortFold struct {
+	cohort []int
+	finals [][]float64
+	chks   [][]float64
+	sums   [][]float64
+	chked  []bool
+	shards []population.ShardScratch
+	wAcc   tensor.MeanAccumulator
+	chkAcc tensor.MeanAccumulator
+}
+
+func growLanes(rows [][]float64, lanes, d int) [][]float64 {
+	if len(rows) < lanes {
+		rows = make([][]float64, lanes)
+	}
+	rows = rows[:lanes]
+	for i := range rows {
+		if len(rows[i]) != d {
+			rows[i] = make([]float64, d)
+		}
+	}
+	return rows
+}
+
+// run trains n sampled clients through sgd on parallel popLanes-wide
+// chunks and folds the results into the accumulators in sample order.
+// sgd runs client idx on lane buffers (lane indexes the per-lane shard
+// scratch f.shards) and reports whether a checkpoint was taken; its
+// result must depend only on idx, never on the lane or the chunking.
+// track folds sums into iterSum in the same order. Returns the number
+// of clients folded.
+func (f *cohortFold) run(cfg *fl.Config, pool *fl.ModelPool, d, n int, track bool,
+	sgd func(m model.Model, lane, idx int, wf, chk, sum []float64) bool,
+	iterSum []float64) int {
+	lanes := popLanes
+	if n < lanes {
+		lanes = n
+	}
+	f.finals = growLanes(f.finals, lanes, d)
+	f.chks = growLanes(f.chks, lanes, d)
+	if track {
+		f.sums = growLanes(f.sums, lanes, d)
+	}
+	if len(f.chked) < lanes {
+		f.chked = make([]bool, lanes)
+	}
+	if len(f.shards) < lanes {
+		f.shards = make([]population.ShardScratch, lanes)
+	}
+	f.wAcc.Reset(d)
+	f.chkAcc.Reset(d)
+	for base := 0; base < n; base += lanes {
+		span := lanes
+		if base+span > n {
+			span = n - base
+		}
+		runLanes := func(lo, hi int) {
+			m := pool.Get()
+			defer pool.Put(m)
+			for lane := lo; lane < hi; lane++ {
+				var sum []float64
+				if track {
+					sum = f.sums[lane]
+					tensor.Zero(sum)
+				}
+				f.chked[lane] = sgd(m, lane, base+lane, f.finals[lane], f.chks[lane], sum)
+			}
+		}
+		if cfg.Sequential {
+			runLanes(0, span)
+		} else {
+			tensor.ParallelFor(span, 1, runLanes)
+		}
+		for lane := 0; lane < span; lane++ {
+			f.wAcc.Add(f.finals[lane])
+			if f.chked[lane] {
+				f.chkAcc.Add(f.chks[lane])
+			}
+			if track {
+				tensor.StorageAdd(iterSum, f.sums[lane])
+			}
+		}
+	}
+	return n
+}
+
+// uniformLossEstimatesPop is uniformLossEstimates in the sparse
+// population regime: the m_E uniformly sampled edges estimate the loss
+// over their round-k roster cohorts (fl.CohortLossEstimate) instead of
+// their resident clients, and the ledger prices the model broadcast and
+// scalar uplink per cohort member on the cloud link (the two-layer
+// methods' clients talk to the cloud directly).
+func uniformLossEstimatesPop(st *fl.State, pool *fl.ModelPool, roster population.Roster, k int, w []float64, r *rng.Stream, cloudLink topology.Link) []float64 {
+	cfg := &st.Cfg
+	prob := st.Prob
+	nE := prob.Fed.NumAreas()
+	dBytes := topology.ModelBytes(len(w))
+	sampled := r.SampleUniform(cfg.SampledEdges, nE)
+	losses := make([]float64, len(sampled))
+	nTot := 0
+	for _, e := range sampled {
+		nTot += roster.CohortSize(e)
+	}
+	st.Ledger.RecordRound(cloudLink, nTot, dBytes)
+	cfg.ForEach(len(sampled), func(i int) {
+		m := pool.Get()
+		defer pool.Put(m)
+		er := r.ChildN(5, uint64(i))
+		e := sampled[i]
+		losses[i] = fl.CohortLossEstimate(m, w, prob.Fed.Areas[e].Train, roster, k, e, cfg.LossBatch, er)
+	})
+	st.Ledger.RecordRound(cloudLink, nTot, 8)
+	v := make([]float64, nE)
+	scale := float64(nE) / float64(cfg.SampledEdges)
+	for i, e := range sampled {
+		v[e] += scale * losses[i]
+	}
+	return v
+}

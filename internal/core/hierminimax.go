@@ -14,6 +14,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/optim"
+	"repro/internal/population"
 	"repro/internal/rng"
 	"repro/internal/simplex"
 	"repro/internal/tensor"
@@ -79,6 +80,15 @@ type slotScratch struct {
 	iterSum32        []float32
 	finals32, chks32 [][]float32
 	sums32           [][]float32
+	// Population-mode additions: the streaming accumulators that replace
+	// the cohort-sized finals/chks tables, the cohort id scratch, and the
+	// per-chunk-lane shard materialization scratch. The per-client rows
+	// above are sized to the fold chunk (popChunk), never to the cohort,
+	// so a slot's memory is O(d), independent of how many clients it
+	// trains.
+	wAcc, chkAcc tensor.MeanAccumulator
+	cohort       []int
+	shards       []population.ShardScratch
 }
 
 var slotPool = sync.Pool{New: func() any { return new(slotScratch) }}
@@ -205,11 +215,16 @@ func Round(k int, st *fl.State, pool *fl.ModelPool) {
 			results[i] = slotResult{dropped: true}
 			return
 		}
-		results[i] = ModelUpdate(modelUpdateArgs{
+		args := modelUpdateArgs{
 			pool: pool, prob: prob, cfg: cfg,
 			wStart: st.W, area: prob.Fed.Areas[slots[i]],
 			c1: c1, c2: c2, stream: sr, ledger: st.Ledger,
-		})
+		}
+		if cfg.PopulationEnabled() {
+			results[i] = modelUpdatePop(args, cfg.Roster(nE), k, slots[i])
+		} else {
+			results[i] = ModelUpdate(args)
+		}
 	})
 
 	// Edge-cloud aggregation (Eqs. 5 and 6): average over surviving
@@ -233,6 +248,9 @@ func Round(k int, st *fl.State, pool *fl.ModelPool) {
 	if hub != nil && len(wVecs) > 0 {
 		if el := obs.Now().Sub(t0).Seconds(); el > 0 {
 			n0 := len(prob.Fed.Areas[0].Clients)
+			if cfg.PopulationEnabled() {
+				n0 = cfg.CohortSize()
+			}
 			examples := len(wVecs) * cfg.SlotsPerRound() * n0 * cfg.BatchSize
 			examplesPerSec.Set(float64(examples) / el)
 		}
@@ -308,11 +326,23 @@ func phase2(k int, st *fl.State, pool *fl.ModelPool, wChk []float64, nE int, dBy
 		}
 		alive[i] = true
 		area := prob.Fed.Areas[sampled[i]]
+		m := pool.Get()
+		defer pool.Put(m)
+		if cfg.PopulationEnabled() {
+			// Population regime: the edge's round-k cohort (the same
+			// clients Phase 1 trained) estimates the loss on lazily
+			// materialized shards; traffic scales with the cohort.
+			roster := cfg.Roster(nE)
+			n := roster.CohortSize(sampled[i])
+			st.Ledger.RecordRound(topology.ClientEdge, n, dBytes)
+			losses[i] = fl.CohortLossEstimate(m, wChk, area.Train, roster, k, sampled[i], cfg.LossBatch, er)
+			lossEvals.Add(int64(n * cfg.LossBatch))
+			st.Ledger.RecordRound(topology.ClientEdge, n, 8)
+			return
+		}
 		// Edge broadcasts the checkpoint to its clients; clients return
 		// mini-batch losses (client-edge traffic).
 		st.Ledger.RecordRound(topology.ClientEdge, len(area.Clients), dBytes)
-		m := pool.Get()
-		defer pool.Put(m)
 		losses[i] = fl.AreaLossEstimate(m, wChk, area, cfg.LossBatch, er)
 		lossEvals.Add(int64(len(area.Clients) * cfg.LossBatch))
 		st.Ledger.RecordRound(topology.ClientEdge, len(area.Clients), 8)
@@ -452,6 +482,152 @@ func ModelUpdate(a modelUpdateArgs) slotResult {
 	// One SGD step evaluates BatchSize per-example gradients; the slot
 	// ran tau1*tau2 steps on each of its n0 clients.
 	gradEvals.Add(int64(cfg.Tau1 * cfg.Tau2 * n0 * cfg.BatchSize))
+	return slotResult{scratch: s, iterCount: iterCount}
+}
+
+// popChunk is the fold granularity of the population slot path: clients
+// run popChunk at a time on parallel workers, then their results stream
+// into the slot accumulators in cohort order. The constant bounds a
+// slot's live model-sized buffers at O(popChunk*d) regardless of cohort
+// size while still keeping every worker busy; it has no effect on the
+// trajectory (the fold order is cohort order for every chunking).
+const popChunk = 32
+
+// getPopSlotScratch sizes a pooled scratch for the population slot
+// path: O(d) accumulators plus popChunk-lane client rows and shard
+// views — never a cohort-sized table.
+func getPopSlotScratch(d, lanes int, trackAverages bool) *slotScratch {
+	s := slotPool.Get().(*slotScratch)
+	s.we = growVec(s.we, d)
+	s.chkEdge = growVec(s.chkEdge, d)
+	s.finals = growRows(s.finals, lanes, d)
+	s.chks = growRows(s.chks, lanes, d)
+	if trackAverages {
+		s.iterSum = growVec(s.iterSum, d)
+		tensor.Zero(s.iterSum)
+		s.sums = growRows(s.sums, lanes, d)
+	}
+	if cap(s.shards) < lanes {
+		s.shards = make([]population.ShardScratch, lanes)
+	}
+	s.shards = s.shards[:lanes]
+	return s
+}
+
+// modelUpdatePop is ModelUpdate in the sparse population regime: the
+// slot trains the roster's (round, edge) cohort instead of the area's
+// resident clients, materializing each sampled client's shard lazily
+// (row aliases into the area corpus) and folding client results into
+// streaming accumulators through the tensor.MeanAccumulator chokepoint
+// — bit-for-bit AverageInto over the same list, without ever holding a
+// cohort-sized table. One implementation covers all four kernel
+// classes: LocalSGDInto dispatches to the native float32 path
+// internally and the accumulator applies the storage regime's
+// averaging arithmetic.
+func modelUpdatePop(a modelUpdateArgs, roster population.Roster, round, edge int) slotResult {
+	cfg := a.cfg
+	prob := a.prob
+	d := len(a.wStart)
+	dBytes := topology.ModelBytes(d)
+	comp := cfg.Compression
+	upBytes := dBytes
+	if comp.Enabled() {
+		upBytes = comp.VecWireBytes(d)
+	}
+
+	lanes := popChunk
+	if c := roster.CohortSize(edge); c < lanes {
+		lanes = c
+	}
+	s := getPopSlotScratch(d, lanes, cfg.TrackAverages)
+	s.cohort = roster.CohortInto(s.cohort, round, edge)
+	n := len(s.cohort)
+	corpus := a.area.Train
+	copy(s.we, a.wStart)
+	var iterCount float64
+
+	for t2 := 0; t2 < cfg.Tau2; t2++ {
+		// Edge broadcasts w_e^(k,t2) to the cohort.
+		a.ledger.RecordRound(topology.ClientEdge, n, dBytes)
+		chkAt := 0
+		chkBlock := t2 == a.c2
+		if chkBlock {
+			chkAt = a.c1
+		}
+		s.wAcc.Reset(d)
+		if chkBlock {
+			s.chkAcc.Reset(d)
+		}
+		for base := 0; base < n; base += lanes {
+			hi := base + lanes
+			if hi > n {
+				hi = n
+			}
+			span := hi - base
+			runLanes := func(lo2, hi2 int) {
+				mdl := a.pool.Get()
+				defer a.pool.Put(mdl)
+				for ci := lo2; ci < hi2; ci++ {
+					c := base + ci
+					r := a.stream.ChildN(uint64(t2), uint64(c))
+					shard := roster.ShardInto(s.cohort[c], corpus, &s.shards[ci])
+					var clientSum []float64
+					if cfg.TrackAverages {
+						clientSum = s.sums[ci]
+						tensor.Zero(clientSum)
+					}
+					wf := s.finals[ci]
+					copy(wf, s.we)
+					chked := fl.LocalSGDInto(mdl, wf, shard, cfg.Tau1, cfg.BatchSize, cfg.EtaW, prob.W, r, chkAt, clientSum, s.chks[ci])
+					if comp.Enabled() {
+						// Error feedback is refused with Population
+						// (fl.Config.Validate), so uplink compression here
+						// is stateless.
+						comp.Apply(wf, nil, r.Child('q'))
+						if chked {
+							comp.Apply(s.chks[ci], nil, r.ChildN('q', 2))
+						}
+					}
+				}
+			}
+			if cfg.Sequential {
+				runLanes(0, span)
+			} else {
+				tensor.ParallelFor(span, 1, runLanes)
+			}
+			// Stream the chunk into the slot accumulators in cohort order —
+			// the deterministic fold that replaces the per-client table.
+			for ci := 0; ci < span; ci++ {
+				s.wAcc.Add(s.finals[ci])
+				if chkBlock {
+					s.chkAcc.Add(s.chks[ci])
+				}
+				if cfg.TrackAverages {
+					tensor.StorageAdd(s.iterSum, s.sums[ci])
+					iterCount += float64(cfg.Tau1)
+				}
+			}
+		}
+		// Cohort uplinks, priced like the dense path's client uplinks.
+		up := upBytes
+		if chkBlock {
+			up *= 2
+		}
+		if cfg.TrackAverages {
+			up += dBytes
+		}
+		a.ledger.RecordRound(topology.ClientEdge, n, up)
+		s.wAcc.FinishInto(s.we)
+		fl.ProjectW(prob.W, s.we)
+		if chkBlock {
+			s.chkAcc.FinishInto(s.chkEdge)
+		}
+	}
+	if comp.Enabled() {
+		comp.Apply(s.we, nil, a.stream.ChildN('Q', 1))
+		comp.Apply(s.chkEdge, nil, a.stream.ChildN('Q', 2))
+	}
+	gradEvals.Add(int64(cfg.Tau1 * cfg.Tau2 * n * cfg.BatchSize))
 	return slotResult{scratch: s, iterCount: iterCount}
 }
 

@@ -22,9 +22,17 @@ import (
 
 // Subset is a labelled sample set. Xs[i] is the feature vector of example
 // i and Ys[i] its class.
+//
+// Xs32, when non-nil, is the pre-resolved float32 mirror of Xs
+// (Xs32[i] mirrors Xs[i]) and SampleInto32 uses it directly. It MUST
+// be set for subsets whose Xs row table is reused scratch — the
+// population regime's lazily materialized shards — because the
+// address-keyed mirror cache would otherwise serve the mirrors of
+// whatever rows the scratch table held when it was first seen.
 type Subset struct {
-	Xs [][]float64
-	Ys []int
+	Xs   [][]float64
+	Ys   []int
+	Xs32 [][]float32
 }
 
 // Len returns the number of examples.

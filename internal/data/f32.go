@@ -69,8 +69,9 @@ func (s Subset) mirror32() [][]float32 {
 // SampleInto32 fills xs and ys with a uniform with-replacement draw
 // using stream r, consuming exactly the same stream values as
 // SampleInto — the float32 fast path draws the same examples the
-// float64 path would. xs entries are cached float32 mirrors of the
-// stored rows. It panics on an empty subset or length mismatch.
+// float64 path would. xs entries are the subset's pre-resolved Xs32
+// mirrors when set, else cached float32 mirrors of the stored rows.
+// It panics on an empty subset or length mismatch.
 func (s Subset) SampleInto32(r *rng.Stream, xs [][]float32, ys []int) {
 	if s.Len() == 0 {
 		panic("data: Sample from empty subset")
@@ -78,7 +79,10 @@ func (s Subset) SampleInto32(r *rng.Stream, xs [][]float32, ys []int) {
 	if len(xs) != len(ys) {
 		panic("data: SampleInto32 length mismatch")
 	}
-	m := s.mirror32()
+	m := s.Xs32
+	if m == nil {
+		m = s.mirror32()
+	}
 	for i := range xs {
 		j := r.Intn(s.Len())
 		xs[i] = m[j]

@@ -61,3 +61,52 @@ func TestRowF32Cached(t *testing.T) {
 		t.Fatal("RowsF32 must reuse cached mirrors")
 	}
 }
+
+// TestSampleInto32ReusedRowTable pins the pre-resolved-mirror contract
+// that the population regime's lazily materialized shards rely on: when
+// a subset's Xs row table is reused scratch (same backing array, row
+// headers rewritten per client), the address-keyed mirror cache serves
+// whichever rows it saw first, so such subsets must carry Xs32 and
+// SampleInto32 must honor it.
+func TestSampleInto32ReusedRowTable(t *testing.T) {
+	corpus := toySubset(10, 4)
+	scratch := make([][]float64, 3)
+	ys := []int{0, 0, 0}
+
+	view := func(lo int) Subset {
+		for i := range scratch {
+			scratch[i] = corpus.Xs[lo+i]
+			ys[i] = corpus.Ys[lo+i]
+		}
+		return Subset{Xs: scratch, Ys: ys, Xs32: RowsF32(nil, scratch)}
+	}
+
+	xs32 := make([][]float32, 8)
+	bys := make([]int, 8)
+	for _, lo := range []int{0, 3, 6} {
+		s := view(lo)
+		s.SampleInto32(rng.New(7), xs32, bys)
+		for i, row := range xs32 {
+			src := corpus.Xs[lo+indexOf(t, corpus, lo, bys[i], row)]
+			for j := range row {
+				if row[j] != float32(src[j]) {
+					t.Fatalf("view at %d: draw %d is a stale mirror", lo, i)
+				}
+			}
+		}
+	}
+}
+
+// indexOf locates the corpus row (relative to lo) whose mirror row
+// should be: the drawn label plus the mirrored first element identify
+// it among the 3-row window.
+func indexOf(t *testing.T, corpus Subset, lo, y int, row []float32) int {
+	t.Helper()
+	for k := 0; k < 3; k++ {
+		if corpus.Ys[lo+k] == y && float32(corpus.Xs[lo+k][0]) == row[0] {
+			return k
+		}
+	}
+	t.Fatalf("drawn row not found in window at %d", lo)
+	return -1
+}

@@ -148,6 +148,24 @@ func Fig4(pool *sched.Pool, scale Scale, seed uint64) (*FigResult, error) {
 	return RunFigure(pool, func() FigSetup { return nonConvexSetup(scale, seed) }, AllAlgorithms)
 }
 
+// Fig3Population runs the Fig. 3 comparison with each round's clients
+// drawn from a sparse registered population instead of the resident
+// N_E x N0 roster: population clients exist as (seed, edge) records and
+// samplePerRound of them materialize per round. Artifacts remain
+// bitwise identical for any -jobs worker count, exactly like Fig3.
+func Fig3Population(pool *sched.Pool, scale Scale, seed uint64, population, samplePerRound int) (*FigResult, error) {
+	return RunFigure(pool, func() FigSetup {
+		return convexSetup(scale, seed).WithPopulation(population, samplePerRound)
+	}, AllAlgorithms)
+}
+
+// Fig4Population is Fig4 under the sparse-population regime.
+func Fig4Population(pool *sched.Pool, scale Scale, seed uint64, population, samplePerRound int) (*FigResult, error) {
+	return RunFigure(pool, func() FigSetup {
+		return nonConvexSetup(scale, seed).WithPopulation(population, samplePerRound)
+	}, AllAlgorithms)
+}
+
 // Render prints the figure data as aligned text: one block per curve
 // plus the rounds-to-target summary, mirroring how §6.1/§6.2 report the
 // result.

@@ -71,6 +71,19 @@ type FigSetup struct {
 	TargetWorst float64   // worst-accuracy target for the headline table
 }
 
+// WithPopulation switches a figure setup to the sparse-population
+// regime: each edge area registers population/N_E virtual clients and
+// the engines sample samplePerRound of them per round via the
+// deterministic roster (internal/population), streaming the cohort
+// aggregation so memory stays O(sampled). The workload name records the
+// population size so artifacts from different regimes never collide.
+func (s FigSetup) WithPopulation(population, samplePerRound int) FigSetup {
+	s.Base.Population = population
+	s.Base.SamplePerRound = samplePerRound
+	s.Name = fmt.Sprintf("%s-pop%d", s.Name, population)
+	return s
+}
+
 // convexSetup builds the Fig. 3 workload: logistic regression on the
 // EMNIST-Digits substitute, one class per edge area, N_E=10, N0=3,
 // m_E=5, tau1=tau2=2 for hierarchical methods (§6.1).

@@ -3,6 +3,7 @@ package fl
 import (
 	"fmt"
 
+	"repro/internal/population"
 	"repro/internal/quant"
 	"repro/internal/tensor"
 )
@@ -63,6 +64,34 @@ type Config struct {
 	// the end-of-round model (the A1 ablation; breaks the unbiasedness
 	// the analysis relies on but is the "obvious" simpler design).
 	CheckpointOff bool
+	// Population, when > 0, switches the engines into the sparse
+	// population regime: the federation's per-area client shards are
+	// ignored and instead Population clients are registered as pure
+	// (seed, group) records (internal/population), striped over the
+	// edge areas. Each round samples roughly SamplePerRound of them
+	// deterministically and materializes their data lazily out of the
+	// per-area training corpora; memory and per-round work are
+	// O(sampled), never O(Population). Requires SamplePerRound.
+	Population int
+	// SamplePerRound is the total number of population clients trained
+	// per round: each of the SampledEdges Phase-1 slots trains a cohort
+	// of SamplePerRound/SampledEdges clients (Phase 2's loss estimates
+	// reuse the same per-edge cohorts). Only meaningful with Population.
+	SamplePerRound int
+}
+
+// PopulationEnabled reports whether the sparse population regime is on.
+func (c Config) PopulationEnabled() bool { return c.Population > 0 }
+
+// CohortSize returns the per-slot client cohort of the population
+// regime: SamplePerRound split evenly over the sampled edge slots.
+func (c Config) CohortSize() int { return c.SamplePerRound / c.SampledEdges }
+
+// Roster builds the population roster the engines sample from — a pure
+// value derived from the config, so every engine (and every process of
+// a distributed run) reconstructs the identical roster.
+func (c Config) Roster(edges int) population.Roster {
+	return population.New(c.Seed, c.Population, edges, c.CohortSize())
 }
 
 // WithDefaults fills unset optional fields.
@@ -113,6 +142,28 @@ func (c Config) Validate(p *Problem) error {
 	}
 	if err := c.Compression.Validate(); err != nil {
 		return err
+	}
+	if c.Population > 0 || c.SamplePerRound > 0 {
+		if c.Population <= 0 || c.SamplePerRound <= 0 {
+			return fmt.Errorf("fl: Population and SamplePerRound must be set together, got %d/%d", c.Population, c.SamplePerRound)
+		}
+		if c.SamplePerRound > c.Population {
+			return fmt.Errorf("fl: SamplePerRound %d exceeds Population %d", c.SamplePerRound, c.Population)
+		}
+		if c.SamplePerRound < c.SampledEdges {
+			return fmt.Errorf("fl: SamplePerRound %d below SampledEdges %d (every sampled edge slot needs a cohort)", c.SamplePerRound, c.SampledEdges)
+		}
+		if err := c.Roster(p.Fed.NumAreas()).Validate(); err != nil {
+			return err
+		}
+		if c.Compression.ErrorFeedback {
+			// Error feedback keeps a per-client residual alive across a
+			// slot's aggregation blocks; with streaming cohort aggregation
+			// there is no per-client table to anchor it to, and per-round
+			// cohorts would reset it anyway. Stateless compression (uniform
+			// quantization) composes fine.
+			return fmt.Errorf("fl: error-feedback compression is not supported with Population (per-client residual state conflicts with streaming cohort aggregation)")
+		}
 	}
 	if c.Compression.Enabled() {
 		if d := p.Model.Dim(); c.Compression.TopK > d {

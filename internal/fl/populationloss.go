@@ -1,0 +1,40 @@
+package fl
+
+import (
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/population"
+	"repro/internal/rng"
+)
+
+// cohortLossScratch recycles the cohort and shard materialization
+// buffers of CohortLossEstimate so repeated Phase-2 estimates allocate
+// nothing once warm.
+type cohortLossScratch struct {
+	cohort []int
+	shard  population.ShardScratch
+	s      Scratch
+}
+
+var cohortLossPool = sync.Pool{New: func() any { return new(cohortLossScratch) }}
+
+// CohortLossEstimate is AreaLossEstimate in the sparse population
+// regime: the edge's round cohort evaluates w on lazily materialized
+// shards (row aliases into the area corpus), with the same per-client
+// stream keys (r.Child(c)) and the same 1/n averaging order as the
+// dense estimator, so every engine — and every baseline sharing the
+// sampler — reproduces the identical estimate. Memory is O(shard),
+// never O(cohort) or O(Population).
+func CohortLossEstimate(m model.Model, w []float64, corpus data.Subset, roster population.Roster, round, edge, lossBatch int, r *rng.Stream) float64 {
+	ls := cohortLossPool.Get().(*cohortLossScratch)
+	defer cohortLossPool.Put(ls)
+	ls.cohort = roster.CohortInto(ls.cohort, round, edge)
+	total := 0.0
+	for c, id := range ls.cohort {
+		shard := roster.ShardInto(id, corpus, &ls.shard)
+		total += ShardLossEstimate(m, w, shard, lossBatch, r.Child(uint64(c)), &ls.s)
+	}
+	return total / float64(len(ls.cohort))
+}

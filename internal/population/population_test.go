@@ -1,0 +1,214 @@
+package population
+
+import (
+	"testing"
+
+	"repro/internal/data"
+)
+
+// TestPermuteIndexBijection: for assorted domain sizes and seeds the
+// cycle-walked Feistel map must be a bijection of [0,n).
+func TestPermuteIndexBijection(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 100, 1023, 4096, 10007} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			seen := make([]bool, n)
+			for x := 0; x < n; x++ {
+				y := permuteIndex(seed, n, x)
+				if y < 0 || y >= n {
+					t.Fatalf("n=%d seed=%d: perm(%d)=%d out of range", n, seed, x, y)
+				}
+				if seen[y] {
+					t.Fatalf("n=%d seed=%d: value %d hit twice", n, seed, y)
+				}
+				seen[y] = true
+			}
+		}
+	}
+}
+
+// TestCohortUniformFrequency: over complete lots every client of an
+// edge is sampled with exactly uniform frequency — the property the
+// lot-wise permutation stream construction guarantees by design.
+func TestCohortUniformFrequency(t *testing.T) {
+	r := Roster{Seed: 11, Size: 1000, Edges: 4, Cohort: 25, ShardSize: 8}
+	for e := 0; e < r.Edges; e++ {
+		s := r.EdgeSize(e)
+		m := r.CohortSize(e)
+		// Enough rounds for an integer number of lots: lcm via s*m / m = s
+		// positions per lot; rounds*m positions total. rounds = 3*s/gcd… use
+		// rounds = 3*s (then rounds*m = 3*s*m positions = 3*m complete lots).
+		rounds := 3 * s
+		counts := make(map[int]int, s)
+		var cohort []int
+		for k := 0; k < rounds; k++ {
+			cohort = r.CohortInto(cohort, k, e)
+			if len(cohort) != m {
+				t.Fatalf("edge %d round %d: cohort size %d, want %d", e, k, len(cohort), m)
+			}
+			for _, id := range cohort {
+				if r.EdgeOf(id) != e {
+					t.Fatalf("edge %d round %d: sampled client %d belongs to edge %d", e, k, id, r.EdgeOf(id))
+				}
+				counts[id]++
+			}
+		}
+		want := rounds * m / s // = 3*m: every client once per lot
+		if len(counts) != s {
+			t.Fatalf("edge %d: %d distinct clients sampled, want all %d", e, len(counts), s)
+		}
+		for id, got := range counts {
+			if got != want {
+				t.Fatalf("edge %d: client %d sampled %d times, want exactly %d", e, id, got, want)
+			}
+		}
+	}
+}
+
+// TestCohortDeterminism: cohorts are pure functions of (seed, round,
+// edge) — recomputing yields identical ids, and a different seed
+// yields a different round-0 ordering somewhere.
+func TestCohortDeterminism(t *testing.T) {
+	a := Roster{Seed: 7, Size: 100000, Edges: 10, Cohort: 200, ShardSize: 16}
+	var x, y []int
+	for k := 0; k < 5; k++ {
+		for e := 0; e < a.Edges; e++ {
+			x = a.CohortInto(x, k, e)
+			y = a.CohortInto(y, k, e)
+			for i := range x {
+				if x[i] != y[i] {
+					t.Fatalf("round %d edge %d: recomputed cohort differs at %d", k, e, i)
+				}
+			}
+		}
+	}
+	b := a
+	b.Seed = 8
+	x = a.CohortInto(x, 0, 0)
+	y = b.CohortInto(y, 0, 0)
+	same := true
+	for i := range x {
+		if x[i] != y[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different population seeds produced identical round-0 cohorts")
+	}
+}
+
+// TestGrowthStableAssignment: growing the population must not move any
+// existing client to a different edge, and must not change any existing
+// client's personal seed — adding clients only appends.
+func TestGrowthStableAssignment(t *testing.T) {
+	small := Roster{Seed: 3, Size: 10000, Edges: 7, Cohort: 50, ShardSize: 8}
+	big := small
+	big.Size = 35000
+	for id := 0; id < small.Size; id++ {
+		if small.EdgeOf(id) != big.EdgeOf(id) {
+			t.Fatalf("client %d moved from edge %d to %d after growth", id, small.EdgeOf(id), big.EdgeOf(id))
+		}
+		if small.ClientSeed(id) != big.ClientSeed(id) {
+			t.Fatalf("client %d's seed changed after growth", id)
+		}
+	}
+	// Per-edge rosters only append: client idx of edge e is the same id
+	// in both rosters for every idx that exists in the small one.
+	for e := 0; e < small.Edges; e++ {
+		for idx := 0; idx < small.EdgeSize(e); idx++ {
+			if small.EdgeClient(e, idx) != big.EdgeClient(e, idx) {
+				t.Fatalf("edge %d roster position %d changed after growth", e, idx)
+			}
+		}
+	}
+}
+
+// TestMillionClientSamplingAllocs: sampling a round out of a 1M-client
+// population must allocate O(sampled) only — with warm caller scratch,
+// zero allocations. This is the guard that keeps the layer sparse.
+func TestMillionClientSamplingAllocs(t *testing.T) {
+	r := Roster{Seed: 5, Size: 1_000_000, Edges: 10, Cohort: 1000, ShardSize: 32}
+	cohort := make([]int, 0, r.Cohort)
+	round := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		for e := 0; e < r.Edges; e++ {
+			cohort = r.CohortInto(cohort, round, e)
+		}
+		round++
+	})
+	if allocs != 0 {
+		t.Fatalf("CohortInto with warm scratch allocates %.1f/run, want 0", allocs)
+	}
+}
+
+// TestShardInto: shards are deterministic per client, alias corpus rows
+// (no copies), and materialize with zero allocations on warm scratch.
+func TestShardInto(t *testing.T) {
+	var corpus data.Subset
+	for i := 0; i < 100; i++ {
+		corpus.Append([]float64{float64(i), float64(2 * i)}, i%10)
+	}
+	r := Roster{Seed: 9, Size: 1000, Edges: 4, Cohort: 10, ShardSize: 16}
+
+	var sc ShardScratch
+	s1 := r.ShardInto(42, corpus, &sc)
+	if s1.Len() != r.ShardSize {
+		t.Fatalf("shard has %d rows, want %d", s1.Len(), r.ShardSize)
+	}
+	rows := make([][]float64, len(s1.Xs))
+	labels := make([]int, len(s1.Ys))
+	copy(rows, s1.Xs)
+	copy(labels, s1.Ys)
+
+	// Aliasing: every row must be one of the corpus row headers.
+	byPtr := make(map[*float64]int, corpus.Len())
+	for j := range corpus.Xs {
+		byPtr[&corpus.Xs[j][0]] = corpus.Ys[j]
+	}
+	for i, row := range rows {
+		y, ok := byPtr[&row[0]]
+		if !ok {
+			t.Fatalf("shard row %d is not an alias of a corpus row", i)
+		}
+		if y != labels[i] {
+			t.Fatalf("shard row %d label %d disagrees with corpus label %d", i, labels[i], y)
+		}
+	}
+
+	// Determinism: re-materializing reproduces the same rows.
+	var sc2 ShardScratch
+	s2 := r.ShardInto(42, corpus, &sc2)
+	for i := range rows {
+		if &rows[i][0] != &s2.Xs[i][0] || labels[i] != s2.Ys[i] {
+			t.Fatalf("re-materialized shard differs at row %d", i)
+		}
+	}
+
+	// Zero allocations once the scratch is warm.
+	allocs := testing.AllocsPerRun(50, func() {
+		r.ShardInto(42, corpus, &sc)
+	})
+	if allocs != 0 {
+		t.Fatalf("ShardInto with warm scratch allocates %.1f/run, want 0", allocs)
+	}
+}
+
+// TestValidate rejects the degenerate configurations.
+func TestValidate(t *testing.T) {
+	good := Roster{Seed: 1, Size: 100, Edges: 10, Cohort: 5, ShardSize: 8}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid roster rejected: %v", err)
+	}
+	bad := []Roster{
+		{Size: 0, Edges: 10, Cohort: 5, ShardSize: 8},
+		{Size: 100, Edges: 0, Cohort: 5, ShardSize: 8},
+		{Size: 5, Edges: 10, Cohort: 5, ShardSize: 8},
+		{Size: 100, Edges: 10, Cohort: 0, ShardSize: 8},
+		{Size: 100, Edges: 10, Cohort: 5, ShardSize: 0},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Fatalf("bad roster %d accepted", i)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/fl"
 	"repro/internal/model"
+	"repro/internal/population"
 	"repro/internal/quant"
 	"repro/internal/simplex"
 	"repro/internal/tensor"
@@ -321,6 +322,25 @@ type edgeActor struct {
 	sums     [][]float64
 	live     [][]float64
 	liveChks [][]float64
+	// Population mode (pop != nil): clients exist only as roster records,
+	// so the edge virtualizes its round cohorts instead of messaging
+	// client actors. One resident model + SGD scratch serve every sampled
+	// client, their shards are materialized lazily as row aliases into
+	// the area corpus, and the per-block aggregation streams through
+	// MeanAccumulators — everything below is O(d) or O(shard), never
+	// O(cohort) and never O(Population).
+	pop     *population.Roster
+	corpus  data.Subset
+	model   model.Model
+	chaos   *chaos.Schedule
+	scratch fl.Scratch
+	wAcc    tensor.MeanAccumulator
+	chkAcc  tensor.MeanAccumulator
+	cohort  []int
+	shard   population.ShardScratch
+	wfBuf   []float64
+	chkBuf  []float64
+	sumBuf  []float64
 }
 
 func (e *edgeActor) run(wg *sync.WaitGroup) {
@@ -350,7 +370,12 @@ func (e *edgeActor) run(wg *sync.WaitGroup) {
 				})
 				continue
 			}
-			reply := e.modelUpdate(req, round)
+			var reply *edgeTrainReply
+			if e.pop != nil {
+				reply = e.modelUpdatePop(req, round)
+			} else {
+				reply = e.modelUpdate(req, round)
+			}
 			edgeTrainReqPool.Put(req)
 			ok := e.net.SendRetry(Message{
 				From: e.id, To: msg.From, Kind: "edge-train-reply", Round: round,
@@ -372,6 +397,8 @@ func (e *edgeActor) run(wg *sync.WaitGroup) {
 			seq := req.Seq
 			if req.Doomed {
 				pool.put(req.W)
+			} else if e.pop != nil {
+				loss, alive, acct = e.lossEstimatePop(req, round)
 			} else {
 				loss, alive, acct = e.lossEstimate(req, round)
 			}
@@ -620,6 +647,182 @@ func (e *edgeActor) lossEstimate(req *edgeLossReq, round int) (loss float64, ok 
 		lossReplyPool.Put(r)
 	}
 	if got < n0 {
+		acct.TimeoutBlocks = 1
+	}
+	if got == 0 {
+		return 0, false, acct
+	}
+	return total / float64(got), true, acct
+}
+
+// modelUpdatePop is modelUpdate in the sparse population regime: the
+// edge trains its (round, edge) roster cohort virtually — no client
+// actors exist, so each sampled client's SGD runs on the edge's
+// resident model and scratch, and every virtual reply folds immediately
+// into streaming MeanAccumulators in cohort order. Stream keys
+// (blockStream.ChildVal(c), post-SGD 'q' children, slot-level 'Q'
+// children) and fold order match both the dense actor protocol and
+// core's modelUpdatePop, so the trajectory is bit-for-bit the core
+// engine's. Chaos composes at the client level: a crashed cohort member
+// still receives its broadcast (downlink charged, exactly like a dense
+// crashed client that gets the request and then dies) but contributes
+// nothing, and the block average reweights over survivors. Link-level
+// faults never touch virtual clients — they have no transport; the
+// edge-cloud links stay fully fault-exposed.
+func (e *edgeActor) modelUpdatePop(req *edgeTrainReq, round int) *edgeTrainReply {
+	roster := *e.pop
+	pool := e.net.pool
+	we := req.W // ownership transferred with the message
+	d := len(we)
+	e.cohort = roster.CohortInto(e.cohort, round, e.id.Index)
+	n := len(e.cohort)
+	dBytes := payloadBytes(we)
+	upVec := dBytes
+	if e.comp.Enabled() {
+		upVec = e.comp.VecWireBytes(d)
+	}
+	if len(e.wfBuf) != d {
+		e.wfBuf = make([]float64, d)
+		e.chkBuf = make([]float64, d)
+		e.sumBuf = make([]float64, d)
+	}
+	var chkEdge, iterSum []float64
+	var iterCount float64
+	var acct slotAcct
+	if e.track {
+		iterSum = pool.get(d)
+		tensor.Zero(iterSum)
+	}
+	for t2 := 0; t2 < e.tau2; t2++ {
+		chkAt := 0
+		chkBlock := t2 == req.C2
+		if chkBlock {
+			chkAt = req.C1
+		}
+		blockStream := req.Stream.ChildVal(uint64(t2))
+		e.wAcc.Reset(d)
+		if chkBlock {
+			e.chkAcc.Reset(d)
+		}
+		missing := 0
+		for c := 0; c < n; c++ {
+			// Virtual broadcasts always arrive, so the downlink is charged
+			// unconditionally — the cohort member's crash decision only
+			// governs whether anything comes back.
+			acct.Down(dBytes)
+			if e.chaos.ClientCrashed(round, e.cohort[c]) {
+				e.net.noteCrash()
+				e.net.noteTimeout()
+				missing++
+				continue
+			}
+			cs := blockStream.ChildVal(uint64(c))
+			shard := roster.ShardInto(e.cohort[c], e.corpus, &e.shard)
+			var clientSum []float64
+			if e.track {
+				clientSum = e.sumBuf
+				tensor.Zero(clientSum)
+			}
+			wf := e.wfBuf
+			copy(wf, we)
+			chked := fl.LocalSGDScratch(e.model, wf, shard, e.tau1, e.batch, e.eta, e.wSet, &cs, chkAt, clientSum, e.chkBuf, &e.scratch)
+			up := upVec
+			if e.comp.Enabled() {
+				// Error feedback is refused with Population
+				// (fl.Config.Validate), so uplink compression is stateless.
+				qs := cs.ChildVal('q')
+				e.comp.Apply(wf, nil, &qs)
+				if chked {
+					qs2 := cs.ChildVal('q').ChildVal(2)
+					e.comp.Apply(e.chkBuf, nil, &qs2)
+				}
+			}
+			if chked {
+				up += upVec
+			}
+			if e.track {
+				up += dBytes
+			}
+			acct.Up(up)
+			e.wAcc.Add(wf)
+			if chkBlock {
+				e.chkAcc.Add(e.chkBuf)
+			}
+			if e.track {
+				tensor.StorageAdd(iterSum, clientSum)
+				iterCount += float64(e.tau1)
+			}
+		}
+		if missing > 0 {
+			acct.TimeoutBlocks++
+		}
+		if e.wAcc.Count() > 0 {
+			e.wAcc.FinishInto(we)
+			fl.ProjectW(e.wSet, we)
+		}
+		if chkBlock {
+			chkEdge = pool.get(d)
+			if e.chkAcc.Count() > 0 {
+				e.chkAcc.FinishInto(chkEdge)
+			} else {
+				// No cohort member reached the checkpoint: the edge's
+				// current model stands in, keeping Phase 2 well-defined.
+				copy(chkEdge, we)
+			}
+		}
+	}
+	acct.Blocks = e.tau2
+	// Edge uplink compression: same 'Q' slot keys as the dense path —
+	// req.Stream was never advanced, so it is exactly core's slot stream.
+	var weP, chkP *quant.Packed
+	if e.comp.Enabled() {
+		qs := req.Stream.ChildVal('Q').ChildVal(1)
+		weP = quant.GetPacked()
+		e.comp.Pack(weP, we, nil, &qs)
+		pool.put(we)
+		we = nil
+		if chkEdge != nil {
+			cks := req.Stream.ChildVal('Q').ChildVal(2)
+			chkP = quant.GetPacked()
+			e.comp.Pack(chkP, chkEdge, nil, &cks)
+			pool.put(chkEdge)
+			chkEdge = nil
+		}
+	}
+	reply := edgeTrainReplyPool.Get().(*edgeTrainReply)
+	*reply = edgeTrainReply{Slot: req.Slot, WEdge: we, WChk: chkEdge, WEdgeP: weP, WChkP: chkP, IterSum: iterSum, IterCount: iterCount, Acct: acct}
+	return reply
+}
+
+// lossEstimatePop is lossEstimate over the round's roster cohort: the
+// same per-client stream keys (req.Stream.ChildVal(c)) and 1/n average
+// as core's cohortLossEstimate, evaluated virtually on lazily
+// materialized shards. Crashed members still cost their downlink and
+// mark the timeout block; the average reweights over survivors.
+func (e *edgeActor) lossEstimatePop(req *edgeLossReq, round int) (loss float64, ok bool, acct slotAcct) {
+	roster := *e.pop
+	pool := e.net.pool
+	acct.Blocks = 1
+	e.cohort = roster.CohortInto(e.cohort, round, e.id.Index)
+	n := len(e.cohort)
+	dBytes := payloadBytes(req.W)
+	total := 0.0
+	got := 0
+	for c := 0; c < n; c++ {
+		acct.Down(dBytes)
+		if e.chaos.ClientCrashed(round, e.cohort[c]) {
+			e.net.noteCrash()
+			e.net.noteTimeout()
+			continue
+		}
+		cs := req.Stream.ChildVal(uint64(c))
+		shard := roster.ShardInto(e.cohort[c], e.corpus, &e.shard)
+		total += fl.ShardLossEstimate(e.model, req.W, shard, req.LossBatch, &cs, &e.scratch)
+		acct.Up(8)
+		got++
+	}
+	pool.put(req.W)
+	if got < n {
 		acct.TimeoutBlocks = 1
 	}
 	if got == 0 {

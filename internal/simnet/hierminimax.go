@@ -9,6 +9,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/obs"
 	"repro/internal/optim"
+	"repro/internal/population"
 	"repro/internal/quant"
 	"repro/internal/rng"
 	"repro/internal/tensor"
@@ -158,6 +159,13 @@ type engine struct {
 	top            topology.Topology
 	wg             sync.WaitGroup
 	simMs          float64
+	// Population mode: clients exist only as roster records — no client
+	// actors are spawned, and each edge actor trains its round cohorts
+	// virtually (same stream keys and fold order as the core population
+	// path). popCohort is the cloud-side scratch for straggler scans.
+	popMode   bool
+	roster    population.Roster
+	popCohort []int
 	// areaSlowest[e] is the slowest client speed factor in area e (the
 	// synchronous block time is gated by it).
 	areaSlowest []float64
@@ -181,6 +189,10 @@ func (e *engine) start() error {
 		return err
 	}
 	e.top = e.prob.Topology()
+	if e.cfg.PopulationEnabled() {
+		e.popMode = true
+		e.roster = e.cfg.Roster(e.top.NumEdges)
+	}
 	e.net = NewNetwork()
 	if e.chaos.Enabled() || e.drop != nil {
 		// One hook composes the schedule's partitions and link loss with
@@ -214,6 +226,18 @@ func (e *engine) start() error {
 			track:   e.cfg.TrackAverages,
 			comp:    e.cfg.Compression,
 			retries: e.retries,
+		}
+		if e.popMode {
+			// Sparse population: the edge virtualizes its round cohorts —
+			// one resident model and SGD scratch serve every sampled
+			// client, and nothing is spawned per registered client.
+			a.pop = &e.roster
+			a.corpus = e.prob.Fed.Areas[edge].Train
+			a.model = e.prob.Model.Clone()
+			a.chaos = e.chaos
+			e.wg.Add(1)
+			go a.run(&e.wg)
+			continue
 		}
 		for c := 0; c < e.top.ClientsPerEdge; c++ {
 			a.clients = append(a.clients, NodeID{Kind: Client, Index: e.top.ClientID(edge, c)})
@@ -269,6 +293,9 @@ func (e *engine) computeAreaSlowest() {
 func (e *engine) stop() {
 	for edge := 0; edge < e.top.NumEdges; edge++ {
 		e.net.Send(Message{From: NodeID{Kind: Cloud, Index: 0}, To: NodeID{Kind: Edge, Index: edge}, Kind: "stop", Payload: stopMsg{}})
+		if e.popMode {
+			continue // clients are roster records, not actors
+		}
 		for c := 0; c < e.top.ClientsPerEdge; c++ {
 			e.net.Send(Message{From: NodeID{Kind: Cloud, Index: 0}, To: NodeID{Kind: Client, Index: e.top.ClientID(edge, c)}, Kind: "stop", Payload: stopMsg{}})
 		}
@@ -310,6 +337,17 @@ func (e *engine) maxStraggleMs(k int, areas []int) float64 {
 	}
 	maxMs := 0.0
 	for _, area := range areas {
+		if e.popMode {
+			// Sparse population: only the round's sampled cohorts do work,
+			// so only their straggler draws can stretch a block.
+			e.popCohort = e.roster.CohortInto(e.popCohort, k, area)
+			for _, id := range e.popCohort {
+				if ms := e.chaos.StraggleMs(k, id); ms > maxMs {
+					maxMs = ms
+				}
+			}
+			continue
+		}
 		for c := 0; c < e.top.ClientsPerEdge; c++ {
 			if ms := e.chaos.StraggleMs(k, e.top.ClientID(area, c)); ms > maxMs {
 				maxMs = ms

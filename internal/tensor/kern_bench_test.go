@@ -13,7 +13,7 @@ import (
 // avx2f32 rung binds the avx2 set for these float64 kernels, so it
 // would only duplicate the avx2 rows), so a single `go test -bench`
 // invocation yields comparable per-class numbers on one machine — the
-// shape bench.sh records in BENCH_9.json.
+// shape bench.sh records in BENCH_10.json.
 
 // benchClasses runs fn under each forced kernel class.
 func benchClasses(b *testing.B, fn func(b *testing.B)) {

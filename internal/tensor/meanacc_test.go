@@ -1,0 +1,73 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMeanAccumulatorMatchesAverageInto pins the streaming-fold
+// contract: folding vectors one at a time must produce bit-for-bit the
+// vector AverageInto computes from the whole list, in every kernel
+// class (ci.sh runs this suite under all four forced classes).
+func TestMeanAccumulatorMatchesAverageInto(t *testing.T) {
+	const d = 257 // odd length exercises the kernel tails
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(int64(state%2000)-1000) / 512
+	}
+	for _, n := range []int{1, 2, 3, 7, 30} {
+		vecs := make([][]float64, n)
+		for i := range vecs {
+			vecs[i] = make([]float64, d)
+			for j := range vecs[i] {
+				vecs[i][j] = next()
+			}
+		}
+		want := make([]float64, d)
+		AverageInto(want, vecs...)
+
+		var acc MeanAccumulator
+		acc.Reset(d)
+		for _, v := range vecs {
+			acc.Add(v)
+		}
+		if acc.Count() != n {
+			t.Fatalf("n=%d: Count()=%d", n, acc.Count())
+		}
+		got := make([]float64, d)
+		acc.FinishInto(got)
+		for j := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("n=%d: streaming mean differs from AverageInto at %d: %x vs %x",
+					n, j, math.Float64bits(got[j]), math.Float64bits(want[j]))
+			}
+		}
+
+		// Reuse after Reset must be just as exact.
+		acc.Reset(d)
+		for _, v := range vecs {
+			acc.Add(v)
+		}
+		acc.FinishInto(got)
+		for j := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("n=%d: reused accumulator differs at %d", n, j)
+			}
+		}
+	}
+}
+
+// TestMeanAccumulatorEmptyPanics mirrors AverageInto's contract.
+func TestMeanAccumulatorEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FinishInto with no inputs did not panic")
+		}
+	}()
+	var acc MeanAccumulator
+	acc.Reset(8)
+	acc.FinishInto(make([]float64, 8))
+}

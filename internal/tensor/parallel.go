@@ -115,6 +115,75 @@ func AverageInto(dst []float64, vecs ...[]float64) {
 	Scale(1/float64(len(vecs)), dst)
 }
 
+// MeanAccumulator is the streaming form of AverageInto: callers fold
+// vectors in one at a time (in a deterministic order) and finish into a
+// destination, producing bit-for-bit the result AverageInto would have
+// computed from the whole list — same kernels, same summation order,
+// same storage-regime arithmetic (a float32 accumulator with exact
+// per-input narrowing on the avx2f32 tier, exactly like
+// averageInto32Regime). The population engines aggregate cohort replies
+// through it so edge/cloud accumulators stay O(d) instead of holding a
+// per-client table.
+//
+// A zero MeanAccumulator is ready after Reset; instances are reusable
+// and safe to keep per-slot (not concurrently).
+type MeanAccumulator struct {
+	acc          []float64
+	acc32, tmp32 []float32
+	n            int
+	f32          bool
+}
+
+// Reset readies the accumulator for d-dimensional inputs and zeroes it.
+func (a *MeanAccumulator) Reset(d int) {
+	a.n = 0
+	a.f32 = StorageF32()
+	if a.f32 {
+		if cap(a.acc32) < d {
+			a.acc32 = make([]float32, d)
+			a.tmp32 = make([]float32, d)
+		}
+		a.acc32, a.tmp32 = a.acc32[:d], a.tmp32[:d]
+		Zero32(a.acc32)
+		return
+	}
+	if cap(a.acc) < d {
+		a.acc = make([]float64, d)
+	}
+	a.acc = a.acc[:d]
+	Zero(a.acc)
+}
+
+// Add folds one vector into the running sum.
+func (a *MeanAccumulator) Add(v []float64) {
+	a.n++
+	if a.f32 {
+		ToF32(a.tmp32, v)
+		kernels32.axpy(1, a.tmp32, a.acc32)
+		return
+	}
+	Axpy(1, v, a.acc)
+}
+
+// Count returns the number of vectors folded in since Reset.
+func (a *MeanAccumulator) Count() int { return a.n }
+
+// FinishInto writes the mean of the folded vectors into dst and leaves
+// the accumulator consumed (Reset before reuse). Panics when nothing
+// was folded, mirroring AverageInto's empty-list panic.
+func (a *MeanAccumulator) FinishInto(dst []float64) {
+	if a.n == 0 {
+		panic("tensor: MeanAccumulator.FinishInto with no inputs")
+	}
+	if a.f32 {
+		Scale32(1/float32(a.n), a.acc32)
+		ToF64(dst, a.acc32)
+		return
+	}
+	copy(dst, a.acc)
+	Scale(1/float64(a.n), dst)
+}
+
 // WeightedAverageInto writes sum_i weights[i]*vecs[i] into dst. Weights
 // need not sum to one; callers that want a convex combination must
 // normalize. Panics on length mismatches.

@@ -163,6 +163,23 @@ type Spec struct {
 	// end-of-round model (the A1 ablation; HierMinimax only).
 	CheckpointOff bool
 
+	// Population and SamplePerRound switch the run into the sparse
+	// population regime (DESIGN.md §14): Population clients are
+	// registered as pure (seed, group) roster records striped over the
+	// edge areas, and each round deterministically samples roughly
+	// SamplePerRound of them (a cohort of SamplePerRound/SampledEdges
+	// per sampled edge slot), materializing their shards lazily out of
+	// the per-area corpora. Memory and per-round work are O(sampled),
+	// never O(Population), so million-client runs are routine. Both must
+	// be set together; requires the single-process engines (the wire
+	// roles spawn one OS client host per resident client) and the
+	// 3-layer algorithms' standard form (no Branching/Taus trees). TopK
+	// compression (error feedback) is refused — per-client residual
+	// state conflicts with streaming cohort aggregation; QuantBits
+	// composes fine.
+	Population     int
+	SamplePerRound int
+
 	// Chaos injects deterministic transport faults (simnet engine only):
 	// crashes, partitions, link loss, stragglers. The zero value injects
 	// nothing. See DESIGN.md §10 for the fault model.
@@ -264,6 +281,17 @@ func (s *Spec) normalize() error {
 	if s.QuantBits > 0 && s.TopK > 0 {
 		return fmt.Errorf("hierfair: Spec.QuantBits and Spec.TopK are mutually exclusive")
 	}
+	if (s.Population > 0) != (s.SamplePerRound > 0) {
+		return fmt.Errorf("hierfair: Spec.Population and Spec.SamplePerRound must be set together, got %d/%d", s.Population, s.SamplePerRound)
+	}
+	if s.Population > 0 {
+		if len(s.Branching) > 0 || len(s.Taus) > 0 {
+			return fmt.Errorf("hierfair: Spec.Population does not compose with the multi-layer tree (Branching/Taus)")
+		}
+		if s.TopK > 0 {
+			return fmt.Errorf("hierfair: Spec.Population refuses TopK compression (per-client error-feedback residuals conflict with streaming cohort aggregation); use QuantBits")
+		}
+	}
 	if s.Dataset == "" {
 		s.Dataset = DatasetEMNIST
 	}
@@ -313,13 +341,13 @@ func (s *Spec) buildFederation() (*data.Federation, error) {
 		if s.TestPerClass > 0 {
 			cfg.TestPerArea = s.TestPerClass
 		}
-		return data.GenerateAdult(cfg, s.ClientsPerEdge, s.Seed+101), nil
+		return data.GenerateAdultShared(cfg, s.ClientsPerEdge, s.Seed+101), nil
 	case DatasetSynthetic:
 		cfg := data.DefaultLiSynthetic()
 		if s.NumEdges > 0 {
 			cfg.NumDevices = s.NumEdges
 		}
-		return data.GenerateLiSynthetic(cfg, s.ClientsPerEdge, s.Seed+102), nil
+		return data.GenerateLiSyntheticShared(cfg, s.ClientsPerEdge, s.Seed+102), nil
 	}
 	var profile data.ImageProfile
 	switch s.Dataset {
@@ -335,7 +363,13 @@ func (s *Spec) buildFederation() (*data.Federation, error) {
 	if s.InputDim > 0 {
 		profile.Dim = s.InputDim
 	}
-	train, test := profile.Generate(s.TrainPerClass, s.TestPerClass, s.Seed+100)
+	// The shared content-keyed cache (internal/data) makes repeated
+	// builds of the same workload — multi-role wire processes, benchmark
+	// fan-outs, population runs re-materializing corpora — reuse one
+	// generated corpus instead of regenerating per caller; generation
+	// parameters key the cache, so distinct specs never collide, and the
+	// cache's mutation guard panics if a caller writes into shared rows.
+	train, test := profile.GenerateShared(s.TrainPerClass, s.TestPerClass, s.Seed+100)
 	switch s.Partition {
 	case PartitionOneClassPerArea:
 		if s.NumEdges != profile.Classes {
@@ -420,19 +454,21 @@ func (s *Spec) buildProblem() (*fl.Problem, fl.Config, error) {
 		prob.P = simplex.CappedSimplex{Dim: fed.NumAreas(), Cap: s.PCap}
 	}
 	cfg := fl.Config{
-		Rounds:        s.Rounds,
-		Tau1:          s.Tau1,
-		Tau2:          s.Tau2,
-		EtaW:          s.EtaW,
-		EtaP:          s.EtaP,
-		BatchSize:     s.BatchSize,
-		LossBatch:     s.LossBatch,
-		SampledEdges:  s.SampledEdges,
-		Seed:          s.Seed,
-		EvalEvery:     s.EvalEvery,
-		DropoutProb:   s.DropoutProb,
-		TrackAverages: s.TrackAverages,
-		CheckpointOff: s.CheckpointOff,
+		Rounds:         s.Rounds,
+		Tau1:           s.Tau1,
+		Tau2:           s.Tau2,
+		EtaW:           s.EtaW,
+		EtaP:           s.EtaP,
+		BatchSize:      s.BatchSize,
+		LossBatch:      s.LossBatch,
+		SampledEdges:   s.SampledEdges,
+		Seed:           s.Seed,
+		EvalEvery:      s.EvalEvery,
+		DropoutProb:    s.DropoutProb,
+		TrackAverages:  s.TrackAverages,
+		CheckpointOff:  s.CheckpointOff,
+		Population:     s.Population,
+		SamplePerRound: s.SamplePerRound,
 	}
 	if s.QuantBits > 0 {
 		cfg.Compression = quant.Config{Bits: s.QuantBits}

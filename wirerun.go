@@ -40,6 +40,12 @@ func (s Spec) distProblem() (*fl.Problem, fl.Config, *chaos.Schedule, error) {
 	if len(s.Branching) > 0 {
 		return nil, fl.Config{}, nil, fmt.Errorf("hierfair: distributed roles do not support multi-layer trees")
 	}
+	if s.Population > 0 {
+		// The wire runtimes place one client actor per resident client on
+		// real sockets; a sparse population has no resident clients to
+		// place. Use the in-process or simnet engine for population runs.
+		return nil, fl.Config{}, nil, fmt.Errorf("hierfair: distributed roles do not support Spec.Population (virtual cohorts need no client processes)")
+	}
 	prob, cfg, err := s.buildProblem()
 	if err != nil {
 		return nil, fl.Config{}, nil, err
